@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  They run
+the full simulators, so every sweep is executed exactly once per benchmark
+(``rounds=1``); pytest-benchmark still records the wall-clock cost, and the
+rendered table for each figure is attached to the benchmark's ``extra_info``
+and written to ``benchmarks/results/`` so the numbers can be inspected after
+the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_figure():
+    """Return a helper that saves a rendered figure/table to disk."""
+    def _record(name: str, text: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Regenerates Figure 5: dense matrix multiply runtimes relative to the CPU."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+SIZES = (8, 16, 24, 32)
+
+
+def test_figure5_dense_matmul(benchmark, record_figure):
+    rows = run_once(benchmark, figure5.run, sizes=SIZES)
+    text = figure5.render(rows)
+    record_figure("figure5_matmul", text)
+    print("\n" + text)
+
+    # Shape checks corresponding to the paper's observations.
+    by_size = {row["size"]: row for row in rows}
+    # The APU (full OpenCL runtime) is orders of magnitude slower than the
+    # CPU core for small matrices.
+    assert by_size[SIZES[0]]["rel_apu_opencl"] > 100
+    # CCSVM/xthreads beats the APU at every size in the sweep ...
+    for row in rows:
+        assert row["ccsvm_xthreads_ms"] < row["apu_opencl_ms"]
+        assert row["ccsvm_xthreads_ms"] < row["apu_opencl_nosetup_ms"]
+    # ... and the APU's relative runtime falls as the matrices grow (its raw
+    # GPU throughput starts to amortise the launch overhead).
+    relative = [row["rel_apu_opencl"] for row in rows]
+    assert relative == sorted(relative, reverse=True)
+    # CCSVM's advantage over the CPU core improves with size as well.
+    ccsvm_relative = [row["rel_ccsvm"] for row in rows]
+    assert ccsvm_relative == sorted(ccsvm_relative, reverse=True)

@@ -1,0 +1,23 @@
+"""Regenerates Figure 7: Barnes-Hut vs one CPU core and vs pthreads."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+BODY_COUNTS = (16, 32, 64)
+
+
+def test_figure7_barnes_hut(benchmark, record_figure):
+    rows = run_once(benchmark, figure7.run, body_counts=BODY_COUNTS, timesteps=2)
+    text = figure7.render(rows)
+    record_figure("figure7_barnes_hut", text)
+    print("\n" + text)
+
+    # CCSVM's speedup over the single CPU core grows with the problem size
+    # (launch and phase-toggle overheads amortise over more force work).
+    speedups = [row["speedup_vs_cpu"] for row in rows]
+    assert speedups == sorted(speedups)
+    # At the largest size in the sweep CCSVM beats the 4-thread pthreads run.
+    assert rows[-1]["speedup_vs_pthreads"] > 1.0

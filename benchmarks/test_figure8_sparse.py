@@ -1,0 +1,34 @@
+"""Regenerates Figure 8: sparse matrix multiply speedups (size and density sweeps)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8_sparse_matmul(benchmark, record_figure):
+    panels = run_once(benchmark, figure8.run)
+    text = figure8.render(panels)
+    record_figure("figure8_sparse_matmul", text)
+    print("\n" + text)
+
+    by_size = panels["by_size"]
+    by_density = panels["by_density"]
+
+    # Left panel: at fixed density the speedup over the CPU stays roughly
+    # flat across sizes at simulator-tractable scales (the paper's rising
+    # trend needs hardware-scale matrices; see EXPERIMENTS.md).  Guard that
+    # it neither collapses nor explodes.
+    speedups = [row["speedup_vs_cpu"] for row in by_size]
+    assert max(speedups) / min(speedups) < 2.0
+    # The amount of dynamic allocation grows with the matrix size.
+    size_mallocs = [row["mttop_mallocs"] for row in by_size]
+    assert size_mallocs == sorted(size_mallocs)
+
+    # Right panel: at fixed size the speedup degrades as density (and with it
+    # the number of CPU-serviced mttop_malloc calls) increases.
+    density_speedups = [row["speedup_vs_cpu"] for row in by_density]
+    assert density_speedups == sorted(density_speedups, reverse=True)
+    mallocs = [row["mttop_mallocs"] for row in by_density]
+    assert mallocs == sorted(mallocs)

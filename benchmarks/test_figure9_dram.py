@@ -1,0 +1,27 @@
+"""Regenerates Figure 9: off-chip DRAM accesses for dense matrix multiply."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+SIZES = (8, 16, 24, 32)
+
+
+def test_figure9_dram_accesses(benchmark, record_figure):
+    rows = run_once(benchmark, figure9.run, sizes=SIZES)
+    text = figure9.render(rows)
+    record_figure("figure9_dram", text)
+    print("\n" + text)
+
+    for row in rows:
+        # The APU requires far more off-chip accesses than the CCSVM chip at
+        # every size (the paper reports one to two orders of magnitude).
+        assert row["apu_over_ccsvm"] > 10
+        # The CCSVM chip also stays at or below the lone CPU core + its own
+        # compulsory traffic (its communication is on-chip).
+        assert row["ccsvm_xthreads_dram_accesses"] < row["apu_opencl_dram_accesses"]
+    # CCSVM's DRAM accesses grow with the footprint (compulsory misses only).
+    ccsvm = [row["ccsvm_xthreads_dram_accesses"] for row in rows]
+    assert ccsvm == sorted(ccsvm)

@@ -1,0 +1,30 @@
+"""Regenerates Table 2 and checks the presets against the paper's numbers."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config import amd_apu_system, ccsvm_system
+from repro.experiments import table2
+
+
+def test_table2_system_configurations(benchmark, record_figure):
+    rows = run_once(benchmark, table2.rows)
+    text = table2.render()
+    record_figure("table2_configs", text)
+    print("\n" + text)
+
+    assert len(rows) >= 8
+
+    ccsvm = ccsvm_system()
+    apu = amd_apu_system()
+    # Key Table 2 parameters.
+    assert ccsvm.cpu.count == 4 and ccsvm.cpu.max_ipc == 0.5
+    assert ccsvm.mttop.count == 10 and ccsvm.mttop.simd_width == 8
+    assert ccsvm.mttop.max_operations_per_cycle == 80
+    assert ccsvm.l2.total_size_bytes == 4 * 1024 * 1024 and ccsvm.l2.banks == 4
+    assert ccsvm.dram.latency_ns == 100.0
+    assert ccsvm.noc.link_bandwidth_gbps == 12.0
+    assert apu.cpu.count == 4 and apu.cpu.max_ipc == 4.0
+    assert apu.gpu.simd_units == 5 and apu.gpu.vliw_lanes == 16
+    assert apu.dram.latency_ns == 72.0

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Pointer chasing on an accelerator: Barnes-Hut n-body (Figure 7).
+
+Each timestep the CPU rebuilds a pointer-based octree (a sequential phase),
+the MTTOP threads traverse it to compute forces (a parallel phase), and the
+CPU integrates positions — the kind of frequent sequential/parallel toggling
+that is hopeless on a loosely-coupled chip but cheap under CCSVM.
+
+Runs the CCSVM/xthreads version against one APU CPU core and the 4-thread
+pthreads version, like the paper's Figure 7.
+
+Run with::
+
+    python examples/barnes_hut_nbody.py [bodies [timesteps]]
+"""
+
+import sys
+
+from repro.experiments import figure7
+
+
+def main() -> None:
+    bodies = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    timesteps = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    rows = figure7.run(body_counts=(bodies,), timesteps=timesteps)
+    print(figure7.render(rows))
+    row = rows[0]
+    print()
+    print(f"With {bodies} bodies and {timesteps} timesteps, CCSVM/xthreads runs "
+          f"{row['speedup_vs_cpu']:.2f}x the single-core speed and "
+          f"{row['speedup_vs_pthreads']:.2f}x the 4-thread pthreads speed. "
+          "Every value was verified against a functional execution of the same "
+          "fixed-point algorithm.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Offloading small matrix multiplies (Figures 5 and 9).
+
+Sweeps matrix sizes, running the same dense matrix multiplication on
+(a) one AMD CPU core, (b) the APU through OpenCL, and (c) the CCSVM chip
+through xthreads, then prints the paper's Figure 5 (runtime relative to the
+CPU core) and Figure 9 (off-chip DRAM accesses) tables.
+
+Run with::
+
+    python examples/matmul_offload.py [size [size ...]]
+
+Sizes default to a fast sweep; pass larger sizes (e.g. 48 64) to see the APU
+catch up as its raw GPU throughput starts to dominate.
+"""
+
+import sys
+
+from repro.experiments import figure5, figure9
+
+
+def main() -> None:
+    sizes = tuple(int(argument) for argument in sys.argv[1:]) or (8, 16, 24, 32)
+
+    rows5 = figure5.run(sizes=sizes)
+    print(figure5.render(rows5))
+    print()
+    rows9 = figure9.run(sizes=sizes)
+    print(figure9.render(rows9))
+    print()
+    smallest = rows5[0]
+    print(f"At {smallest['size']}x{smallest['size']}, the APU spends "
+          f"{smallest['rel_apu_opencl']:.0f}x the CPU core's runtime (mostly "
+          "OpenCL compilation, initialisation and launch overhead), while "
+          f"CCSVM/xthreads needs only {smallest['rel_ccsvm']:.2f}x — tight "
+          "coupling makes offloading small tasks worthwhile.")
+
+
+if __name__ == "__main__":
+    main()

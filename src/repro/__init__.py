@@ -1,0 +1,51 @@
+"""repro — reproduction of Hechtman & Sorin, "Evaluating Cache Coherent
+Shared Virtual Memory for Heterogeneous Multicore Chips" (ISPASS 2013).
+
+The package provides:
+
+* a simulator of the paper's CCSVM heterogeneous chip (CPU + MTTOP cores
+  tightly coupled through MOESI-coherent shared virtual memory) and its
+  xthreads programming model (:mod:`repro.core`);
+* a calibrated model of the loosely-coupled AMD Llano APU baseline running
+  an OpenCL-style runtime (:mod:`repro.baseline`);
+* the paper's workloads — vector add, dense matrix multiply, all-pairs
+  shortest path, Barnes-Hut and sparse matrix multiply
+  (:mod:`repro.workloads`);
+* an experiment harness that regenerates every figure of the evaluation
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import CCSVMChip, ccsvm_system
+    from repro.workloads.vector_add import vector_add_host
+
+    chip = CCSVMChip(ccsvm_system())
+    result = chip.run(vector_add_host(chip, size=256))
+    print(f"{result.time_ns:.0f} ns, {result.dram_accesses} DRAM accesses")
+"""
+
+from repro.config import (
+    APUSystemConfig,
+    CCSVMSystemConfig,
+    amd_apu_system,
+    ccsvm_system,
+    small_ccsvm_system,
+    tiny_caches_ccsvm_system,
+)
+from repro.core.chip import CCSVMChip, RunResult
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APUSystemConfig",
+    "CCSVMChip",
+    "CCSVMSystemConfig",
+    "ReproError",
+    "RunResult",
+    "__version__",
+    "amd_apu_system",
+    "ccsvm_system",
+    "small_ccsvm_system",
+    "tiny_caches_ccsvm_system",
+]

@@ -1,0 +1,45 @@
+"""The loosely-coupled baseline: an AMD Llano-like APU running OpenCL.
+
+The paper compares its simulated CCSVM chip against real AMD A8-3850
+hardware running OpenCL (Section 5.1).  Real hardware is not available to a
+reproduction, so this package provides a calibrated model with the same cost
+*structure*:
+
+* out-of-order CPU cores (max IPC 4) with private L1 + 1 MiB L2 caches,
+  whose misses go to 72 ns DDR3 (:mod:`repro.baseline.cpu`);
+* a Radeon-like GPU — 5 SIMD units x 16 VLIW lanes at 600 MHz — that
+  executes the same kernel programs through a small GPU cache backed by
+  off-chip DRAM (:mod:`repro.baseline.gpu`);
+* an OpenCL-style runtime with compilation, context initialisation, buffer
+  management, DMA between the CPU and GPU address spaces and per-launch
+  driver overhead (:mod:`repro.baseline.opencl`);
+* a pthreads runtime for multi-threaded CPU-only runs
+  (:mod:`repro.baseline.pthreads`).
+
+Absolute numbers are not expected to match the paper's hardware
+measurements; the cost structure (fixed compile/init cost, per-launch
+overhead, communication through off-chip DRAM, slow synchronisation) is
+what the experiments rely on, and it is preserved.
+"""
+
+from repro.baseline.memory import FlatMemory, PrivateCacheHierarchy
+from repro.baseline.cpu import BaselineCPUCore, BaselineRunResult
+from repro.baseline.gpu import GPUKernelResult, RadeonGPUModel
+from repro.baseline.apu import AMDAPU
+from repro.baseline.opencl import OpenCLBuffer, OpenCLKernel, OpenCLSession
+from repro.baseline.pthreads import PThreadsMachine, PThreadsPhaseResult
+
+__all__ = [
+    "AMDAPU",
+    "BaselineCPUCore",
+    "BaselineRunResult",
+    "FlatMemory",
+    "GPUKernelResult",
+    "OpenCLBuffer",
+    "OpenCLKernel",
+    "OpenCLSession",
+    "PThreadsMachine",
+    "PThreadsPhaseResult",
+    "PrivateCacheHierarchy",
+    "RadeonGPUModel",
+]

@@ -1,0 +1,134 @@
+"""APU CPU-core execution.
+
+The APU's CPU cores are strong out-of-order cores (max IPC 4, Table 2).
+A :class:`BaselineCPUCore` runs one thread program synchronously — there is
+no need for the CCSVM engine here because baseline CPU threads never
+interleave through shared-memory synchronisation mid-program; multi-threaded
+runs are composed of parallel *phases* by :mod:`repro.baseline.pthreads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.baseline.memory import FlatMemory, PrivateCacheHierarchy
+from repro.cores.interpreter import ThreadContext, ThreadProgram, execute_memory_operation
+from repro.cores.isa import Compute, Free, Malloc
+from repro.errors import KernelProgramError
+from repro.sim.clock import ClockDomain
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class BaselineRunResult:
+    """Outcome of running one program on a baseline core."""
+
+    time_ps: int
+    instructions: int
+
+    @property
+    def time_ns(self) -> float:
+        """Elapsed time in nanoseconds."""
+        return self.time_ps / 1_000.0
+
+
+class BaselineCPUPort:
+    """Memory port adapter: flat memory + a private cache hierarchy."""
+
+    def __init__(self, memory: FlatMemory, hierarchy: PrivateCacheHierarchy) -> None:
+        self.memory = memory
+        self.hierarchy = hierarchy
+
+    def load(self, vaddr: int) -> Tuple[int, int]:
+        """Load a word; returns ``(value, latency_ps)``."""
+        latency = self.hierarchy.access(vaddr, is_write=False)
+        return self.memory.read_word(vaddr), latency
+
+    def store(self, vaddr: int, value: int) -> int:
+        """Store a word; returns the latency."""
+        latency = self.hierarchy.access(vaddr, is_write=True)
+        self.memory.write_word(vaddr, value)
+        return latency
+
+    def atomic_add(self, vaddr: int, delta: int) -> Tuple[int, int]:
+        """Atomic fetch-and-add (single-threaded semantics)."""
+        latency = self.hierarchy.access(vaddr, is_write=True)
+        old = self.memory.read_word(vaddr)
+        self.memory.write_word(vaddr, old + delta)
+        return old, latency
+
+    def atomic_cas(self, vaddr: int, expected: int, new: int) -> Tuple[int, int]:
+        """Atomic compare-and-swap (single-threaded semantics)."""
+        latency = self.hierarchy.access(vaddr, is_write=True)
+        old = self.memory.read_word(vaddr)
+        if old == expected:
+            self.memory.write_word(vaddr, new)
+        return old, latency
+
+
+class BaselineCPUCore:
+    """One APU CPU core running thread programs to completion."""
+
+    def __init__(self, name: str, clock: ClockDomain, cycles_per_instruction: float,
+                 memory: FlatMemory, hierarchy: PrivateCacheHierarchy,
+                 stats: Optional[StatsRegistry] = None,
+                 malloc_ns: float = 120.0) -> None:
+        self.name = name
+        self.clock = clock
+        self.cycles_per_instruction = cycles_per_instruction
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.port = BaselineCPUPort(memory, hierarchy)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._issue_ps = clock.cycles_to_ps(cycles_per_instruction)
+        self._malloc_ps = int(malloc_ns * 1_000)
+
+    def run(self, program: ThreadProgram) -> BaselineRunResult:
+        """Execute ``program`` to completion and return its time."""
+        context = ThreadContext(tid=0, program=program)
+        elapsed = 0
+        instructions = 0
+        while True:
+            operation = context.next_operation()
+            if operation is None:
+                break
+            instructions += 1
+            elapsed += self._issue_ps
+
+            if isinstance(operation, Compute):
+                elapsed += self._issue_ps * max(0, operation.amount - 1)
+                context.complete(operation, _outcome())
+                continue
+            if isinstance(operation, Malloc):
+                address = self.memory.allocate(operation.size)
+                elapsed += self._malloc_ps
+                context.complete(operation, _outcome(value=address))
+                self.stats.add(f"{self.name}.mallocs")
+                continue
+            if isinstance(operation, Free):
+                context.complete(operation, _outcome())
+                continue
+
+            memory_outcome = execute_memory_operation(operation, self.port,
+                                                      spin_poll_ps=self._issue_ps)
+            if memory_outcome is None:
+                raise KernelProgramError(
+                    f"baseline CPU core cannot execute operation {operation!r}"
+                )
+            if memory_outcome.retry:
+                raise KernelProgramError(
+                    "a single-threaded baseline program spun on a WaitValue that "
+                    "can never be satisfied"
+                )
+            elapsed += memory_outcome.latency_ps
+            context.complete(operation, memory_outcome)
+
+        self.stats.add(f"{self.name}.instructions", instructions)
+        return BaselineRunResult(time_ps=elapsed, instructions=instructions)
+
+
+def _outcome(value: object = None):
+    from repro.cores.interpreter import OpOutcome
+
+    return OpOutcome(latency_ps=0, value=value)

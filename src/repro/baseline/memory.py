@@ -1,0 +1,164 @@
+"""Memory substrate for the APU baseline.
+
+The APU model does not reuse the CCSVM chip's shared-virtual-memory stack,
+because the machine it models does not have one: the CPU and GPU have
+separate virtual address spaces and communicate through pinned physical
+memory (Section 2.3 of the paper).  Instead the baseline uses a single flat
+address space (:class:`FlatMemory`) for data, and per-core private cache
+hierarchies (:class:`PrivateCacheHierarchy`) for timing and DRAM-access
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.errors import MemoryError_
+from repro.memory.address import CACHE_LINE_SIZE, WORD_SIZE, align_up
+from repro.memory.dram import DRAMModel
+from repro.sim.stats import StatsRegistry
+
+
+class FlatMemory:
+    """A flat, word-granularity memory with a bump allocator.
+
+    Addresses handed out by :meth:`allocate` start at a non-zero base so a
+    zero value never aliases a valid pointer (workloads use 0 as a null
+    pointer in linked structures).
+    """
+
+    ALLOCATION_BASE = 0x1000
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        self._next_address = self.ALLOCATION_BASE
+
+    def allocate(self, size_bytes: int) -> int:
+        """Allocate ``size_bytes`` and return the start address (word aligned)."""
+        if size_bytes <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {size_bytes}")
+        address = align_up(self._next_address, WORD_SIZE)
+        self._next_address = address + size_bytes
+        return address
+
+    def read_word(self, address: int) -> int:
+        """Read the 64-bit word at ``address`` (zero if never written)."""
+        return self._words.get(address & ~(WORD_SIZE - 1), 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write ``value`` to the 64-bit word at ``address``."""
+        self._words[address & ~(WORD_SIZE - 1)] = value
+
+    def read_array(self, address: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``address``."""
+        return [self.read_word(address + i * WORD_SIZE) for i in range(count)]
+
+    def write_array(self, address: int, values: Sequence[int]) -> None:
+        """Write consecutive words starting at ``address``."""
+        for i, value in enumerate(values):
+            self.write_word(address + i * WORD_SIZE, value)
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total bytes handed out by the allocator so far."""
+        return self._next_address - self.ALLOCATION_BASE
+
+
+class PrivateCacheHierarchy:
+    """A non-coherent private cache hierarchy (L1 and optional L2) over DRAM.
+
+    Models one APU CPU core's caches (or the GPU's small cache).  Every
+    access returns its latency; misses allocate in every level and dirty
+    victims are written back to DRAM, so the DRAM model's counters reflect
+    real traffic (the quantity Figure 9 reports for the AMD CPU core).
+    """
+
+    def __init__(self, name: str, dram: DRAMModel,
+                 l1_size_bytes: int, l1_associativity: int, l1_hit_ps: int,
+                 l2_size_bytes: Optional[int] = None,
+                 l2_associativity: int = 16, l2_hit_ps: int = 0,
+                 stats: Optional[StatsRegistry] = None,
+                 line_size: int = CACHE_LINE_SIZE) -> None:
+        self.name = name
+        self.dram = dram
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.line_size = line_size
+        self.l1 = SetAssociativeCache(
+            CacheConfig(size_bytes=l1_size_bytes, associativity=l1_associativity,
+                        line_size=line_size, hit_latency_ps=l1_hit_ps,
+                        name=f"{name}.l1"),
+            stats=self.stats)
+        self.l2: Optional[SetAssociativeCache] = None
+        if l2_size_bytes:
+            self.l2 = SetAssociativeCache(
+                CacheConfig(size_bytes=l2_size_bytes, associativity=l2_associativity,
+                            line_size=line_size, hit_latency_ps=l2_hit_ps,
+                            name=f"{name}.l2"),
+                stats=self.stats)
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, is_write: bool) -> int:
+        """Access ``address``; return the latency and count DRAM traffic."""
+        latency = self.l1.hit_latency_ps
+        block = self.l1.lookup(address)
+        if block is not None:
+            if is_write:
+                block.dirty = True
+            return latency
+
+        # L1 miss: try the L2, then DRAM.
+        line = self.l1.line_address(address)
+        filled_dirty = False
+        if self.l2 is not None:
+            latency += self.l2.hit_latency_ps
+            l2_block = self.l2.lookup(line)
+            if l2_block is None:
+                latency += self.dram.read(self.line_size)
+                _, l2_victim = self.l2.insert(line)
+                if l2_victim is not None and l2_victim.dirty:
+                    self.dram.write(self.line_size)
+                    self.stats.add(f"{self.name}.l2_writebacks")
+        else:
+            latency += self.dram.read(self.line_size)
+
+        block, victim = self.l1.insert(line, dirty=is_write or filled_dirty)
+        if is_write:
+            block.dirty = True
+        if victim is not None and victim.dirty:
+            self._writeback(victim.line_address)
+        return latency
+
+    def _writeback(self, line: int) -> None:
+        if self.l2 is not None:
+            l2_block = self.l2.peek(line)
+            if l2_block is None:
+                l2_block, l2_victim = self.l2.insert(line, dirty=True)
+                if l2_victim is not None and l2_victim.dirty:
+                    self.dram.write(self.line_size)
+                    self.stats.add(f"{self.name}.l2_writebacks")
+            l2_block.dirty = True
+            self.stats.add(f"{self.name}.l1_writebacks")
+        else:
+            self.dram.write(self.line_size)
+            self.stats.add(f"{self.name}.l1_writebacks")
+
+    def flush(self) -> Tuple[int, int]:
+        """Write back every dirty line to DRAM; return ``(lines, dirty_lines)``.
+
+        Used when the OpenCL runtime makes CPU-written buffers visible to
+        the GPU: the coherent DMA path flushes the CPU caches so the GPU
+        reads up-to-date data from memory.
+        """
+        flushed = 0
+        dirty = 0
+        for cache in filter(None, (self.l1, self.l2)):
+            for block in cache.flush_all():
+                flushed += 1
+                if block.dirty:
+                    dirty += 1
+                    self.dram.write(self.line_size)
+        self.stats.add(f"{self.name}.flush_dirty_lines", dirty)
+        return flushed, dirty

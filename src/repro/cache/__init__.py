@@ -1,0 +1,29 @@
+"""Cache substrate: set-associative caches and replacement policies.
+
+Caches in this package are *tag stores with timing and bookkeeping*; the data
+itself always lives in :class:`~repro.memory.physical.PhysicalMemory`.  This
+is the standard structure for coherence studies — what matters for the
+evaluation is which lines are where and in which coherence state, not a
+duplicate copy of their bytes.
+"""
+
+from repro.cache.block import CacheBlock
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.replacement import (
+    LRUReplacement,
+    PseudoLRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+
+__all__ = [
+    "CacheBlock",
+    "CacheConfig",
+    "LRUReplacement",
+    "PseudoLRUReplacement",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "make_replacement_policy",
+]

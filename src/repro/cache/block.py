@@ -1,0 +1,30 @@
+"""Cache block (line) metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CacheBlock:
+    """Metadata for one cache line resident in a cache.
+
+    ``state`` is deliberately untyped at this layer: private caches store a
+    MOESI state from :mod:`repro.coherence.states`, while the non-coherent
+    caches used by the APU baseline store a simple valid/dirty pair.  The
+    cache itself only cares about presence and eviction.
+    """
+
+    line_address: int
+    state: Optional[object] = None
+    dirty: bool = False
+    #: Opaque owner tag, used by the shared L2 to remember which directory
+    #: entry this block belongs to (kept here to avoid a parallel dict).
+    owner_token: Optional[object] = None
+    #: Insertion timestamp (engine picoseconds) for debugging and ablation.
+    inserted_at_ps: int = field(default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheBlock({self.line_address:#x}, state={self.state}, "
+                f"dirty={self.dirty})")

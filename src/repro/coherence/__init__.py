@@ -1,0 +1,32 @@
+"""MOESI directory cache coherence.
+
+The paper's chip uses "a standard, unoptimized MOESI directory protocol in
+which the directory state is embedded in the L2 blocks" (Section 3.2.2), with
+an inclusive shared L2: an L2 miss implies no L1 holds the block, so it goes
+off chip.  The protocol here mirrors that design.  Transactions are atomic
+(the simulator steps one memory operation at a time), so transient states and
+races are not modelled; what is modelled exactly is the set of copies, the
+single-writer/multiple-reader invariant, every message/invalidation/writeback
+the protocol generates, and the latency of each transaction's critical path.
+"""
+
+from repro.coherence.states import MOESIState
+from repro.coherence.messages import MessageType
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.protocol import (
+    AccessResult,
+    AccessType,
+    CoherentMemorySystem,
+    L2Bank,
+)
+
+__all__ = [
+    "AccessResult",
+    "AccessType",
+    "CoherentMemorySystem",
+    "Directory",
+    "DirectoryEntry",
+    "L2Bank",
+    "MessageType",
+    "MOESIState",
+]

@@ -1,0 +1,139 @@
+"""Directory state embedded in the shared L2.
+
+Each L2 bank keeps one directory entry per line it tracks.  An entry records
+which private cache (if any) owns the line (holds it in M, O or E) and which
+caches share it (hold it in S).  The single-writer/multiple-reader invariant
+is enforced at this level: an *exclusive* owner excludes all sharers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Set
+
+from repro.errors import CoherenceError
+
+
+@dataclass
+class DirectoryEntry:
+    """Tracking state for one cache line.
+
+    ``owner`` is the node name of the private cache holding the line in an
+    ownership state (M, O or E), or ``None``.  ``owner_exclusive`` is True
+    when the owner's state is M or E (so no sharers may exist).  ``sharers``
+    are caches holding the line in S.
+    """
+
+    line_address: int
+    owner: Optional[str] = None
+    owner_exclusive: bool = False
+    sharers: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def has_copies(self) -> bool:
+        """True when any private cache holds the line."""
+        return self.owner is not None or bool(self.sharers)
+
+    def holders(self) -> Set[str]:
+        """Every private cache currently holding the line."""
+        result = set(self.sharers)
+        if self.owner is not None:
+            result.add(self.owner)
+        return result
+
+    def is_holder(self, node: str) -> bool:
+        """True when ``node`` holds the line in any valid state."""
+        return node == self.owner or node in self.sharers
+
+    # ------------------------------------------------------------------ #
+    # Mutation (validated)
+    # ------------------------------------------------------------------ #
+    def set_exclusive_owner(self, node: str) -> None:
+        """Record that ``node`` now holds the line in M or E, alone."""
+        self.owner = node
+        self.owner_exclusive = True
+        self.sharers.clear()
+
+    def set_shared_owner(self, node: str) -> None:
+        """Record that ``node`` holds the line in O (sharers may exist)."""
+        self.owner = node
+        self.owner_exclusive = False
+        self.sharers.discard(node)
+
+    def add_sharer(self, node: str) -> None:
+        """Record that ``node`` obtained a shared copy."""
+        if node == self.owner:
+            raise CoherenceError(
+                f"line {self.line_address:#x}: owner {node} cannot also be a sharer"
+            )
+        if self.owner is not None and self.owner_exclusive:
+            raise CoherenceError(
+                f"line {self.line_address:#x}: cannot add sharer {node} while "
+                f"{self.owner} holds the line exclusively"
+            )
+        self.sharers.add(node)
+
+    def remove(self, node: str) -> None:
+        """Forget ``node``'s copy (invalidation or eviction)."""
+        if node == self.owner:
+            self.owner = None
+            self.owner_exclusive = False
+        else:
+            self.sharers.discard(node)
+
+    def clear(self) -> None:
+        """Forget every copy (used when the L2 evicts the line)."""
+        self.owner = None
+        self.owner_exclusive = False
+        self.sharers.clear()
+
+    def check_invariant(self) -> None:
+        """Raise :class:`CoherenceError` if SWMR is violated at this entry."""
+        if self.owner is not None and self.owner in self.sharers:
+            raise CoherenceError(
+                f"line {self.line_address:#x}: owner {self.owner} listed as sharer"
+            )
+        if self.owner is not None and self.owner_exclusive and self.sharers:
+            raise CoherenceError(
+                f"line {self.line_address:#x}: exclusive owner {self.owner} "
+                f"coexists with sharers {sorted(self.sharers)}"
+            )
+
+
+class Directory:
+    """The per-bank collection of directory entries."""
+
+    def __init__(self, name: str = "directory") -> None:
+        self.name = name
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_address: int) -> DirectoryEntry:
+        """Return (creating if needed) the entry for ``line_address``."""
+        entry = self._entries.get(line_address)
+        if entry is None:
+            entry = DirectoryEntry(line_address=line_address)
+            self._entries[line_address] = entry
+        return entry
+
+    def peek(self, line_address: int) -> Optional[DirectoryEntry]:
+        """Return the entry for ``line_address`` if it exists."""
+        return self._entries.get(line_address)
+
+    def drop(self, line_address: int) -> None:
+        """Remove the entry for ``line_address`` (after an L2 eviction)."""
+        self._entries.pop(line_address, None)
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        """Iterate over every tracked entry."""
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def check_invariants(self) -> None:
+        """Check SWMR at every entry."""
+        for entry in self._entries.values():
+            entry.check_invariant()

@@ -1,0 +1,64 @@
+"""MOESI coherence states for private (L1) caches."""
+
+from __future__ import annotations
+
+import enum
+
+
+class MOESIState(enum.Enum):
+    """The five stable states of the MOESI protocol [Sweazey & Smith 1986].
+
+    * ``MODIFIED``:  this cache has the only copy and it is dirty.
+    * ``OWNED``:     this cache has a dirty copy but other caches may hold
+      shared (clean) copies; this cache is responsible for supplying data.
+    * ``EXCLUSIVE``: this cache has the only copy and it is clean.
+    * ``SHARED``:    this cache has a clean copy; others may too.
+    * ``INVALID``:   no valid copy.
+    """
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    # ------------------------------------------------------------------ #
+    # Permission helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def can_read(self) -> bool:
+        """True when a load may be satisfied locally in this state."""
+        return self is not MOESIState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        """True when a store may be performed locally *without* a request.
+
+        A store in EXCLUSIVE silently upgrades to MODIFIED; a store in
+        OWNED or SHARED needs an upgrade request to invalidate other copies.
+        """
+        return self in (MOESIState.MODIFIED, MOESIState.EXCLUSIVE)
+
+    @property
+    def is_ownership(self) -> bool:
+        """True when this cache is responsible for the line's data."""
+        return self in (MOESIState.MODIFIED, MOESIState.OWNED, MOESIState.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when the copy differs (or may differ) from memory."""
+        return self in (MOESIState.MODIFIED, MOESIState.OWNED)
+
+    @property
+    def is_exclusive(self) -> bool:
+        """True when no other cache may hold a valid copy."""
+        return self in (MOESIState.MODIFIED, MOESIState.EXCLUSIVE)
+
+    def after_local_store(self) -> "MOESIState":
+        """State after a store that hit locally with write permission."""
+        if not self.can_write:
+            raise ValueError(f"cannot store locally from state {self.name}")
+        return MOESIState.MODIFIED
+
+    def __str__(self) -> str:
+        return self.value

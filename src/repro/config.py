@@ -1,0 +1,291 @@
+"""System configurations, including the two systems of Table 2.
+
+Two presets mirror the paper's Table 2:
+
+* :func:`ccsvm_system` — the simulated CCSVM chip: 4 in-order x86 CPU cores
+  (2.9 GHz, max IPC 0.5), 10 MTTOP cores (600 MHz, 8-wide, 128 thread
+  contexts), per-core 64 KiB / 16 KiB L1s and 64-entry TLBs, a shared
+  inclusive 4 MiB L2 in four banks with an embedded directory, a 2D torus
+  with 12 GB/s links and 2 GiB of DRAM at 100 ns.
+* :func:`amd_apu_system` — the AMD A8-3850 "Llano" APU: 4 out-of-order CPU
+  cores (max IPC 4) with private 1 MiB L2s, a Radeon GPU with 5 SIMD units of
+  16 VLIW lanes, 8 GiB DDR3 at 72 ns, plus the OpenCL runtime cost structure
+  (compilation, initialisation, buffer DMA, per-launch driver overhead).
+
+Smaller variants (:func:`small_ccsvm_system`) keep the same structure with
+fewer cores and smaller caches so unit tests run quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+# --------------------------------------------------------------------------- #
+# CCSVM chip configuration
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CPUCoreConfig:
+    """Configuration of the CCSVM chip's CPU cores."""
+
+    count: int = 4
+    frequency_ghz: float = 2.9
+    max_ipc: float = 0.5
+    l1_size_bytes: int = 64 * KB
+    l1_associativity: int = 4
+    l1_hit_cycles: int = 2
+    tlb_entries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or self.max_ipc <= 0:
+            raise ConfigurationError("CPU core count and IPC must be positive")
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        """Average issue cost of one instruction in cycles (1 / max IPC)."""
+        return 1.0 / self.max_ipc
+
+
+@dataclass(frozen=True)
+class MTTOPCoreConfig:
+    """Configuration of the CCSVM chip's MTTOP (GPU-like) cores."""
+
+    count: int = 10
+    frequency_mhz: float = 600.0
+    simd_width: int = 8
+    thread_contexts: int = 128
+    l1_size_bytes: int = 16 * KB
+    l1_associativity: int = 4
+    l1_hit_cycles: int = 1
+    tlb_entries: int = 64
+    #: L1 write policy; the paper assumes write-back caches (Section 3.2.2)
+    #: and discusses write-through as an open challenge (Section 6.1).
+    write_through: bool = False
+
+    def __post_init__(self) -> None:
+        if self.simd_width <= 0 or self.thread_contexts <= 0:
+            raise ConfigurationError("MTTOP SIMD width and contexts must be positive")
+        if self.thread_contexts % self.simd_width != 0:
+            raise ConfigurationError("thread contexts must be a multiple of the SIMD width")
+
+    @property
+    def total_thread_contexts(self) -> int:
+        """Thread contexts across all MTTOP cores."""
+        return self.count * self.thread_contexts
+
+    @property
+    def max_operations_per_cycle(self) -> int:
+        """Chip-wide peak MTTOP operations per cycle (80 in Table 2)."""
+        return self.count * self.simd_width
+
+
+@dataclass(frozen=True)
+class SharedL2Config:
+    """Configuration of the shared, inclusive, banked L2 with its directory."""
+
+    total_size_bytes: int = 4 * MB
+    banks: int = 4
+    associativity: int = 16
+    hit_latency_cpu_cycles: int = 10
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0 or self.total_size_bytes % self.banks != 0:
+            raise ConfigurationError("L2 size must divide evenly across banks")
+
+    @property
+    def bank_size_bytes(self) -> int:
+        """Capacity of each bank."""
+        return self.total_size_bytes // self.banks
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Off-chip memory configuration."""
+
+    size_bytes: int = 2 * GB
+    latency_ns: float = 100.0
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """On-chip network configuration (2D torus for the CCSVM chip)."""
+
+    link_bandwidth_gbps: float = 12.0
+    hop_latency_ns: float = 1.0
+
+
+@dataclass(frozen=True)
+class CCSVMSystemConfig:
+    """The full simulated CCSVM system (left column of Table 2)."""
+
+    name: str = "ccsvm"
+    cpu: CPUCoreConfig = field(default_factory=CPUCoreConfig)
+    mttop: MTTOPCoreConfig = field(default_factory=MTTOPCoreConfig)
+    l2: SharedL2Config = field(default_factory=SharedL2Config)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    #: Cost (ns) of the write syscall used to hand a task to the MIFD.
+    mifd_syscall_ns: float = 1_000.0
+    #: MIFD processing cost per task chunk assignment.
+    mifd_dispatch_ns: float = 200.0
+    #: Polling interval used by spin-wait synchronisation primitives.
+    spin_poll_ns: float = 200.0
+
+    @property
+    def total_cores(self) -> int:
+        """CPU plus MTTOP core count."""
+        return self.cpu.count + self.mttop.count
+
+
+# --------------------------------------------------------------------------- #
+# AMD APU (baseline) configuration
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class APUCPUConfig:
+    """The APU's out-of-order x86 cores (right column of Table 2)."""
+
+    count: int = 4
+    frequency_ghz: float = 2.9
+    max_ipc: float = 4.0
+    l1_size_bytes: int = 64 * KB
+    l1_associativity: int = 4
+    l1_hit_ns: float = 1.0
+    l2_size_bytes: int = 1 * MB
+    l2_associativity: int = 16
+    l2_hit_ns: float = 3.6
+    tlb_entries: int = 1024
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        """Average issue cost of one instruction in cycles (1 / max IPC)."""
+        return 1.0 / self.max_ipc
+
+
+@dataclass(frozen=True)
+class APUGPUConfig:
+    """The APU's Radeon GPU: 5 SIMD units of 16 VLIW lanes at 600 MHz."""
+
+    simd_units: int = 5
+    vliw_lanes: int = 16
+    frequency_mhz: float = 600.0
+    #: Average operations packed per VLIW instruction (1 = worst, 4 = best).
+    #: Table 2: at full VLIW utilisation the APU GPU has 4x the throughput of
+    #: the simulated MTTOP; at minimum utilisation they are equal.
+    vliw_utilization: float = 2.0
+    local_memory_bytes: int = 32 * KB
+    #: Number of consecutive word accesses the GPU can coalesce into one
+    #: DRAM transaction (the APU's GPU, unlike its CPU, coalesces strided
+    #: accesses — Section 5.1 of the paper).
+    coalesce_width: int = 8
+
+    @property
+    def max_operations_per_cycle(self) -> float:
+        """Peak operations per cycle across the GPU."""
+        return self.simd_units * self.vliw_lanes * self.vliw_utilization
+
+    @property
+    def lanes(self) -> int:
+        """Total scalar lanes (SIMD units x VLIW lanes)."""
+        return self.simd_units * self.vliw_lanes
+
+
+@dataclass(frozen=True)
+class OpenCLRuntimeConfig:
+    """Cost structure of the OpenCL runtime used on the APU.
+
+    The paper reports APU results both with and without "compilation and
+    OpenCL initialization code", so those two components are separately
+    configurable.  The remaining costs model the per-launch driver work and
+    the DMA transfers between the CPU and GPU virtual address spaces.
+    """
+
+    compile_time_ms: float = 150.0
+    init_time_ms: float = 40.0
+    buffer_create_us: float = 20.0
+    map_unmap_us: float = 8.0
+    kernel_launch_us: float = 30.0
+    kernel_finish_us: float = 15.0
+    dma_setup_us: float = 5.0
+    dma_bandwidth_gbps: float = 8.0
+    #: The Fusion Control Link provides coherent CPU<->GPU communication at
+    #: reduced bandwidth (Section 2.3).
+    fcl_bandwidth_gbps: float = 2.0
+    fcl_latency_ns: float = 300.0
+    #: Off-chip traffic generated by the runtime itself (JIT compilation,
+    #: context creation, per-launch driver/command-queue work).  The paper
+    #: measures the APU with hardware performance counters over the whole
+    #: program, so this traffic is part of its Figure 9 numbers.
+    compile_dram_kb: int = 2048
+    init_dram_kb: int = 512
+    launch_dram_kb: int = 48
+
+
+@dataclass(frozen=True)
+class APUSystemConfig:
+    """The AMD A8-3850 Llano APU baseline (right column of Table 2)."""
+
+    name: str = "amd_apu"
+    cpu: APUCPUConfig = field(default_factory=APUCPUConfig)
+    gpu: APUGPUConfig = field(default_factory=APUGPUConfig)
+    opencl: OpenCLRuntimeConfig = field(default_factory=OpenCLRuntimeConfig)
+    dram: DRAMConfig = field(default_factory=lambda: DRAMConfig(size_bytes=8 * GB,
+                                                                latency_ns=72.0))
+    #: pthreads thread create/join overhead for the multi-threaded CPU runs.
+    pthread_spawn_us: float = 12.0
+    pthread_join_us: float = 6.0
+    pthread_barrier_us: float = 3.0
+
+
+# --------------------------------------------------------------------------- #
+# Presets
+# --------------------------------------------------------------------------- #
+def ccsvm_system() -> CCSVMSystemConfig:
+    """The simulated CCSVM system exactly as configured in Table 2."""
+    return CCSVMSystemConfig()
+
+
+def amd_apu_system() -> APUSystemConfig:
+    """The AMD A8-3850 APU baseline exactly as configured in Table 2."""
+    return APUSystemConfig()
+
+
+def small_ccsvm_system(cpu_cores: int = 1, mttop_cores: int = 2,
+                       thread_contexts: int = 32) -> CCSVMSystemConfig:
+    """A scaled-down CCSVM chip for fast unit tests.
+
+    The structure (coherence protocol, torus, MIFD, xthreads) is identical;
+    only core counts and cache sizes shrink so tests exercising the full
+    stack finish in milliseconds.
+    """
+    base = ccsvm_system()
+    return replace(
+        base,
+        name="ccsvm_small",
+        cpu=replace(base.cpu, count=cpu_cores, l1_size_bytes=8 * KB),
+        mttop=replace(base.mttop, count=mttop_cores, thread_contexts=thread_contexts,
+                      l1_size_bytes=4 * KB),
+        l2=replace(base.l2, total_size_bytes=256 * KB, banks=2),
+        dram=replace(base.dram, size_bytes=64 * MB),
+    )
+
+
+def tiny_caches_ccsvm_system() -> CCSVMSystemConfig:
+    """A CCSVM chip with deliberately tiny caches to force evictions.
+
+    Used by tests that need to exercise L1/L2 capacity evictions, inclusive
+    back-invalidation and writeback paths without huge footprints.
+    """
+    base = small_ccsvm_system()
+    return replace(
+        base,
+        name="ccsvm_tiny_caches",
+        cpu=replace(base.cpu, l1_size_bytes=1 * KB),
+        mttop=replace(base.mttop, l1_size_bytes=1 * KB),
+        l2=replace(base.l2, total_size_bytes=8 * KB, banks=2),
+    )

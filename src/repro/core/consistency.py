@@ -1,0 +1,138 @@
+"""Sequential-consistency checking.
+
+The CCSVM chip provides sequential consistency (Section 3.2.3): all loads and
+stores appear to execute in a single total order that respects each thread's
+program order, and every load returns the value of the most recent store to
+the same address in that order.
+
+The simulator produces such a total order by construction (the engine steps
+one memory operation at a time, in global time order), but "by construction"
+claims deserve a checker: this module records the observed order and verifies
+both value correctness and per-node program-order monotonicity.  It is
+enabled in tests and available to users via ``CCSVMChip(..., check_sc=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConsistencyViolationError
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One load or store in the observed global order."""
+
+    index: int
+    node: str
+    is_store: bool
+    paddr: int
+    value: int
+    time_ps: int
+
+
+@dataclass
+class SequentialConsistencyChecker:
+    """Records the global memory order and checks SC invariants on the fly.
+
+    Parameters
+    ----------
+    keep_history:
+        When True the full event list is retained (useful for debugging and
+        for tests that inspect the order); otherwise only the per-address
+        last-written value and per-node last timestamp are kept, so the
+        checker can run over arbitrarily long executions.
+    """
+
+    keep_history: bool = False
+    _last_value: Dict[int, int] = field(default_factory=dict)
+    _last_writer: Dict[int, str] = field(default_factory=dict)
+    _last_time_by_node: Dict[int, int] = field(default_factory=dict, repr=False)
+    _node_times: Dict[str, int] = field(default_factory=dict)
+    _events: List[MemoryEvent] = field(default_factory=list)
+    _count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _record(self, node: str, is_store: bool, paddr: int, value: int,
+                time_ps: int) -> None:
+        previous = self._node_times.get(node)
+        if previous is not None and time_ps < previous:
+            raise ConsistencyViolationError(
+                f"program order violated at {node}: operation at {time_ps} ps "
+                f"recorded after one at {previous} ps"
+            )
+        self._node_times[node] = time_ps
+        if self.keep_history:
+            self._events.append(MemoryEvent(index=self._count, node=node,
+                                            is_store=is_store, paddr=paddr,
+                                            value=value, time_ps=time_ps))
+        self._count += 1
+
+    def record_store(self, node: str, paddr: int, value: int, time_ps: int) -> None:
+        """Record a store by ``node`` in the global order."""
+        self._record(node, True, paddr, value, time_ps)
+        self._last_value[paddr] = value
+        self._last_writer[paddr] = node
+
+    def record_load(self, node: str, paddr: int, value: int, time_ps: int) -> None:
+        """Record a load and verify it returns the most recent store's value."""
+        self._record(node, False, paddr, value, time_ps)
+        expected = self._last_value.get(paddr, 0)
+        if value != expected:
+            writer = self._last_writer.get(paddr, "<initial zero>")
+            raise ConsistencyViolationError(
+                f"load by {node} of {paddr:#x} returned {value}, but the most "
+                f"recent store (by {writer}) wrote {expected}"
+            )
+
+    def record_atomic(self, node: str, paddr: int, old_value: int,
+                      new_value: int, time_ps: int) -> None:
+        """Record an atomic read-modify-write (a load and a store at one point)."""
+        self.record_load(node, paddr, old_value, time_ps)
+        self.record_store(node, paddr, new_value, time_ps)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def events_recorded(self) -> int:
+        """Total number of loads and stores recorded."""
+        return self._count
+
+    @property
+    def history(self) -> List[MemoryEvent]:
+        """The recorded events (empty unless ``keep_history`` is set)."""
+        return list(self._events)
+
+    def last_value(self, paddr: int) -> Optional[int]:
+        """The most recently stored value at ``paddr`` (None if never stored)."""
+        return self._last_value.get(paddr)
+
+    def verify_total_order(self) -> None:
+        """Re-verify the retained history end to end (requires history).
+
+        Replays every event: checks per-node program order and that each
+        load observes the latest preceding store.  Raises
+        :class:`ConsistencyViolationError` on the first violation.
+        """
+        values: Dict[int, int] = {}
+        node_times: Dict[str, int] = {}
+        for event in self._events:
+            previous = node_times.get(event.node)
+            if previous is not None and event.time_ps < previous:
+                raise ConsistencyViolationError(
+                    f"history: program order violated at {event.node}"
+                )
+            node_times[event.node] = event.time_ps
+            if event.is_store:
+                values[event.paddr] = event.value
+            else:
+                expected = values.get(event.paddr, 0)
+                if event.value != expected:
+                    raise ConsistencyViolationError(
+                        f"history: load #{event.index} by {event.node} saw "
+                        f"{event.value}, expected {expected}"
+                    )

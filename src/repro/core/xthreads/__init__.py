@@ -1,0 +1,50 @@
+"""The xthreads programming model (Section 4 of the paper).
+
+xthreads extends pthreads so a CPU thread can spawn threads on the MTTOP
+cores, synchronise with them through shared memory, and let MTTOP threads
+dynamically allocate memory.  The pieces are:
+
+* :mod:`repro.core.xthreads.api` — the operations host programs and kernels
+  use (``create_mthread``, ``wait``, ``signal``, ``cpu_mttop_barrier``,
+  ``mttop_malloc`` and the MTTOP-side helpers of Table 1);
+* :mod:`repro.core.xthreads.toolchain` — the compilation model that turns
+  kernels into pseudo program counters embedded in the process image;
+* :mod:`repro.core.xthreads.runtime` — the runtime library that services
+  those operations on the simulated chip (write syscalls to the MIFD,
+  spin-wait synchronisation over coherent shared memory, CPU-serviced
+  ``mttop_malloc``).
+"""
+
+from repro.core.xthreads.api import (
+    READY,
+    WAITING_ON_CPU,
+    WAITING_ON_MTTOP,
+    CpuMttopBarrier,
+    CreateMThread,
+    SignalCond,
+    WaitCond,
+    cond_entry,
+    mttop_barrier,
+    mttop_signal,
+    mttop_wait,
+)
+from repro.core.xthreads.runtime import XThreadsRuntime
+from repro.core.xthreads.toolchain import CompiledProcess, XThreadsKernel, XThreadsToolchain
+
+__all__ = [
+    "CompiledProcess",
+    "CpuMttopBarrier",
+    "CreateMThread",
+    "READY",
+    "SignalCond",
+    "WAITING_ON_CPU",
+    "WAITING_ON_MTTOP",
+    "WaitCond",
+    "XThreadsKernel",
+    "XThreadsRuntime",
+    "XThreadsToolchain",
+    "cond_entry",
+    "mttop_barrier",
+    "mttop_signal",
+    "mttop_wait",
+]

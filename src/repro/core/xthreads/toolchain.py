@@ -1,0 +1,137 @@
+"""The xthreads compilation model (Section 4.2, Figure 2).
+
+The real toolchain splits an xthreads source file into CPU code and MTTOP
+code, compiles each for its target ISA, and embeds the MTTOP binary in the
+text segment of the CPU executable so a task launch only needs a program
+counter.  Here "compilation" means validating that each kernel is a
+generator function of the right shape and assigning it a pseudo program
+counter inside a :class:`CompiledProcess`; the MIFD task descriptor then
+carries that PC exactly as the paper's write syscall does, and the MTTOP
+core "fetches" the kernel by PC from the process image.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import KernelProgramError
+
+#: Pseudo address of the first kernel in the embedded MTTOP text segment.
+MTTOP_TEXT_BASE = 0x0040_0000
+
+#: Pseudo size reserved per compiled kernel (spacing of program counters).
+KERNEL_SLOT_BYTES = 0x1000
+
+
+@dataclass(frozen=True)
+class XThreadsKernel:
+    """One compiled MTTOP kernel: a generator function plus its pseudo PC."""
+
+    name: str
+    function: Callable[..., object]
+    program_counter: int
+
+
+@dataclass
+class CompiledProcess:
+    """A compiled xthreads process image.
+
+    Holds the host entry point (a generator function run on a CPU core) and
+    the MTTOP kernels embedded in the process's text segment, addressable by
+    pseudo program counter.
+    """
+
+    name: str
+    host_entry: Optional[Callable[..., object]] = None
+    kernels: List[XThreadsKernel] = field(default_factory=list)
+    _by_function: Dict[Callable[..., object], XThreadsKernel] = field(default_factory=dict)
+    _by_pc: Dict[int, XThreadsKernel] = field(default_factory=dict)
+
+    def kernel_for(self, function: Callable[..., object]) -> XThreadsKernel:
+        """Look up the compiled form of ``function``."""
+        try:
+            return self._by_function[function]
+        except KeyError:
+            raise KernelProgramError(
+                f"kernel {getattr(function, '__name__', function)!r} was not "
+                f"compiled into process {self.name!r}"
+            ) from None
+
+    def kernel_at(self, program_counter: int) -> XThreadsKernel:
+        """Look up a kernel by its pseudo program counter."""
+        try:
+            return self._by_pc[program_counter]
+        except KeyError:
+            raise KernelProgramError(
+                f"no kernel at program counter {program_counter:#x} in process "
+                f"{self.name!r}"
+            ) from None
+
+    def text_segment(self) -> List[int]:
+        """Program counters of every embedded kernel, in layout order."""
+        return [kernel.program_counter for kernel in self.kernels]
+
+
+class XThreadsToolchain:
+    """Compiles host entry points and MTTOP kernels into a process image."""
+
+    def __init__(self) -> None:
+        self._compiled_processes: List[CompiledProcess] = []
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _require_generator_function(function: Callable[..., object], role: str) -> None:
+        if not inspect.isgeneratorfunction(function):
+            raise KernelProgramError(
+                f"{role} {getattr(function, '__name__', function)!r} must be a "
+                "generator function (it yields Operations)"
+            )
+
+    @staticmethod
+    def _require_kernel_signature(function: Callable[..., object]) -> None:
+        parameters = list(inspect.signature(function).parameters)
+        if len(parameters) != 2:
+            raise KernelProgramError(
+                f"MTTOP kernel {function.__name__!r} must take exactly two "
+                f"parameters (tid, args); it takes {parameters}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile_process(self, name: str,
+                        host_entry: Optional[Callable[..., object]] = None,
+                        kernels: Optional[List[Callable[..., object]]] = None) -> CompiledProcess:
+        """Compile a host entry point and its kernels into a process image."""
+        if host_entry is not None:
+            self._require_generator_function(host_entry, "host entry point")
+        process = CompiledProcess(name=name, host_entry=host_entry)
+        for kernel_fn in kernels or []:
+            self.add_kernel(process, kernel_fn)
+        self._compiled_processes.append(process)
+        return process
+
+    def add_kernel(self, process: CompiledProcess,
+                   function: Callable[..., object]) -> XThreadsKernel:
+        """Compile one kernel into ``process`` (idempotent per function)."""
+        existing = process._by_function.get(function)
+        if existing is not None:
+            return existing
+        self._require_generator_function(function, "MTTOP kernel")
+        self._require_kernel_signature(function)
+        program_counter = MTTOP_TEXT_BASE + len(process.kernels) * KERNEL_SLOT_BYTES
+        kernel = XThreadsKernel(name=function.__name__, function=function,
+                                program_counter=program_counter)
+        process.kernels.append(kernel)
+        process._by_function[function] = kernel
+        process._by_pc[program_counter] = kernel
+        return kernel
+
+    @property
+    def compiled_processes(self) -> List[CompiledProcess]:
+        """Every process image this toolchain has produced."""
+        return list(self._compiled_processes)

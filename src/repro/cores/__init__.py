@@ -1,0 +1,46 @@
+"""Core models: in-order CPU cores and SIMT MTTOP cores.
+
+Both core types execute *thread programs*: Python generators that yield
+operations from :mod:`repro.cores.isa` (loads, stores, atomics, compute,
+spin-waits, allocation and runtime calls).  The core models interpret those
+operations against the chip's memory system and charge time according to the
+core's clock and issue width, which is the level of detail the paper's
+evaluation needs — it explicitly factors out pipeline details and focuses on
+the memory system and communication (Section 5).
+"""
+
+from repro.cores.isa import (
+    AtomicAdd,
+    AtomicCAS,
+    AtomicDec,
+    AtomicInc,
+    Compute,
+    Free,
+    Load,
+    Malloc,
+    Operation,
+    Store,
+    WaitValue,
+)
+from repro.cores.interpreter import OpOutcome, ThreadContext
+from repro.cores.cpu import CPUCore
+from repro.cores.mttop import MTTOPCore, Warp
+
+__all__ = [
+    "AtomicAdd",
+    "AtomicCAS",
+    "AtomicDec",
+    "AtomicInc",
+    "CPUCore",
+    "Compute",
+    "Free",
+    "Load",
+    "MTTOPCore",
+    "Malloc",
+    "OpOutcome",
+    "Operation",
+    "Store",
+    "ThreadContext",
+    "WaitValue",
+    "Warp",
+]

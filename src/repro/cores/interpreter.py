@@ -1,0 +1,133 @@
+"""Shared machinery for executing thread programs on a core.
+
+Both core models (CPU and MTTOP) drive thread programs the same way: resume
+the generator, get an operation, execute it against the core's memory port,
+and send the result back in.  The only differences between core types are
+issue cost, how many lanes execute together, and which runtime handles the
+non-memory operations — so everything else lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.cores.isa import (
+    AtomicAdd,
+    AtomicCAS,
+    AtomicDec,
+    AtomicInc,
+    Load,
+    Operation,
+    Store,
+    WaitValue,
+)
+from repro.errors import KernelProgramError
+
+#: A thread program: a generator yielding operations and receiving results.
+ThreadProgram = Generator[Operation, object, None]
+
+
+@dataclass
+class OpOutcome:
+    """Result of executing (or attempting) one operation.
+
+    ``retry`` means the operation did not complete (a spin-wait whose
+    condition is not yet true) and must be re-executed on the lane's next
+    turn; the latency charged covers the poll that was performed.
+    """
+
+    latency_ps: int = 0
+    value: object = None
+    retry: bool = False
+
+
+@dataclass
+class ThreadContext:
+    """Execution state of one software thread (one SIMT lane or CPU thread)."""
+
+    tid: int
+    program: ThreadProgram
+    finished: bool = False
+    #: Operation to retry before pulling the next one from the generator.
+    pending_op: Optional[Operation] = None
+    #: Value to send into the generator on the next resume.
+    next_send: object = None
+    #: Count of operations this thread has completed (for tests/stats).
+    operations_executed: int = field(default=0)
+
+    def next_operation(self) -> Optional[Operation]:
+        """Return the operation this thread should execute next.
+
+        Returns the pending (retried) operation if there is one, otherwise
+        resumes the generator.  Returns ``None`` when the program is done.
+        """
+        if self.finished:
+            return None
+        if self.pending_op is not None:
+            return self.pending_op
+        try:
+            operation = self.program.send(self.next_send)
+        except StopIteration:
+            self.finished = True
+            return None
+        self.next_send = None
+        if not isinstance(operation, Operation):
+            raise KernelProgramError(
+                f"thread {self.tid} yielded {operation!r}, which is not an Operation"
+            )
+        return operation
+
+    def complete(self, operation: Operation, outcome: OpOutcome) -> None:
+        """Record the outcome of ``operation`` (retry or completion)."""
+        if outcome.retry:
+            self.pending_op = operation
+            return
+        self.pending_op = None
+        self.next_send = outcome.value
+        self.operations_executed += 1
+
+
+#: Handler for operations the core itself does not know how to execute
+#: (allocation, task creation, CPU/MTTOP synchronisation primitives, ...).
+#: Receives the issuing core, the lane and the operation.
+RuntimeHandler = Callable[[object, ThreadContext, Operation], OpOutcome]
+
+
+def execute_memory_operation(operation: Operation, memory_port,
+                             spin_poll_ps: int) -> Optional[OpOutcome]:
+    """Execute ``operation`` if it is a plain memory operation.
+
+    Returns ``None`` for operations this function does not handle (compute
+    and runtime operations), so the calling core can deal with them.  The
+    ``memory_port`` must provide ``load``, ``store``, ``atomic_add`` and
+    ``atomic_cas`` methods that return ``(value, latency_ps)`` /
+    ``latency_ps`` pairs — see :class:`repro.core.access.CoreMemoryPort`.
+    """
+    if isinstance(operation, Load):
+        value, latency = memory_port.load(operation.vaddr)
+        return OpOutcome(latency_ps=latency, value=value)
+    if isinstance(operation, Store):
+        latency = memory_port.store(operation.vaddr, operation.value)
+        return OpOutcome(latency_ps=latency)
+    if isinstance(operation, AtomicAdd):
+        old, latency = memory_port.atomic_add(operation.vaddr, operation.delta)
+        return OpOutcome(latency_ps=latency, value=old)
+    if isinstance(operation, AtomicInc):
+        old, latency = memory_port.atomic_add(operation.vaddr, 1)
+        return OpOutcome(latency_ps=latency, value=old)
+    if isinstance(operation, AtomicDec):
+        old, latency = memory_port.atomic_add(operation.vaddr, -1)
+        return OpOutcome(latency_ps=latency, value=old)
+    if isinstance(operation, AtomicCAS):
+        old, latency = memory_port.atomic_cas(operation.vaddr, operation.expected,
+                                              operation.new)
+        return OpOutcome(latency_ps=latency, value=old)
+    if isinstance(operation, WaitValue):
+        value, latency = memory_port.load(operation.vaddr)
+        satisfied = (value != operation.value) if operation.negate \
+            else (value == operation.value)
+        if satisfied:
+            return OpOutcome(latency_ps=latency, value=value)
+        return OpOutcome(latency_ps=latency + spin_poll_ps, retry=True)
+    return None

@@ -1,0 +1,186 @@
+"""SIMT MTTOP (GPU-like) core model.
+
+Each MTTOP core of the CCSVM chip (Table 2) runs at 600 MHz, holds 128
+hardware thread contexts and issues 8 threads simultaneously — one warp (in
+NVIDIA terms) or wavefront (AMD terms) per cycle.  The model executes warps
+in lockstep: every step, the next ready warp executes one operation per
+unfinished lane; the warp's latency is one issue cycle plus the slowest
+lane's memory latency (lanes access memory in parallel).
+
+A core with no assigned warps *blocks* rather than finishes, because the
+MIFD may assign it more tasks later; the chip requests a halt once the host
+process has completed, at which point idle cores finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cores.interpreter import (
+    OpOutcome,
+    RuntimeHandler,
+    ThreadContext,
+    execute_memory_operation,
+)
+from repro.cores.isa import Compute
+from repro.errors import KernelProgramError, MIFDError
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Agent, StepOutcome
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class Warp:
+    """A SIMD-width chunk of threads executing in lockstep on one core."""
+
+    warp_id: int
+    lanes: List[ThreadContext] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        """True when every lane's program has completed."""
+        return all(lane.finished for lane in self.lanes)
+
+    @property
+    def active_lanes(self) -> List[ThreadContext]:
+        """Lanes that still have work."""
+        return [lane for lane in self.lanes if not lane.finished]
+
+
+class MTTOPCore(Agent):
+    """One massively-threaded throughput-oriented core."""
+
+    def __init__(self, name: str, clock: ClockDomain, simd_width: int,
+                 thread_contexts: int, memory_port,
+                 runtime_handler: Optional[RuntimeHandler] = None,
+                 stats: Optional[StatsRegistry] = None,
+                 spin_poll_ps: int = 200_000) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.simd_width = simd_width
+        self.thread_contexts = thread_contexts
+        self.memory_port = memory_port
+        self.runtime_handler = runtime_handler
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.spin_poll_ps = spin_poll_ps
+        self._issue_ps = clock.period_ps
+        self._warps: List[Warp] = []
+        self._next_warp_index = 0
+        self._next_warp_id = 0
+        self._contexts_in_use = 0
+        self._halt_requested = False
+        # New cores have nothing to run; they must not stall the engine.
+        self.blocked = True
+
+    # ------------------------------------------------------------------ #
+    # Task assignment (called by the MIFD)
+    # ------------------------------------------------------------------ #
+    @property
+    def free_contexts(self) -> int:
+        """Number of hardware thread contexts currently unassigned."""
+        return self.thread_contexts - self._contexts_in_use
+
+    @property
+    def busy_contexts(self) -> int:
+        """Number of hardware thread contexts currently assigned."""
+        return self._contexts_in_use
+
+    def assign_warp(self, lanes: List[ThreadContext], at_time_ps: int) -> Warp:
+        """Install a SIMD-width chunk of threads as a new warp.
+
+        The MIFD calls this after checking :attr:`free_contexts`; assigning
+        more lanes than fit raises :class:`MIFDError`.
+        """
+        if not lanes:
+            raise MIFDError(f"{self.name}: cannot assign an empty warp")
+        if len(lanes) > self.simd_width:
+            raise MIFDError(
+                f"{self.name}: warp of {len(lanes)} lanes exceeds SIMD width "
+                f"{self.simd_width}"
+            )
+        if len(lanes) > self.free_contexts:
+            raise MIFDError(f"{self.name}: not enough free thread contexts")
+        warp = Warp(warp_id=self._next_warp_id, lanes=list(lanes))
+        self._next_warp_id += 1
+        self._warps.append(warp)
+        self._contexts_in_use += len(lanes)
+        self.stats.add(f"{self.name}.warps_assigned")
+        self.finished = False
+        self.wake(at_time_ps)
+        return warp
+
+    def request_halt(self, at_time_ps: int) -> None:
+        """Ask the core to finish once it has no more warps to run."""
+        self._halt_requested = True
+        if self.blocked:
+            self.wake(at_time_ps)
+
+    # ------------------------------------------------------------------ #
+    # Agent protocol
+    # ------------------------------------------------------------------ #
+    def _select_warp(self) -> Optional[Warp]:
+        if not self._warps:
+            return None
+        count = len(self._warps)
+        for offset in range(count):
+            index = (self._next_warp_index + offset) % count
+            warp = self._warps[index]
+            if not warp.finished:
+                self._next_warp_index = (index + 1) % count
+                return warp
+        return None
+
+    def _retire_finished_warps(self) -> None:
+        finished = [warp for warp in self._warps if warp.finished]
+        for warp in finished:
+            self._contexts_in_use -= len(warp.lanes)
+            self._warps.remove(warp)
+            self.stats.add(f"{self.name}.warps_retired")
+        if self._next_warp_index >= max(1, len(self._warps)):
+            self._next_warp_index = 0
+
+    def step(self) -> StepOutcome:
+        self._retire_finished_warps()
+        warp = self._select_warp()
+        if warp is None:
+            if self._halt_requested:
+                return self.finish()
+            return self.block()
+
+        worst_latency = 0
+        for lane in warp.active_lanes:
+            operation = lane.next_operation()
+            if operation is None:
+                continue
+            outcome = self._execute(lane, operation)
+            lane.complete(operation, outcome)
+            worst_latency = max(worst_latency, outcome.latency_ps)
+            self.stats.add(f"{self.name}.lane_instructions")
+
+        self.advance(self._issue_ps + worst_latency)
+        self.stats.add(f"{self.name}.warp_instructions")
+        self._retire_finished_warps()
+        return StepOutcome.RAN
+
+    # ------------------------------------------------------------------ #
+    # Operation execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, lane: ThreadContext, operation) -> OpOutcome:
+        if hasattr(self.memory_port, "current_time_ps"):
+            self.memory_port.current_time_ps = self.local_time_ps
+        if isinstance(operation, Compute):
+            # One operation per lane per cycle; lanes run in parallel, so a
+            # Compute(n) costs n extra cycles for this lane.
+            return OpOutcome(latency_ps=self._issue_ps * max(0, operation.amount - 1))
+
+        memory_outcome = execute_memory_operation(operation, self.memory_port,
+                                                  self.spin_poll_ps)
+        if memory_outcome is not None:
+            return memory_outcome
+
+        if self.runtime_handler is None:
+            raise KernelProgramError(
+                f"{self.name} has no runtime handler for operation {operation!r}"
+            )
+        return self.runtime_handler(self, lane, operation)

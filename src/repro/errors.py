@@ -1,0 +1,112 @@
+"""Exception hierarchy for the repro simulator.
+
+Every error raised by the package derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses are used by the
+memory system, the virtual-memory subsystem, the coherence protocol, the MIFD
+and the runtimes, both to make failures easy to diagnose and to give tests a
+precise target to assert on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration is internally inconsistent or unsupported."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly or reached a bad state."""
+
+
+class MemoryError_(ReproError):
+    """Base class for physical-memory errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class OutOfPhysicalMemoryError(MemoryError_):
+    """The frame allocator has no free frames left."""
+
+
+class UnmappedAddressError(MemoryError_):
+    """A physical access touched an address that no frame backs."""
+
+
+class AlignmentError(MemoryError_):
+    """An access straddled a boundary it is not allowed to straddle."""
+
+
+class VirtualMemoryError(ReproError):
+    """Base class for virtual-memory errors."""
+
+
+class PageFaultError(VirtualMemoryError):
+    """A translation failed and could not be repaired (true segfault)."""
+
+    def __init__(self, vaddr: int, message: str = "") -> None:
+        detail = message or f"unhandled page fault at virtual address {vaddr:#x}"
+        super().__init__(detail)
+        self.vaddr = vaddr
+
+
+class ProtectionFaultError(VirtualMemoryError):
+    """An access violated the permissions of a mapped page."""
+
+    def __init__(self, vaddr: int, access: str) -> None:
+        super().__init__(f"protection fault: {access} access to {vaddr:#x} not permitted")
+        self.vaddr = vaddr
+        self.access = access
+
+
+class TLBError(VirtualMemoryError):
+    """The TLB was misused (e.g. inserting an unaligned translation)."""
+
+
+class CacheError(ReproError):
+    """A cache was configured or used incorrectly."""
+
+
+class CoherenceError(ReproError):
+    """The coherence protocol reached an illegal state.
+
+    Raised, for example, when the single-writer/multiple-reader invariant
+    would be violated or a directory receives a message it cannot handle.
+    """
+
+
+class ConsistencyViolationError(ReproError):
+    """The sequential-consistency checker observed an illegal load value."""
+
+
+class InterconnectError(ReproError):
+    """A network was asked to route between nodes it does not connect."""
+
+
+class MIFDError(ReproError):
+    """The MTTOP interface device rejected a request."""
+
+
+class InsufficientThreadContextsError(MIFDError):
+    """A task asked for more MTTOP thread contexts than exist on the chip.
+
+    Mirrors the paper's MIFD behaviour of writing an error register when a
+    task that requires global synchronisation cannot be fully scheduled.
+    """
+
+
+class RuntimeModelError(ReproError):
+    """An xthreads / OpenCL / pthreads runtime was used incorrectly."""
+
+
+class KernelProgramError(RuntimeModelError):
+    """A kernel program yielded an operation the interpreter cannot handle."""
+
+
+class DeadlockError(RuntimeModelError):
+    """The engine detected that no agent can make progress."""

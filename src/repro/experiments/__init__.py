@@ -1,0 +1,18 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each ``figureN`` module exposes
+
+* ``run(...) -> list[dict]`` — execute the sweep and return one row per
+  data point (all systems' times / counters plus the derived ratios the
+  paper plots), and
+* ``render(rows) -> str`` — format the rows as the table printed by the
+  benchmark harness and the examples.
+
+Default sweep parameters are sized for a laptop-class machine; pass larger
+sizes (or set the environment variable ``REPRO_FULL_SWEEP=1``) for the
+larger sweeps recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.report import render_table, rows_to_csv
+
+__all__ = ["render_table", "rows_to_csv"]

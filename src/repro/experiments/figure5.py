@@ -1,0 +1,69 @@
+"""Figure 5: dense matrix multiply, runtime relative to the AMD CPU core.
+
+The paper plots log-scale runtimes of (a) the APU running OpenCL (full
+runtime), (b) the APU with compilation and OpenCL initialisation excluded,
+and (c) the CCSVM chip running xthreads — all relative to the runtime of a
+single AMD CPU core — as a function of matrix size.  The expected shape:
+the APU is orders of magnitude slower than everything at small sizes
+(launch/compile overhead), and approaches or overtakes CCSVM only as the
+matrix grows; CCSVM profits from offloading even small matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import APUSystemConfig, CCSVMSystemConfig
+from repro.experiments.report import full_sweep_enabled, render_table
+from repro.workloads import matmul
+from repro.workloads.base import require_verified
+
+#: Matrix sizes used by default (kept simulator-tractable; the paper sweeps
+#: up to 1024 on real hardware).
+DEFAULT_SIZES = (8, 12, 16, 24, 32)
+FULL_SWEEP_SIZES = (8, 12, 16, 24, 32, 48, 64)
+
+COLUMNS = (
+    "size",
+    "cpu_ms",
+    "apu_opencl_ms",
+    "apu_opencl_nosetup_ms",
+    "ccsvm_xthreads_ms",
+    "rel_apu_opencl",
+    "rel_apu_nosetup",
+    "rel_ccsvm",
+)
+
+
+def run(sizes: Optional[Sequence[int]] = None,
+        ccsvm_config: Optional[CCSVMSystemConfig] = None,
+        apu_config: Optional[APUSystemConfig] = None,
+        seed: int = 7) -> List[Dict[str, object]]:
+    """Run the Figure 5 sweep and return one row per matrix size."""
+    if sizes is None:
+        sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        cpu = require_verified(matmul.run_cpu(size, seed=seed, config=apu_config))
+        apu = require_verified(matmul.run_opencl(size, seed=seed, config=apu_config))
+        ccsvm = require_verified(matmul.run_ccsvm(size, seed=seed,
+                                                  config=ccsvm_config))
+        apu_nosetup_ps = apu.time_without_setup_ps or apu.time_ps
+        rows.append({
+            "size": size,
+            "cpu_ms": cpu.time_ms,
+            "apu_opencl_ms": apu.time_ms,
+            "apu_opencl_nosetup_ms": apu_nosetup_ps / 1e9,
+            "ccsvm_xthreads_ms": ccsvm.time_ms,
+            "rel_apu_opencl": apu.time_ps / cpu.time_ps,
+            "rel_apu_nosetup": apu_nosetup_ps / cpu.time_ps,
+            "rel_ccsvm": ccsvm.time_ps / cpu.time_ps,
+        })
+    return rows
+
+
+def render(rows: Sequence[Dict[str, object]]) -> str:
+    """Format the Figure 5 rows (relative runtimes, log-scale in the paper)."""
+    return render_table(rows, COLUMNS,
+                        title="Figure 5 — dense matrix multiply, runtime relative "
+                              "to one AMD CPU core (lower is better)")

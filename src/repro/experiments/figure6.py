@@ -1,0 +1,65 @@
+"""Figure 6: all-pairs shortest path, runtime relative to the AMD CPU core.
+
+Floyd-Warshall needs a global barrier per pivot iteration.  On the APU each
+iteration is a separate OpenCL kernel launch, so the APU never beats its own
+CPU core; under CCSVM/xthreads the threads are launched once and each
+barrier is a handful of coherent memory operations, so the chip outperforms
+the APU by roughly two orders of magnitude even after discounting
+compilation and initialisation (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import APUSystemConfig, CCSVMSystemConfig
+from repro.experiments.report import full_sweep_enabled, render_table
+from repro.workloads import apsp
+from repro.workloads.base import require_verified
+
+DEFAULT_SIZES = (8, 12, 16, 24)
+FULL_SWEEP_SIZES = (8, 12, 16, 24, 32, 48)
+
+COLUMNS = (
+    "size",
+    "cpu_ms",
+    "apu_opencl_ms",
+    "apu_opencl_nosetup_ms",
+    "ccsvm_xthreads_ms",
+    "rel_apu_opencl",
+    "rel_apu_nosetup",
+    "rel_ccsvm",
+)
+
+
+def run(sizes: Optional[Sequence[int]] = None,
+        ccsvm_config: Optional[CCSVMSystemConfig] = None,
+        apu_config: Optional[APUSystemConfig] = None,
+        seed: int = 11) -> List[Dict[str, object]]:
+    """Run the Figure 6 sweep and return one row per graph size."""
+    if sizes is None:
+        sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        cpu = require_verified(apsp.run_cpu(size, seed=seed, config=apu_config))
+        apu = require_verified(apsp.run_opencl(size, seed=seed, config=apu_config))
+        ccsvm = require_verified(apsp.run_ccsvm(size, seed=seed, config=ccsvm_config))
+        apu_nosetup_ps = apu.time_without_setup_ps or apu.time_ps
+        rows.append({
+            "size": size,
+            "cpu_ms": cpu.time_ms,
+            "apu_opencl_ms": apu.time_ms,
+            "apu_opencl_nosetup_ms": apu_nosetup_ps / 1e9,
+            "ccsvm_xthreads_ms": ccsvm.time_ms,
+            "rel_apu_opencl": apu.time_ps / cpu.time_ps,
+            "rel_apu_nosetup": apu_nosetup_ps / cpu.time_ps,
+            "rel_ccsvm": ccsvm.time_ps / cpu.time_ps,
+        })
+    return rows
+
+
+def render(rows: Sequence[Dict[str, object]]) -> str:
+    """Format the Figure 6 rows."""
+    return render_table(rows, COLUMNS,
+                        title="Figure 6 — all-pairs shortest path, runtime relative "
+                              "to one AMD CPU core (lower is better)")

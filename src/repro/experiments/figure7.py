@@ -1,0 +1,64 @@
+"""Figure 7: Barnes-Hut runtime — CCSVM/xthreads vs one CPU core vs pthreads.
+
+The paper compares CCSVM/xthreads Barnes-Hut against a single AMD CPU core
+and against the 4-thread pthreads version on the APU's CPU cores (there is
+no OpenCL version).  The point being demonstrated is that pointer-chasing,
+recursive code with frequent sequential/parallel phase toggling becomes
+profitable to offload once CPU-MTTOP communication is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import APUSystemConfig, CCSVMSystemConfig
+from repro.experiments.report import full_sweep_enabled, render_table
+from repro.workloads import barnes_hut
+from repro.workloads.base import require_verified
+
+DEFAULT_BODY_COUNTS = (16, 32, 64)
+FULL_SWEEP_BODY_COUNTS = (16, 32, 64, 128, 256)
+
+COLUMNS = (
+    "bodies",
+    "cpu_ms",
+    "pthreads_ms",
+    "ccsvm_xthreads_ms",
+    "speedup_vs_cpu",
+    "speedup_vs_pthreads",
+)
+
+
+def run(body_counts: Optional[Sequence[int]] = None, timesteps: int = 2,
+        ccsvm_config: Optional[CCSVMSystemConfig] = None,
+        apu_config: Optional[APUSystemConfig] = None,
+        seed: int = 5) -> List[Dict[str, object]]:
+    """Run the Figure 7 sweep and return one row per body count."""
+    if body_counts is None:
+        body_counts = FULL_SWEEP_BODY_COUNTS if full_sweep_enabled() \
+            else DEFAULT_BODY_COUNTS
+    rows: List[Dict[str, object]] = []
+    for bodies in body_counts:
+        cpu = require_verified(barnes_hut.run_cpu(bodies, timesteps, seed=seed,
+                                                  config=apu_config))
+        pthreads = require_verified(barnes_hut.run_pthreads(bodies, timesteps,
+                                                            seed=seed,
+                                                            config=apu_config))
+        ccsvm = require_verified(barnes_hut.run_ccsvm(bodies, timesteps, seed=seed,
+                                                      config=ccsvm_config))
+        rows.append({
+            "bodies": bodies,
+            "cpu_ms": cpu.time_ms,
+            "pthreads_ms": pthreads.time_ms,
+            "ccsvm_xthreads_ms": ccsvm.time_ms,
+            "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
+            "speedup_vs_pthreads": pthreads.time_ps / ccsvm.time_ps,
+        })
+    return rows
+
+
+def render(rows: Sequence[Dict[str, object]]) -> str:
+    """Format the Figure 7 rows."""
+    return render_table(rows, COLUMNS,
+                        title="Figure 7 — Barnes-Hut n-body runtime "
+                              "(speedups > 1 favour CCSVM/xthreads)")

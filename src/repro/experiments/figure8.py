@@ -1,0 +1,95 @@
+"""Figure 8: sparse matrix multiplication speedup over the AMD CPU core.
+
+Two panels: the left fixes the density and varies the matrix size; the right
+fixes the size and varies the density.  The paper's observation is that
+speedups exist until the ``mttop_malloc`` traffic (one CPU-serviced
+allocation per result non-zero) becomes the bottleneck, which happens as the
+matrices get denser — so speedup falls with density.  At simulator-tractable
+sizes the absolute speedups are smaller than the paper's hardware-scale runs
+(see EXPERIMENTS.md), but both trends are reproduced: speedup grows with
+size at fixed density and falls as density rises at fixed size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import APUSystemConfig, CCSVMSystemConfig
+from repro.experiments.report import full_sweep_enabled, render_table
+from repro.workloads import sparse_matmul
+from repro.workloads.base import require_verified
+
+DEFAULT_SIZES = (16, 32, 48)
+FULL_SWEEP_SIZES = (16, 32, 48, 64, 96)
+DEFAULT_DENSITIES = (0.02, 0.05, 0.10, 0.20)
+FULL_SWEEP_DENSITIES = (0.01, 0.02, 0.05, 0.10, 0.20, 0.35)
+
+#: Fixed density for the left panel and fixed size for the right panel.
+LEFT_PANEL_DENSITY = 0.05
+RIGHT_PANEL_SIZE = 32
+
+SIZE_COLUMNS = ("size", "density", "cpu_ms", "ccsvm_xthreads_ms",
+                "mttop_mallocs", "speedup_vs_cpu")
+DENSITY_COLUMNS = ("density", "size", "cpu_ms", "ccsvm_xthreads_ms",
+                   "mttop_mallocs", "speedup_vs_cpu")
+
+
+def _point(size: int, density: float, seed: int,
+           ccsvm_config: Optional[CCSVMSystemConfig],
+           apu_config: Optional[APUSystemConfig]) -> Dict[str, object]:
+    cpu = require_verified(sparse_matmul.run_cpu(size, density, seed=seed,
+                                                 config=apu_config))
+    ccsvm = require_verified(sparse_matmul.run_ccsvm(size, density, seed=seed,
+                                                     config=ccsvm_config))
+    return {
+        "size": size,
+        "density": density,
+        "cpu_ms": cpu.time_ms,
+        "ccsvm_xthreads_ms": ccsvm.time_ms,
+        "mttop_mallocs": ccsvm.extra.get("mttop_mallocs", 0),
+        "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
+    }
+
+
+def run_size_sweep(sizes: Optional[Sequence[int]] = None,
+                   density: float = LEFT_PANEL_DENSITY,
+                   ccsvm_config: Optional[CCSVMSystemConfig] = None,
+                   apu_config: Optional[APUSystemConfig] = None,
+                   seed: int = 23) -> List[Dict[str, object]]:
+    """Left panel: fixed density, varying matrix size."""
+    if sizes is None:
+        sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
+    return [_point(size, density, seed, ccsvm_config, apu_config) for size in sizes]
+
+
+def run_density_sweep(densities: Optional[Sequence[float]] = None,
+                      size: int = RIGHT_PANEL_SIZE,
+                      ccsvm_config: Optional[CCSVMSystemConfig] = None,
+                      apu_config: Optional[APUSystemConfig] = None,
+                      seed: int = 23) -> List[Dict[str, object]]:
+    """Right panel: fixed matrix size, varying density."""
+    if densities is None:
+        densities = FULL_SWEEP_DENSITIES if full_sweep_enabled() else DEFAULT_DENSITIES
+    return [_point(size, density, seed, ccsvm_config, apu_config)
+            for density in densities]
+
+
+def run(ccsvm_config: Optional[CCSVMSystemConfig] = None,
+        apu_config: Optional[APUSystemConfig] = None) -> Dict[str, List[Dict[str, object]]]:
+    """Run both panels and return ``{"by_size": ..., "by_density": ...}``."""
+    return {
+        "by_size": run_size_sweep(ccsvm_config=ccsvm_config, apu_config=apu_config),
+        "by_density": run_density_sweep(ccsvm_config=ccsvm_config,
+                                        apu_config=apu_config),
+    }
+
+
+def render(panels: Dict[str, List[Dict[str, object]]]) -> str:
+    """Format both Figure 8 panels."""
+    left = render_table(panels["by_size"], SIZE_COLUMNS,
+                        title="Figure 8 (left) — sparse MM speedup vs one AMD CPU "
+                              f"core, density fixed at {LEFT_PANEL_DENSITY:.0%}")
+    right = render_table(panels["by_density"], DENSITY_COLUMNS,
+                         title="Figure 8 (right) — sparse MM speedup vs one AMD CPU "
+                               f"core, size fixed at {RIGHT_PANEL_SIZE}")
+    return left + "\n\n" + right

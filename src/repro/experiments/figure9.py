@@ -1,0 +1,62 @@
+"""Figure 9: off-chip DRAM accesses for dense matrix multiply.
+
+The paper reads the APU's performance counters and the simulator's DRAM
+counters for the matrix-multiply runs of Figure 5, and shows that the APU —
+whose CPU↔GPU communication necessarily goes through off-chip memory —
+performs orders of magnitude more DRAM accesses than the CCSVM chip, whose
+communication stays on chip.  The AMD CPU core's accesses also grow quickly
+once the working set outgrows its caches.  The ratio between the APU and
+CCSVM stays roughly constant across sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import APUSystemConfig, CCSVMSystemConfig
+from repro.experiments.report import full_sweep_enabled, render_table
+from repro.workloads import matmul
+from repro.workloads.base import require_verified
+
+DEFAULT_SIZES = (8, 12, 16, 24, 32)
+FULL_SWEEP_SIZES = (8, 12, 16, 24, 32, 48, 64)
+
+COLUMNS = (
+    "size",
+    "cpu_dram_accesses",
+    "apu_opencl_dram_accesses",
+    "ccsvm_xthreads_dram_accesses",
+    "apu_over_ccsvm",
+)
+
+
+def run(sizes: Optional[Sequence[int]] = None,
+        ccsvm_config: Optional[CCSVMSystemConfig] = None,
+        apu_config: Optional[APUSystemConfig] = None,
+        seed: int = 7) -> List[Dict[str, object]]:
+    """Run the Figure 9 sweep and return one row per matrix size."""
+    if sizes is None:
+        sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        cpu = require_verified(matmul.run_cpu(size, seed=seed, config=apu_config))
+        apu = require_verified(matmul.run_opencl(size, seed=seed, config=apu_config))
+        ccsvm = require_verified(matmul.run_ccsvm(size, seed=seed,
+                                                  config=ccsvm_config))
+        ratio = (apu.dram_accesses / ccsvm.dram_accesses
+                 if ccsvm.dram_accesses else float("inf"))
+        rows.append({
+            "size": size,
+            "cpu_dram_accesses": cpu.dram_accesses,
+            "apu_opencl_dram_accesses": apu.dram_accesses,
+            "ccsvm_xthreads_dram_accesses": ccsvm.dram_accesses,
+            "apu_over_ccsvm": ratio,
+        })
+    return rows
+
+
+def render(rows: Sequence[Dict[str, object]]) -> str:
+    """Format the Figure 9 rows."""
+    return render_table(rows, COLUMNS,
+                        title="Figure 9 — off-chip DRAM accesses for dense matrix "
+                              "multiply (lower is better)")

@@ -1,0 +1,60 @@
+"""Rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def full_sweep_enabled() -> bool:
+    """True when the environment asks for the larger (slower) sweeps."""
+    return os.environ.get("REPRO_FULL_SWEEP", "").strip() not in ("", "0", "false")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows of dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(line[i]) for line in body))
+              for i in range(len(header))]
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(header[i].ljust(widths[i]) for i in range(len(header))) + "\n")
+    out.write("  ".join("-" * widths[i] for i in range(len(header))) + "\n")
+    for line in body:
+        out.write("  ".join(line[i].ljust(widths[i]) for i in range(len(header))) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (useful for plotting outside the harness)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(column) for column in columns)]
+    for row in rows:
+        lines.append(",".join(_format_value(row.get(column, "")) for column in columns))
+    return "\n".join(lines)

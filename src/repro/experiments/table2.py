@@ -1,0 +1,79 @@
+"""Table 2: the two system configurations under comparison.
+
+Not an experiment as such, but regenerating the table keeps the presets
+honest and gives the examples something compact to print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import (
+    APUSystemConfig,
+    CCSVMSystemConfig,
+    amd_apu_system,
+    ccsvm_system,
+)
+from repro.experiments.report import render_table
+
+COLUMNS = ("parameter", "ccsvm_simulated", "amd_apu_a8_3850")
+
+
+def rows(ccsvm: CCSVMSystemConfig = None,
+         apu: APUSystemConfig = None) -> List[Dict[str, object]]:
+    """Build Table 2 rows from the two configurations."""
+    ccsvm = ccsvm if ccsvm is not None else ccsvm_system()
+    apu = apu if apu is not None else amd_apu_system()
+    return [
+        {"parameter": "CPU cores",
+         "ccsvm_simulated": f"{ccsvm.cpu.count} in-order x86 @ "
+                            f"{ccsvm.cpu.frequency_ghz} GHz, max IPC {ccsvm.cpu.max_ipc}",
+         "amd_apu_a8_3850": f"{apu.cpu.count} out-of-order x86 @ "
+                            f"{apu.cpu.frequency_ghz} GHz, max IPC {apu.cpu.max_ipc}"},
+        {"parameter": "Throughput cores",
+         "ccsvm_simulated": f"{ccsvm.mttop.count} MTTOP cores @ "
+                            f"{ccsvm.mttop.frequency_mhz:.0f} MHz, "
+                            f"{ccsvm.mttop.simd_width}-wide, "
+                            f"{ccsvm.mttop.thread_contexts} contexts each",
+         "amd_apu_a8_3850": f"{apu.gpu.simd_units} SIMD units x "
+                            f"{apu.gpu.vliw_lanes} VLIW lanes @ "
+                            f"{apu.gpu.frequency_mhz:.0f} MHz"},
+        {"parameter": "Peak throughput ops/cycle",
+         "ccsvm_simulated": ccsvm.mttop.max_operations_per_cycle,
+         "amd_apu_a8_3850": f"{apu.gpu.lanes}-{apu.gpu.lanes * 4} "
+                            "(VLIW utilisation 1-4)"},
+        {"parameter": "CPU L1",
+         "ccsvm_simulated": f"{ccsvm.cpu.l1_size_bytes // 1024} KiB, "
+                            f"{ccsvm.cpu.l1_associativity}-way, "
+                            f"{ccsvm.cpu.l1_hit_cycles}-cycle hit",
+         "amd_apu_a8_3850": f"{apu.cpu.l1_size_bytes // 1024} KiB, "
+                            f"{apu.cpu.l1_associativity}-way, {apu.cpu.l1_hit_ns} ns hit"},
+        {"parameter": "MTTOP/GPU L1",
+         "ccsvm_simulated": f"{ccsvm.mttop.l1_size_bytes // 1024} KiB, "
+                            f"{ccsvm.mttop.l1_associativity}-way, "
+                            f"{ccsvm.mttop.l1_hit_cycles}-cycle hit",
+         "amd_apu_a8_3850": f"{apu.gpu.local_memory_bytes // 1024} KiB local memory "
+                            "per SIMD unit"},
+        {"parameter": "Shared / L2 cache",
+         "ccsvm_simulated": f"{ccsvm.l2.total_size_bytes // (1024 * 1024)} MiB inclusive, "
+                            f"{ccsvm.l2.banks} banks, directory embedded",
+         "amd_apu_a8_3850": f"{apu.cpu.l2_size_bytes // (1024 * 1024)} MiB private per "
+                            f"CPU core, {apu.cpu.l2_hit_ns} ns hit"},
+        {"parameter": "TLB",
+         "ccsvm_simulated": f"{ccsvm.cpu.tlb_entries}-entry per core (CPU and MTTOP)",
+         "amd_apu_a8_3850": f"{apu.cpu.tlb_entries}-entry L2 TLB per CPU core"},
+        {"parameter": "Off-chip memory",
+         "ccsvm_simulated": f"{ccsvm.dram.size_bytes // (1 << 30)} GiB, "
+                            f"{ccsvm.dram.latency_ns:.0f} ns",
+         "amd_apu_a8_3850": f"{apu.dram.size_bytes // (1 << 30)} GiB DDR3, "
+                            f"{apu.dram.latency_ns:.0f} ns"},
+        {"parameter": "On-chip network",
+         "ccsvm_simulated": f"2D torus, {ccsvm.noc.link_bandwidth_gbps:.0f} GB/s links",
+         "amd_apu_a8_3850": "CPU crossbar; CPUs/GPU connected to memory controllers"},
+    ]
+
+
+def render() -> str:
+    """Format Table 2."""
+    return render_table(rows(), COLUMNS,
+                        title="Table 2 — simulated CCSVM system vs AMD APU")

@@ -1,0 +1,115 @@
+"""Message timing over a topology.
+
+The network model charges each message a per-hop router/link latency plus a
+serialisation delay derived from the configured link bandwidth (12 GB/s in
+Table 2).  Contention is not modelled — consistent with the paper's
+deliberately conservative, unoptimised memory system — but every message,
+hop and byte is counted so experiments can report traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.interconnect.topology import Topology
+from repro.sim.clock import ns_to_ps
+from repro.sim.stats import StatsRegistry
+
+#: Control messages (requests, invalidations, acks) are a few header bytes.
+CONTROL_MESSAGE_BYTES = 8
+
+#: Data messages carry a cache line plus a header.
+DATA_MESSAGE_BYTES = 72
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single network traversal, returned for inspection/testing."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    hops: int
+    latency_ps: int
+    kind: str = "data"
+
+
+class NetworkModel:
+    """Computes message latencies over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        Node placement and hop metric.
+    link_bandwidth_gbps:
+        Link bandwidth in gigabytes per second (12 GB/s in Table 2).
+    per_hop_latency_ns:
+        Router pipeline plus link traversal latency for each hop.
+    """
+
+    def __init__(self, topology: Topology,
+                 link_bandwidth_gbps: float = 12.0,
+                 per_hop_latency_ns: float = 1.0,
+                 stats: Optional[StatsRegistry] = None,
+                 name: str = "network") -> None:
+        self.topology = topology
+        self.link_bandwidth_gbps = link_bandwidth_gbps
+        self.per_hop_latency_ps = ns_to_ps(per_hop_latency_ns)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+    def _serialisation_ps(self, size_bytes: int) -> int:
+        if self.link_bandwidth_gbps <= 0:
+            return 0
+        bytes_per_ns = self.link_bandwidth_gbps  # 1 GB/s == 1 byte/ns
+        return ns_to_ps(size_bytes / bytes_per_ns)
+
+    def send(self, src: str, dst: str, size_bytes: int = DATA_MESSAGE_BYTES,
+             kind: str = "data") -> Message:
+        """Send one message and return its accounting record.
+
+        A message between a node and itself (for example a core whose home
+        L2 bank is co-located) still pays the serialisation delay but no hop
+        latency.
+        """
+        hops = self.topology.hops(src, dst)
+        latency = hops * self.per_hop_latency_ps + self._serialisation_ps(size_bytes)
+        self.stats.add(f"{self.name}.messages")
+        self.stats.add(f"{self.name}.messages_{kind}")
+        self.stats.add(f"{self.name}.hops", hops)
+        self.stats.add(f"{self.name}.bytes", size_bytes)
+        return Message(src=src, dst=dst, size_bytes=size_bytes, hops=hops,
+                       latency_ps=latency, kind=kind)
+
+    def control(self, src: str, dst: str, kind: str = "control") -> Message:
+        """Send a small control message (request, invalidation, ack)."""
+        return self.send(src, dst, size_bytes=CONTROL_MESSAGE_BYTES, kind=kind)
+
+    def data(self, src: str, dst: str, kind: str = "data") -> Message:
+        """Send a cache-line-sized data message."""
+        return self.send(src, dst, size_bytes=DATA_MESSAGE_BYTES, kind=kind)
+
+    def round_trip(self, a: str, b: str,
+                   request_bytes: int = CONTROL_MESSAGE_BYTES,
+                   response_bytes: int = DATA_MESSAGE_BYTES) -> int:
+        """Latency of a request/response pair between ``a`` and ``b``."""
+        there = self.send(a, b, size_bytes=request_bytes, kind="request")
+        back = self.send(b, a, size_bytes=response_bytes, kind="response")
+        return there.latency_ps + back.latency_ps
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_messages(self) -> int:
+        """Number of messages sent so far."""
+        return self.stats.get(f"{self.name}.messages")
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes carried so far."""
+        return self.stats.get(f"{self.name}.bytes")

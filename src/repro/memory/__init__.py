@@ -1,0 +1,44 @@
+"""Physical memory substrate: addressing helpers, backing store and DRAM.
+
+The simulated machine stores real values (64-bit words) in a
+:class:`~repro.memory.physical.PhysicalMemory`, so workloads compute real
+results that tests can compare against golden references.  Timing and
+off-chip access counting live in :class:`~repro.memory.dram.DRAMModel`.
+"""
+
+from repro.memory.address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    WORD_SIZE,
+    align_down,
+    align_up,
+    is_aligned,
+    line_address,
+    line_offset,
+    lines_in_range,
+    page_address,
+    page_number,
+    page_offset,
+    words_in_range,
+)
+from repro.memory.dram import DRAMModel
+from repro.memory.physical import FrameAllocator, PhysicalMemory
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "DRAMModel",
+    "FrameAllocator",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "WORD_SIZE",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "line_address",
+    "line_offset",
+    "lines_in_range",
+    "page_address",
+    "page_number",
+    "page_offset",
+    "words_in_range",
+]

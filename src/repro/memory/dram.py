@@ -1,0 +1,80 @@
+"""Off-chip DRAM timing and access accounting.
+
+Figure 9 of the paper compares the *number of off-chip DRAM accesses* needed
+by the APU and by the CCSVM chip for the same workload, so the DRAM model's
+primary job is exact access counting; timing is a simple fixed access latency
+plus an optional bandwidth term, which is all the evaluation needs (the paper
+uses a 100 ns latency for the simulated system and 72 ns for the APU).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.address import CACHE_LINE_SIZE
+from repro.sim.clock import ns_to_ps
+from repro.sim.stats import StatsRegistry
+
+
+class DRAMModel:
+    """A single off-chip DRAM channel.
+
+    Parameters
+    ----------
+    latency_ns:
+        Access latency charged to every read or write.
+    bandwidth_bytes_per_ns:
+        Optional peak bandwidth; when set, each access additionally pays a
+        serialisation delay of ``size / bandwidth``.
+    stats:
+        Registry that receives ``<name>.reads``, ``<name>.writes``,
+        ``<name>.bytes_read`` and ``<name>.bytes_written`` counters.
+    """
+
+    def __init__(self, latency_ns: float, stats: Optional[StatsRegistry] = None,
+                 name: str = "dram",
+                 bandwidth_bytes_per_ns: Optional[float] = None) -> None:
+        self.name = name
+        self.latency_ps = ns_to_ps(latency_ns)
+        self.bandwidth_bytes_per_ns = bandwidth_bytes_per_ns
+        self.stats = stats if stats is not None else StatsRegistry()
+
+    # ------------------------------------------------------------------ #
+    # Access API
+    # ------------------------------------------------------------------ #
+    def _serialisation_ps(self, size_bytes: int) -> int:
+        if not self.bandwidth_bytes_per_ns:
+            return 0
+        return ns_to_ps(size_bytes / self.bandwidth_bytes_per_ns)
+
+    def read(self, size_bytes: int = CACHE_LINE_SIZE) -> int:
+        """Perform a read of ``size_bytes`` and return its latency in ps."""
+        self.stats.add(f"{self.name}.reads")
+        self.stats.add(f"{self.name}.bytes_read", size_bytes)
+        return self.latency_ps + self._serialisation_ps(size_bytes)
+
+    def write(self, size_bytes: int = CACHE_LINE_SIZE) -> int:
+        """Perform a write of ``size_bytes`` and return its latency in ps."""
+        self.stats.add(f"{self.name}.writes")
+        self.stats.add(f"{self.name}.bytes_written", size_bytes)
+        return self.latency_ps + self._serialisation_ps(size_bytes)
+
+    def access(self, is_write: bool, size_bytes: int = CACHE_LINE_SIZE) -> int:
+        """Perform a read or write depending on ``is_write``."""
+        if is_write:
+            return self.write(size_bytes)
+        return self.read(size_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_accesses(self) -> int:
+        """Total number of reads plus writes performed so far."""
+        return self.stats.get(f"{self.name}.reads") + self.stats.get(f"{self.name}.writes")
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved to or from DRAM so far."""
+        return (self.stats.get(f"{self.name}.bytes_read")
+                + self.stats.get(f"{self.name}.bytes_written"))

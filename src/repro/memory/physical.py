@@ -1,0 +1,175 @@
+"""Physical memory backing store and frame allocator.
+
+The backing store keeps real data so that simulated workloads compute real
+results (which the test suite checks against golden references).  Values are
+stored at machine-word (8-byte) granularity in a sparse dictionary: only
+words that have ever been written consume host memory, which lets us model a
+2 GiB physical address space cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AlignmentError, OutOfPhysicalMemoryError, UnmappedAddressError
+from repro.memory.address import PAGE_SIZE, WORD_SIZE, align_down, is_aligned
+
+#: Mask used to wrap stored values to 64 bits, mirroring real hardware words.
+WORD_MASK = (1 << 64) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit word as a signed integer."""
+    value &= WORD_MASK
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a (possibly negative) integer into a 64-bit word."""
+    return value & WORD_MASK
+
+
+class FrameAllocator:
+    """Allocates physical page frames from a fixed-size memory.
+
+    Frames are handed out in ascending address order and may be freed and
+    reused.  The operating-system model (:mod:`repro.vm.manager`) uses one
+    allocator per machine.
+    """
+
+    def __init__(self, total_bytes: int, page_size: int = PAGE_SIZE,
+                 reserved_bytes: int = 0) -> None:
+        if total_bytes <= 0 or total_bytes % page_size != 0:
+            raise AlignmentError(
+                f"physical memory size {total_bytes} must be a positive multiple "
+                f"of the page size {page_size}"
+            )
+        if reserved_bytes % page_size != 0:
+            raise AlignmentError("reserved region must be page aligned")
+        self.total_bytes = total_bytes
+        self.page_size = page_size
+        self.reserved_bytes = reserved_bytes
+        self._next_frame = reserved_bytes
+        self._free_frames: List[int] = []
+        self._allocated: set[int] = set()
+
+    @property
+    def total_frames(self) -> int:
+        """Total number of allocatable frames."""
+        return (self.total_bytes - self.reserved_bytes) // self.page_size
+
+    @property
+    def allocated_frames(self) -> int:
+        """Number of frames currently allocated."""
+        return len(self._allocated)
+
+    @property
+    def free_frames(self) -> int:
+        """Number of frames still available."""
+        return self.total_frames - self.allocated_frames
+
+    def allocate(self) -> int:
+        """Allocate one frame and return its physical base address."""
+        if self._free_frames:
+            frame = self._free_frames.pop()
+        elif self._next_frame + self.page_size <= self.total_bytes:
+            frame = self._next_frame
+            self._next_frame += self.page_size
+        else:
+            raise OutOfPhysicalMemoryError(
+                f"all {self.total_frames} physical frames are in use"
+            )
+        self._allocated.add(frame)
+        return frame
+
+    def free(self, frame_address: int) -> None:
+        """Return a previously allocated frame to the free pool."""
+        if not is_aligned(frame_address, self.page_size):
+            raise AlignmentError(f"frame address {frame_address:#x} is not page aligned")
+        if frame_address not in self._allocated:
+            raise UnmappedAddressError(
+                f"frame {frame_address:#x} was not allocated (double free?)"
+            )
+        self._allocated.remove(frame_address)
+        self._free_frames.append(frame_address)
+
+    def is_allocated(self, frame_address: int) -> bool:
+        """Return True when ``frame_address`` is a currently allocated frame."""
+        return align_down(frame_address, self.page_size) in self._allocated
+
+
+class PhysicalMemory:
+    """Word-granularity physical memory with real contents.
+
+    Reads of never-written words return zero (as if the frame were
+    zero-filled at allocation time).  All accesses must stay inside the
+    configured physical address space.
+    """
+
+    def __init__(self, size_bytes: int, page_size: int = PAGE_SIZE) -> None:
+        if size_bytes <= 0:
+            raise AlignmentError("physical memory size must be positive")
+        self.size_bytes = size_bytes
+        self.page_size = page_size
+        self._words: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Word access
+    # ------------------------------------------------------------------ #
+    def _check(self, paddr: int) -> int:
+        if paddr < 0 or paddr + WORD_SIZE > self.size_bytes:
+            raise UnmappedAddressError(
+                f"physical address {paddr:#x} outside memory of {self.size_bytes} bytes"
+            )
+        return align_down(paddr, WORD_SIZE)
+
+    def read_word(self, paddr: int) -> int:
+        """Read the 64-bit word containing ``paddr`` (signed value)."""
+        word_addr = self._check(paddr)
+        return to_signed(self._words.get(word_addr, 0))
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Write ``value`` to the 64-bit word containing ``paddr``."""
+        word_addr = self._check(paddr)
+        self._words[word_addr] = to_unsigned(value)
+
+    def read_unsigned(self, paddr: int) -> int:
+        """Read the word containing ``paddr`` as an unsigned 64-bit value."""
+        word_addr = self._check(paddr)
+        return self._words.get(word_addr, 0)
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers (used by DMA models and tests)
+    # ------------------------------------------------------------------ #
+    def read_words(self, paddr: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``paddr``."""
+        return [self.read_word(paddr + i * WORD_SIZE) for i in range(count)]
+
+    def write_words(self, paddr: int, values: List[int]) -> None:
+        """Write consecutive words starting at ``paddr``."""
+        for i, value in enumerate(values):
+            self.write_word(paddr + i * WORD_SIZE, value)
+
+    def copy(self, src_paddr: int, dst_paddr: int, length_bytes: int) -> None:
+        """Copy ``length_bytes`` (word aligned) from ``src_paddr`` to ``dst_paddr``."""
+        if length_bytes % WORD_SIZE != 0:
+            raise AlignmentError("copy length must be a multiple of the word size")
+        words = self.read_words(src_paddr, length_bytes // WORD_SIZE)
+        self.write_words(dst_paddr, words)
+
+    def zero_page(self, frame_address: int) -> None:
+        """Zero-fill the frame starting at ``frame_address``."""
+        base = align_down(frame_address, self.page_size)
+        for offset in range(0, self.page_size, WORD_SIZE):
+            self._words.pop(base + offset, None)
+
+    @property
+    def words_written(self) -> int:
+        """Number of distinct words that have ever been written (for tests)."""
+        return len(self._words)
+
+    def snapshot(self, paddr: int, count: int) -> Optional[List[int]]:
+        """Return ``count`` words starting at ``paddr`` (signed), for debugging."""
+        return self.read_words(paddr, count)

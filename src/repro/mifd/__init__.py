@@ -1,0 +1,20 @@
+"""MTTOP InterFace Device (MIFD).
+
+The MIFD is the small controller the paper introduces (Section 3.1) to
+abstract the MTTOP cores away from the CPUs: a CPU launches a task with a
+write syscall to the MIFD, which assigns SIMD-width chunks of the task's
+threads to MTTOP thread contexts in round-robin order, writes an error
+register when there are not enough contexts, and forwards MTTOP page faults
+to a CPU core as interrupts (carrying the fault address and CR3).
+"""
+
+from repro.mifd.task import TaskChunk, TaskDescriptor
+from repro.mifd.device import MIFD
+from repro.mifd.driver import MIFDDriver
+
+__all__ = [
+    "MIFD",
+    "MIFDDriver",
+    "TaskChunk",
+    "TaskDescriptor",
+]

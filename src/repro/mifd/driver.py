@@ -1,0 +1,77 @@
+"""The MIFD driver: the ~30-line kernel driver of the paper.
+
+The driver's only jobs are to (1) marshal a task descriptor and hand it to
+the MIFD via a write syscall, (2) arbitrate between CPU processes that want
+to launch MTTOP threads, and (3) set up the virtual address space on the
+MTTOP cores — i.e. pass the CR3 along (Section 3.1).  Unlike the drivers of
+contemporary GPUs it performs no JIT compilation, which is a large part of
+why task launch is cheap on the CCSVM chip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MIFDError
+from repro.mifd.device import MIFD
+from repro.mifd.task import TaskDescriptor
+from repro.sim.clock import ns_to_ps
+from repro.sim.stats import StatsRegistry
+from repro.vm.manager import AddressSpace
+
+
+class MIFDDriver:
+    """Kernel-side driver used by the xthreads runtime to launch tasks."""
+
+    def __init__(self, device: MIFD, syscall_ns: float = 1_000.0,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        self.device = device
+        self.syscall_ps = ns_to_ps(syscall_ns)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._arbitration_owner_pid: Optional[int] = None
+
+    def launch(self, program_counter: int, kernel, args: object,
+               first_thread: int, last_thread: int,
+               address_space: AddressSpace, now_ps: int) -> int:
+        """Launch a task on the MTTOPs; return the total launch latency.
+
+        The latency is the write syscall (user→kernel transition and
+        descriptor copy) plus the MIFD's own dispatch work.
+        """
+        self.stats.add("mifd_driver.write_syscalls")
+        task = TaskDescriptor(
+            program_counter=program_counter,
+            kernel=kernel,
+            args=args,
+            first_thread=first_thread,
+            last_thread=last_thread,
+            cr3=address_space.cr3,
+            address_space=address_space,
+        )
+        self._arbitrate(address_space.pid)
+        device_latency = self.device.submit_task(task, now_ps + self.syscall_ps)
+        return self.syscall_ps + device_latency
+
+    def _arbitrate(self, pid: int) -> None:
+        """Arbitrate between CPU processes launching MTTOP threads.
+
+        The model runs one process at a time on the MTTOPs (the common case
+        the paper evaluates); a second process attempting to launch while
+        another still holds the MTTOPs is rejected, mirroring the driver's
+        arbitration role.
+        """
+        if self._arbitration_owner_pid is None:
+            self._arbitration_owner_pid = pid
+            return
+        if self._arbitration_owner_pid != pid and self.device.total_free_contexts \
+                != self.device.total_thread_contexts:
+            raise MIFDError(
+                f"process {pid} attempted to launch MTTOP threads while process "
+                f"{self._arbitration_owner_pid} still owns the MTTOPs"
+            )
+        self._arbitration_owner_pid = pid
+
+    def release(self, pid: int) -> None:
+        """Release the MTTOPs when a process finishes using them."""
+        if self._arbitration_owner_pid == pid:
+            self._arbitration_owner_pid = None

@@ -1,0 +1,68 @@
+"""Task descriptors exchanged between the xthreads runtime and the MIFD.
+
+The paper describes a task as "{program counter of function, arguments to
+function, first thread's ID, CR3 register}" (Section 4.3).  The descriptor
+below carries exactly those fields — the "program counter" is the pseudo-PC
+the xthreads toolchain assigned to the compiled kernel — plus the resolved
+kernel callable and address space the simulator needs to actually run it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import MIFDError
+from repro.vm.manager import AddressSpace
+
+
+@dataclass(frozen=True)
+class TaskDescriptor:
+    """One ``create_mthread`` launch: a contiguous range of MTTOP threads."""
+
+    program_counter: int
+    kernel: Callable[..., object]
+    args: object
+    first_thread: int
+    last_thread: int
+    cr3: int
+    address_space: AddressSpace
+
+    def __post_init__(self) -> None:
+        if self.last_thread < self.first_thread:
+            raise MIFDError(
+                f"task thread range [{self.first_thread}, {self.last_thread}] is empty"
+            )
+
+    @property
+    def thread_count(self) -> int:
+        """Number of MTTOP threads the task spawns."""
+        return self.last_thread - self.first_thread + 1
+
+    @property
+    def thread_ids(self) -> range:
+        """The thread IDs this task covers, in order."""
+        return range(self.first_thread, self.last_thread + 1)
+
+    def chunks(self, simd_width: int) -> List["TaskChunk"]:
+        """Split the task into SIMD-width chunks (warps / wavefronts)."""
+        if simd_width <= 0:
+            raise MIFDError("SIMD width must be positive")
+        chunks: List[TaskChunk] = []
+        tids = list(self.thread_ids)
+        for start in range(0, len(tids), simd_width):
+            chunks.append(TaskChunk(task=self, thread_ids=tids[start:start + simd_width]))
+        return chunks
+
+
+@dataclass(frozen=True)
+class TaskChunk:
+    """A SIMD-width slice of a task, assigned to one MTTOP core as a warp."""
+
+    task: TaskDescriptor
+    thread_ids: Sequence[int]
+
+    @property
+    def size(self) -> int:
+        """Number of threads in this chunk."""
+        return len(self.thread_ids)

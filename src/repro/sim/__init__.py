@@ -1,0 +1,25 @@
+"""Simulation kernel: time base, event-ordered engine and statistics.
+
+The engine used throughout the package is deliberately simple.  Every agent
+(a CPU core, an MTTOP core, a DMA engine, ...) keeps a *local clock* in
+picoseconds.  The engine repeatedly steps the agent with the smallest local
+clock, so the global interleaving of memory operations is deterministic and
+totally ordered by time — which is exactly the sequentially consistent
+execution the paper's strawman design provides (Section 3.2.3).
+"""
+
+from repro.sim.clock import PS_PER_NS, ClockDomain, ns_to_ps, ps_to_ns, ps_to_seconds
+from repro.sim.engine import Agent, Engine, StepOutcome
+from repro.sim.stats import StatsRegistry
+
+__all__ = [
+    "Agent",
+    "ClockDomain",
+    "Engine",
+    "PS_PER_NS",
+    "StatsRegistry",
+    "StepOutcome",
+    "ns_to_ps",
+    "ps_to_ns",
+    "ps_to_seconds",
+]

@@ -1,0 +1,85 @@
+"""Time base and clock-domain helpers.
+
+All simulated time in this package is kept as an integer number of
+picoseconds.  Using integers keeps the event ordering exact (no floating
+point ties) and picoseconds are fine-grained enough to represent both the
+2.9 GHz CPU clock (≈345 ps per cycle) and the 600 MHz MTTOP clock
+(≈1667 ps per cycle) from Table 2 of the paper without rounding a cycle to
+zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Picoseconds per nanosecond.
+PS_PER_NS = 1_000
+
+#: Picoseconds per second.
+PS_PER_SECOND = 1_000_000_000_000
+
+
+def ns_to_ps(nanoseconds: float) -> int:
+    """Convert a duration in nanoseconds to integer picoseconds."""
+    return int(round(nanoseconds * PS_PER_NS))
+
+
+def ps_to_ns(picoseconds: int) -> float:
+    """Convert a duration in picoseconds to nanoseconds."""
+    return picoseconds / PS_PER_NS
+
+
+def ps_to_seconds(picoseconds: int) -> float:
+    """Convert a duration in picoseconds to seconds."""
+    return picoseconds / PS_PER_SECOND
+
+
+def hz_to_period_ps(frequency_hz: float) -> int:
+    """Return the clock period, in picoseconds, of a clock at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ConfigurationError(f"clock frequency must be positive, got {frequency_hz}")
+    return max(1, int(round(PS_PER_SECOND / frequency_hz)))
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with a fixed frequency.
+
+    Components convert between their own cycles and the global picosecond
+    time base through their clock domain, so cores running at different
+    frequencies (CPU vs. MTTOP) can coexist on one engine.
+    """
+
+    name: str
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"clock domain {self.name!r} must have a positive frequency"
+            )
+
+    @property
+    def period_ps(self) -> int:
+        """Duration of one cycle in picoseconds."""
+        return hz_to_period_ps(self.frequency_hz)
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Convert a (possibly fractional) cycle count to picoseconds."""
+        return int(round(cycles * self.period_ps))
+
+    def ps_to_cycles(self, picoseconds: int) -> float:
+        """Convert picoseconds to (fractional) cycles of this domain."""
+        return picoseconds / self.period_ps
+
+    @staticmethod
+    def from_ghz(name: str, gigahertz: float) -> "ClockDomain":
+        """Build a clock domain from a frequency expressed in GHz."""
+        return ClockDomain(name=name, frequency_hz=gigahertz * 1e9)
+
+    @staticmethod
+    def from_mhz(name: str, megahertz: float) -> "ClockDomain":
+        """Build a clock domain from a frequency expressed in MHz."""
+        return ClockDomain(name=name, frequency_hz=megahertz * 1e6)

@@ -1,0 +1,192 @@
+"""Event-ordered simulation engine.
+
+The engine owns a set of :class:`Agent` objects (CPU cores, MTTOP cores, DMA
+engines, ...).  Each agent keeps a *local clock* in picoseconds.  The engine
+repeatedly picks the runnable agent with the smallest local clock and asks it
+to perform one step of work (typically: execute one instruction or one warp
+instruction, including any memory-system latency it incurs).
+
+Because exactly one agent steps at a time and agents are always stepped in
+global time order, the interleaving of memory operations is a total order
+that respects each agent's program order — i.e. the execution is sequentially
+consistent by construction, matching the consistency model the paper's
+strawman CCSVM design provides (Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+
+class StepOutcome(enum.Enum):
+    """What an agent did when it was stepped."""
+
+    RAN = "ran"          #: performed work and advanced its clock
+    BLOCKED = "blocked"  #: cannot progress until another agent wakes it
+    FINISHED = "finished"  #: has no more work, permanently
+
+
+class Agent(ABC):
+    """A schedulable actor with its own local clock.
+
+    Subclasses implement :meth:`step`, which must either perform one unit of
+    work (advancing :attr:`local_time_ps` by a positive amount), declare the
+    agent blocked, or declare it finished.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.local_time_ps: int = 0
+        self.blocked: bool = False
+        self.finished: bool = False
+
+    @abstractmethod
+    def step(self) -> StepOutcome:
+        """Perform one unit of work.  Called only when runnable."""
+
+    # ------------------------------------------------------------------ #
+    # State helpers used by other components
+    # ------------------------------------------------------------------ #
+    @property
+    def runnable(self) -> bool:
+        """True when the engine may step this agent."""
+        return not self.blocked and not self.finished
+
+    def block(self) -> StepOutcome:
+        """Mark this agent blocked and return the corresponding outcome."""
+        self.blocked = True
+        return StepOutcome.BLOCKED
+
+    def finish(self) -> StepOutcome:
+        """Mark this agent permanently finished."""
+        self.finished = True
+        return StepOutcome.FINISHED
+
+    def wake(self, at_time_ps: int) -> None:
+        """Unblock the agent, ensuring its clock is at least ``at_time_ps``.
+
+        Waking never moves a clock backwards: an agent that was busy past
+        ``at_time_ps`` simply resumes at its own (later) time.
+        """
+        self.blocked = False
+        if at_time_ps > self.local_time_ps:
+            self.local_time_ps = at_time_ps
+
+    def advance(self, duration_ps: int) -> None:
+        """Advance the local clock by ``duration_ps`` (must be >= 0)."""
+        if duration_ps < 0:
+            raise SimulationError(f"agent {self.name} tried to advance time by {duration_ps}")
+        self.local_time_ps += duration_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else ("blocked" if self.blocked else "runnable")
+        return f"<{type(self).__name__} {self.name} t={self.local_time_ps}ps {state}>"
+
+
+class Engine:
+    """Steps agents in global-time order until everything finishes.
+
+    Parameters
+    ----------
+    max_steps:
+        Safety limit on the total number of agent steps; exceeded limits
+        raise :class:`SimulationError` rather than hanging a test run.
+    """
+
+    def __init__(self, max_steps: int = 200_000_000) -> None:
+        self._agents: List[Agent] = []
+        self._names: Dict[str, Agent] = {}
+        self.max_steps = max_steps
+        self.steps_executed = 0
+        self.now_ps = 0
+
+    # ------------------------------------------------------------------ #
+    # Agent management
+    # ------------------------------------------------------------------ #
+    def add_agent(self, agent: Agent) -> Agent:
+        """Register ``agent`` with the engine and return it."""
+        if agent.name in self._names:
+            raise SimulationError(f"duplicate agent name {agent.name!r}")
+        self._agents.append(agent)
+        self._names[agent.name] = agent
+        return agent
+
+    def agent(self, name: str) -> Agent:
+        """Look up a registered agent by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise SimulationError(f"no agent named {name!r}") from None
+
+    @property
+    def agents(self) -> List[Agent]:
+        """The registered agents, in registration order."""
+        return list(self._agents)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _next_runnable(self) -> Optional[Agent]:
+        best: Optional[Agent] = None
+        for agent in self._agents:
+            if not agent.runnable:
+                continue
+            if best is None or agent.local_time_ps < best.local_time_ps:
+                best = agent
+        return best
+
+    def run(self, until_ps: Optional[int] = None) -> int:
+        """Run until every agent is finished (or blocked forever).
+
+        Returns the final global time in picoseconds (the maximum local
+        clock over all agents that did any work).  Raises
+        :class:`DeadlockError` if unfinished agents remain but none are
+        runnable, and :class:`SimulationError` if the step limit is hit.
+        """
+        while True:
+            agent = self._next_runnable()
+            if agent is None:
+                unfinished = [a.name for a in self._agents if not a.finished]
+                if unfinished:
+                    raise DeadlockError(
+                        "no runnable agents but these never finished: "
+                        + ", ".join(sorted(unfinished))
+                    )
+                break
+            if until_ps is not None and agent.local_time_ps >= until_ps:
+                break
+            self.steps_executed += 1
+            if self.steps_executed > self.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self.max_steps}; likely livelock "
+                    f"(last agent: {agent.name})"
+                )
+            before = agent.local_time_ps
+            outcome = agent.step()
+            if outcome is StepOutcome.RAN and agent.local_time_ps <= before:
+                # Zero-time steps are allowed only when the agent changed
+                # state (blocked/finished); otherwise the engine could loop
+                # forever at a single timestamp.
+                agent.local_time_ps = before + 1
+            if agent.local_time_ps > self.now_ps:
+                self.now_ps = agent.local_time_ps
+        return self.now_ps
+
+    def run_step(self) -> Optional[Agent]:
+        """Step exactly one agent (the earliest runnable one), if any.
+
+        Returns the agent that was stepped, or ``None`` when nothing is
+        runnable.  Intended for tests that need fine-grained control.
+        """
+        agent = self._next_runnable()
+        if agent is None:
+            return None
+        self.steps_executed += 1
+        agent.step()
+        if agent.local_time_ps > self.now_ps:
+            self.now_ps = agent.local_time_ps
+        return agent

@@ -1,0 +1,144 @@
+"""Statistics collection.
+
+Every component of the simulated machine (caches, directories, TLBs, DRAM,
+networks, runtimes) records what it did into a shared :class:`StatsRegistry`.
+The registry is a flat mapping from dotted counter names (for example
+``"l1d.cpu0.hits"`` or ``"dram.reads"``) to integer counts, plus a small
+number of derived helpers.  Keeping it flat and string-keyed makes it trivial
+to diff two runs, render tables for the experiment harness and assert on in
+tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class StatsRegistry:
+    """A flat registry of named integer counters.
+
+    The registry intentionally does not pre-declare counters: the first
+    increment of a name creates it.  Reads of unknown names return zero, so
+    report code never has to special-case components that were configured
+    out of a run.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (which may be negative)."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: int) -> None:
+        """Overwrite counter ``name`` with ``value``."""
+        self._counters[name] = value
+
+    def max(self, name: str, value: int) -> None:
+        """Record the maximum of the current value and ``value``."""
+        if value > self._counters[name]:
+            self._counters[name] = value
+
+    def reset(self) -> None:
+        """Clear every counter."""
+        self._counters.clear()
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Add every counter of ``other`` into this registry."""
+        for name, value in other.items():
+            self._counters[name] += value
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> int:
+        """Return the value of ``name`` (zero if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over ``(name, value)`` pairs in sorted name order."""
+        return iter(sorted(self._counters.items()))
+
+    def names(self) -> Iterable[str]:
+        """Return the counter names in sorted order."""
+        return sorted(self._counters)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a plain ``dict`` snapshot of every counter."""
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation helpers
+    # ------------------------------------------------------------------ #
+    def sum(self, prefix: str = "", suffix: str = "") -> int:
+        """Sum every counter whose name matches ``prefix`` and ``suffix``.
+
+        Both filters are plain string prefix/suffix matches; either may be
+        empty.  ``sum()`` with no arguments totals every counter, which is
+        rarely meaningful but occasionally useful in tests.
+        """
+        total = 0
+        for name, value in self._counters.items():
+            if name.startswith(prefix) and name.endswith(suffix):
+                total += value
+        return total
+
+    def group(self, prefix: str) -> Dict[str, int]:
+        """Return counters under ``prefix`` with the prefix stripped.
+
+        ``group("dram.")`` returns, e.g., ``{"reads": 10, "writes": 4}``.
+        """
+        out: Dict[str, int] = {}
+        for name, value in self._counters.items():
+            if name.startswith(prefix):
+                out[name[len(prefix):]] = value
+        return out
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return ``numerator / denominator`` treating 0/0 as 0.0."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(self, prefix: str = "") -> str:
+        """Render matching counters as an aligned, human-readable table."""
+        rows = [(name, value) for name, value in self.items() if name.startswith(prefix)]
+        if not rows:
+            return "(no counters)"
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{name.ljust(width)}  {value}" for name, value in rows]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsRegistry({len(self._counters)} counters)"
+
+
+def diff(before: Mapping[str, int], after: Mapping[str, int]) -> Dict[str, int]:
+    """Return ``after - before`` per counter, dropping zero deltas.
+
+    Useful for measuring what a region of a simulation did: snapshot with
+    :meth:`StatsRegistry.to_dict` before and after, then diff.
+    """
+    out: Dict[str, int] = {}
+    for name in set(before) | set(after):
+        delta = after.get(name, 0) - before.get(name, 0)
+        if delta:
+            out[name] = delta
+    return out

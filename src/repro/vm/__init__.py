@@ -1,0 +1,26 @@
+"""Shared virtual memory substrate.
+
+Implements the x86-flavoured virtual-memory machinery the paper's CCSVM chip
+relies on (Section 3.2.1): 4-level page tables rooted at a per-process CR3,
+per-core TLBs, hardware page-table walkers, demand paging with an OS fault
+handler, and CPU-initiated TLB shootdown that flushes MTTOP TLBs.
+"""
+
+from repro.vm.page_table import PageTable, PageTableEntry, TranslationResult
+from repro.vm.tlb import TLB, TLBEntry
+from repro.vm.walker import PageTableWalker, WalkResult
+from repro.vm.manager import AddressSpace, VirtualMemoryManager
+from repro.vm.shootdown import TLBShootdownController
+
+__all__ = [
+    "AddressSpace",
+    "PageTable",
+    "PageTableEntry",
+    "PageTableWalker",
+    "TLB",
+    "TLBEntry",
+    "TLBShootdownController",
+    "TranslationResult",
+    "VirtualMemoryManager",
+    "WalkResult",
+]

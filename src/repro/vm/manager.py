@@ -1,0 +1,247 @@
+"""Operating-system view of virtual memory: address spaces and demand paging.
+
+The paper's CCSVM chip runs unmodified Linux on its CPU cores; the pieces of
+the OS the evaluation actually exercises are the virtual-memory side —
+creating a process address space, ``malloc``, demand paging, handling page
+faults (including faults forwarded from MTTOP cores through the MIFD) and
+initiating TLB shootdowns.  This module models exactly that slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import PageFaultError, ProtectionFaultError, VirtualMemoryError
+from repro.memory.address import PAGE_SIZE, WORD_SIZE, align_up, page_address
+from repro.memory.physical import FrameAllocator, PhysicalMemory
+from repro.sim.clock import ns_to_ps
+from repro.sim.stats import StatsRegistry
+from repro.vm.page_table import PageTable, TranslationResult
+
+#: Default virtual address where process heaps start.  Arbitrary but fixed so
+#: traces are reproducible; well above the (unused) null and text regions.
+DEFAULT_HEAP_BASE = 0x0000_1000_0000
+
+#: Cost of the OS page-fault handler itself (trap, allocate, map, return),
+#: excluding memory-system latencies.  Roughly a few microseconds, matching
+#: a minor-fault path on the era's Linux kernels.
+DEFAULT_FAULT_HANDLER_NS = 2_000.0
+
+
+@dataclass
+class Allocation:
+    """One live heap allocation inside an address space."""
+
+    vaddr: int
+    size: int
+    label: Optional[str] = None
+    freed: bool = False
+
+
+@dataclass
+class AddressSpace:
+    """A process's virtual address space (one per simulated process).
+
+    Threads of the same process — whether they run on CPU cores or MTTOP
+    cores — share one ``AddressSpace``; its ``page_table.root_paddr`` is the
+    value loaded into each participating core's CR3 register.
+    """
+
+    pid: int
+    page_table: PageTable
+    heap_base: int = DEFAULT_HEAP_BASE
+    heap_top: int = field(default=0)
+    allocations: List[Allocation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.heap_top == 0:
+            self.heap_top = self.heap_base
+
+    @property
+    def cr3(self) -> int:
+        """Physical root of the page table (the value a core loads into CR3)."""
+        return self.page_table.root_paddr
+
+    def bytes_allocated(self) -> int:
+        """Total bytes of live (not-freed) allocations."""
+        return sum(a.size for a in self.allocations if not a.freed)
+
+
+class VirtualMemoryManager:
+    """Allocates address spaces and services page faults.
+
+    Parameters
+    ----------
+    memory / frames:
+        The machine's physical memory and frame allocator.
+    eager_mapping:
+        When True, ``malloc`` maps pages immediately instead of on first
+        fault.  The CCSVM experiments use demand paging (the default)
+        because MTTOP-originated page faults are part of what the paper
+        evaluates.
+    """
+
+    def __init__(self, memory: PhysicalMemory, frames: FrameAllocator,
+                 stats: Optional[StatsRegistry] = None,
+                 eager_mapping: bool = False,
+                 fault_handler_ns: float = DEFAULT_FAULT_HANDLER_NS) -> None:
+        self.memory = memory
+        self.frames = frames
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.eager_mapping = eager_mapping
+        self.fault_handler_ps = ns_to_ps(fault_handler_ns)
+        self._next_pid = 1
+        self._spaces: Dict[int, AddressSpace] = {}
+
+    # ------------------------------------------------------------------ #
+    # Address-space lifecycle
+    # ------------------------------------------------------------------ #
+    def create_address_space(self) -> AddressSpace:
+        """Create a new process address space with an empty page table."""
+        page_table = PageTable(self.memory, self.frames)
+        space = AddressSpace(pid=self._next_pid, page_table=page_table)
+        self._spaces[space.pid] = space
+        self._next_pid += 1
+        self.stats.add("os.address_spaces_created")
+        return space
+
+    def address_space(self, pid: int) -> AddressSpace:
+        """Look up an address space by pid."""
+        try:
+            return self._spaces[pid]
+        except KeyError:
+            raise VirtualMemoryError(f"no address space with pid {pid}") from None
+
+    def space_for_cr3(self, cr3: int) -> AddressSpace:
+        """Find the address space whose page table is rooted at ``cr3``.
+
+        This mirrors how the OS page-fault handler identifies the faulting
+        process when the MIFD forwards an MTTOP page fault together with the
+        MTTOP core's CR3 value (Section 3.2.1).
+        """
+        for space in self._spaces.values():
+            if space.cr3 == cr3:
+                return space
+        raise VirtualMemoryError(f"no address space has CR3 {cr3:#x}")
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def malloc(self, space: AddressSpace, size: int,
+               label: Optional[str] = None) -> int:
+        """Allocate ``size`` bytes in ``space``'s heap and return its address.
+
+        The returned address is word aligned.  Pages are mapped lazily (on
+        first touch) unless the manager was built with ``eager_mapping``.
+        """
+        if size <= 0:
+            raise VirtualMemoryError(f"malloc size must be positive, got {size}")
+        vaddr = align_up(space.heap_top, WORD_SIZE)
+        space.heap_top = vaddr + size
+        space.allocations.append(Allocation(vaddr=vaddr, size=size, label=label))
+        self.stats.add("os.mallocs")
+        self.stats.add("os.bytes_allocated", size)
+        if self.eager_mapping:
+            for page in range(page_address(vaddr), space.heap_top, PAGE_SIZE):
+                if space.page_table.translate(page) is None:
+                    self._map_new_frame(space, page)
+        return vaddr
+
+    def free(self, space: AddressSpace, vaddr: int) -> None:
+        """Mark the allocation starting at ``vaddr`` as freed.
+
+        Like a user-level ``free``, this does not unmap pages — pages are
+        reclaimed only by :meth:`unmap_range`, which is the operation that
+        requires TLB shootdown.
+        """
+        for allocation in space.allocations:
+            if allocation.vaddr == vaddr and not allocation.freed:
+                allocation.freed = True
+                self.stats.add("os.frees")
+                return
+        raise VirtualMemoryError(f"free of unknown or already-freed address {vaddr:#x}")
+
+    def unmap_range(self, space: AddressSpace, vaddr: int, size: int) -> List[int]:
+        """Unmap every mapped page in ``[vaddr, vaddr+size)``.
+
+        Returns the list of unmapped page base addresses; the caller (the
+        chip's OS model) is responsible for running the TLB-shootdown
+        protocol over them and freeing the frames.
+        """
+        unmapped: List[int] = []
+        end = vaddr + size
+        for page in range(page_address(vaddr), end, PAGE_SIZE):
+            translation = space.page_table.translate(page)
+            if translation is None:
+                continue
+            frame = space.page_table.unmap(page)
+            self.frames.free(frame)
+            unmapped.append(page)
+        self.stats.add("os.pages_unmapped", len(unmapped))
+        return unmapped
+
+    # ------------------------------------------------------------------ #
+    # Fault handling
+    # ------------------------------------------------------------------ #
+    def _map_new_frame(self, space: AddressSpace, vaddr: int) -> TranslationResult:
+        frame = self.frames.allocate()
+        self.memory.zero_page(frame)
+        space.page_table.map(vaddr, frame, writable=True)
+        self.stats.add("os.pages_mapped")
+        translation = space.page_table.translate(vaddr)
+        assert translation is not None
+        return translation
+
+    def handle_page_fault(self, space: AddressSpace, vaddr: int,
+                          is_write: bool = False,
+                          from_mttop: bool = False) -> int:
+        """Service a page fault on ``vaddr``; return handler latency in ps.
+
+        A fault on an address inside a live allocation (or the heap region
+        generally) is a *minor* fault: a zeroed frame is allocated and
+        mapped.  A fault outside any allocation is a true segmentation
+        fault and raises :class:`PageFaultError`.
+        """
+        self.stats.add("os.page_faults")
+        if from_mttop:
+            self.stats.add("os.page_faults_from_mttop")
+        if is_write:
+            self.stats.add("os.page_faults_write")
+
+        if not self._address_is_valid(space, vaddr):
+            raise PageFaultError(vaddr)
+
+        existing = space.page_table.translate(vaddr)
+        if existing is not None:
+            if is_write and not existing.writable:
+                raise ProtectionFaultError(vaddr, "write")
+            # Spurious fault (e.g. raced with another core's fault on the
+            # same page): nothing to do beyond the handler cost.
+            self.stats.add("os.spurious_faults")
+            return self.fault_handler_ps
+
+        self._map_new_frame(space, vaddr)
+        return self.fault_handler_ps
+
+    def _address_is_valid(self, space: AddressSpace, vaddr: int) -> bool:
+        return space.heap_base <= vaddr < max(space.heap_top, space.heap_base)
+
+    # ------------------------------------------------------------------ #
+    # Convenience used by runtimes and tests
+    # ------------------------------------------------------------------ #
+    def touch(self, space: AddressSpace, vaddr: int, size: int) -> None:
+        """Ensure every page of ``[vaddr, vaddr+size)`` is mapped (no timing)."""
+        for page in range(page_address(vaddr), vaddr + size, PAGE_SIZE):
+            if space.page_table.translate(page) is None:
+                self._map_new_frame(space, page)
+
+    def translate_or_fault(self, space: AddressSpace, vaddr: int,
+                           is_write: bool = False) -> TranslationResult:
+        """Translate ``vaddr``, demand-mapping it if needed (no timing)."""
+        translation = space.page_table.translate(vaddr)
+        if translation is None:
+            self.handle_page_fault(space, vaddr, is_write=is_write)
+            translation = space.page_table.translate(vaddr)
+            assert translation is not None
+        return translation

@@ -1,0 +1,136 @@
+"""TLB shootdown for a chip with CPU and MTTOP cores.
+
+In an all-CPU chip a core that changes a translation interrupts the other
+cores so they invalidate the stale entry from their TLBs.  The paper extends
+this to MTTOP cores conservatively: the initiating CPU signals every MTTOP
+TLB to *flush completely*, because selective invalidation support on the
+MTTOP is extra hardware the strawman design avoids (Section 3.2.1).  Both the
+conservative flush policy and the selective-invalidation alternative are
+implemented so an ablation can quantify the difference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.clock import ns_to_ps
+from repro.sim.stats import StatsRegistry
+from repro.vm.tlb import TLB
+
+#: Cost of delivering one inter-processor interrupt and running the small
+#: invalidation handler on the receiving core.
+DEFAULT_IPI_NS = 500.0
+
+
+class ShootdownPolicy(enum.Enum):
+    """How MTTOP TLBs are brought up to date during a shootdown."""
+
+    FLUSH_ALL = "flush_all"        #: the paper's conservative policy
+    SELECTIVE = "selective"        #: invalidate only the affected page
+
+
+@dataclass(frozen=True)
+class ShootdownResult:
+    """Accounting for one shootdown operation."""
+
+    pages: int
+    cpu_tlbs_signalled: int
+    mttop_tlbs_signalled: int
+    entries_dropped: int
+    latency_ps: int
+
+
+class TLBShootdownController:
+    """Coordinates TLB shootdowns across every core's TLB.
+
+    The controller is owned by the chip's OS model; cores register their
+    TLBs at construction time.  A shootdown is synchronous: the initiating
+    CPU waits for every target to acknowledge, so the returned latency is
+    the serial cost of one IPI round plus the local invalidations.
+    """
+
+    def __init__(self, stats: Optional[StatsRegistry] = None,
+                 policy: ShootdownPolicy = ShootdownPolicy.FLUSH_ALL,
+                 ipi_ns: float = DEFAULT_IPI_NS) -> None:
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.policy = policy
+        self.ipi_ps = ns_to_ps(ipi_ns)
+        self._cpu_tlbs: List[TLB] = []
+        self._mttop_tlbs: List[TLB] = []
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_cpu_tlb(self, tlb: TLB) -> None:
+        """Register the TLB of a CPU core."""
+        self._cpu_tlbs.append(tlb)
+
+    def register_mttop_tlb(self, tlb: TLB) -> None:
+        """Register the TLB of an MTTOP core."""
+        self._mttop_tlbs.append(tlb)
+
+    @property
+    def cpu_tlb_count(self) -> int:
+        """Number of registered CPU TLBs."""
+        return len(self._cpu_tlbs)
+
+    @property
+    def mttop_tlb_count(self) -> int:
+        """Number of registered MTTOP TLBs."""
+        return len(self._mttop_tlbs)
+
+    # ------------------------------------------------------------------ #
+    # Shootdown
+    # ------------------------------------------------------------------ #
+    def shootdown(self, vaddrs: Sequence[int],
+                  initiator_tlb: Optional[TLB] = None) -> ShootdownResult:
+        """Run a shootdown for the pages containing ``vaddrs``.
+
+        ``initiator_tlb`` (the TLB of the CPU core that changed the
+        translations) is invalidated locally without an IPI.  Every other
+        CPU TLB receives a selective invalidation per page; MTTOP TLBs are
+        handled according to the configured policy.  Returns the accounting
+        record, whose ``latency_ps`` the caller should charge to the
+        initiating core.
+        """
+        pages = list(vaddrs)
+        self.stats.add("shootdown.operations")
+        self.stats.add("shootdown.pages", len(pages))
+
+        dropped = 0
+        latency = 0
+
+        if initiator_tlb is not None:
+            for vaddr in pages:
+                if initiator_tlb.invalidate(vaddr):
+                    dropped += 1
+
+        cpu_targets = [tlb for tlb in self._cpu_tlbs if tlb is not initiator_tlb]
+        for tlb in cpu_targets:
+            latency += self.ipi_ps
+            for vaddr in pages:
+                if tlb.invalidate(vaddr):
+                    dropped += 1
+        self.stats.add("shootdown.cpu_ipis", len(cpu_targets))
+
+        for tlb in self._mttop_tlbs:
+            latency += self.ipi_ps
+            if self.policy is ShootdownPolicy.FLUSH_ALL:
+                dropped += tlb.flush()
+            else:
+                for vaddr in pages:
+                    if tlb.invalidate(vaddr):
+                        dropped += 1
+        self.stats.add("shootdown.mttop_signals", len(self._mttop_tlbs))
+        self.stats.add("shootdown.entries_dropped", dropped)
+        self.stats.add("shootdown.latency_ps", latency)
+
+        return ShootdownResult(
+            pages=len(pages),
+            cpu_tlbs_signalled=len(cpu_targets),
+            mttop_tlbs_signalled=len(self._mttop_tlbs),
+            entries_dropped=dropped,
+            latency_ps=latency,
+        )

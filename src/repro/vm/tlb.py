@@ -1,0 +1,114 @@
+"""Translation lookaside buffers.
+
+Both the CPU cores and the MTTOP cores of the CCSVM chip have a private,
+64-entry, fully-associative TLB (Table 2).  The paper's design keeps MTTOP
+TLBs coherent conservatively: when a CPU core performs a shootdown, MTTOP
+TLBs are flushed entirely rather than invalidated selectively
+(Section 3.2.1); both operations are provided here so the ablation benchmark
+can compare them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TLBError
+from repro.memory.address import PAGE_SIZE
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class TLBEntry:
+    """A cached virtual-to-physical translation."""
+
+    vpn: int
+    frame_address: int
+    writable: bool
+
+    def physical_address(self, vaddr: int) -> int:
+        """Apply the page offset of ``vaddr`` to the cached frame."""
+        return self.frame_address + (vaddr % PAGE_SIZE)
+
+
+class TLB:
+    """A fully-associative TLB with true-LRU replacement.
+
+    Parameters
+    ----------
+    entries:
+        Capacity in translations (64 for every core in Table 2).
+    stats / name:
+        Hit/miss/flush counters are recorded as ``<name>.hits`` etc.
+    """
+
+    def __init__(self, entries: int = 64, stats: Optional[StatsRegistry] = None,
+                 name: str = "tlb", page_size: int = PAGE_SIZE) -> None:
+        if entries <= 0:
+            raise TLBError("a TLB must have at least one entry")
+        self.capacity = entries
+        self.page_size = page_size
+        self.name = name
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._entries: "OrderedDict[int, TLBEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert
+    # ------------------------------------------------------------------ #
+    def lookup(self, vaddr: int) -> Optional[TLBEntry]:
+        """Return the cached translation for ``vaddr``'s page, if present."""
+        vpn = vaddr // self.page_size
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.stats.add(f"{self.name}.misses")
+            return None
+        self._entries.move_to_end(vpn)
+        self.stats.add(f"{self.name}.hits")
+        return entry
+
+    def insert(self, vpn: int, frame_address: int, writable: bool) -> None:
+        """Install a translation, evicting the LRU entry if full."""
+        if frame_address % self.page_size != 0:
+            raise TLBError(f"frame address {frame_address:#x} is not page aligned")
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.add(f"{self.name}.evictions")
+        self._entries[vpn] = TLBEntry(vpn=vpn, frame_address=frame_address, writable=writable)
+        self.stats.add(f"{self.name}.fills")
+
+    # ------------------------------------------------------------------ #
+    # Coherence operations
+    # ------------------------------------------------------------------ #
+    def invalidate(self, vaddr: int) -> bool:
+        """Drop the translation for ``vaddr``'s page; return True if present."""
+        vpn = vaddr // self.page_size
+        self.stats.add(f"{self.name}.invalidations")
+        return self._entries.pop(vpn, None) is not None
+
+    def flush(self) -> int:
+        """Drop every translation; return how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.add(f"{self.name}.flushes")
+        self.stats.add(f"{self.name}.flushed_entries", dropped)
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vaddr: int) -> bool:
+        return (vaddr // self.page_size) in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit so far (0.0 when no lookups)."""
+        hits = self.stats.get(f"{self.name}.hits")
+        misses = self.stats.get(f"{self.name}.misses")
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,22 @@
+"""The paper's benchmark workloads.
+
+Each workload module provides the same algorithm for every system the paper
+measures:
+
+* a **CCSVM/xthreads** variant (host program + MTTOP kernels) run on
+  :class:`~repro.core.chip.CCSVMChip`;
+* an **APU/OpenCL** variant run on :class:`~repro.baseline.apu.AMDAPU`
+  through the OpenCL session model (where the paper has one — Barnes-Hut
+  and sparse matrix multiply have no OpenCL version, same as the paper);
+* an **AMD CPU core** variant (sequential, one APU CPU core), the
+  normalisation baseline of Figures 5-8;
+* for Barnes-Hut, a **pthreads** variant across the APU's four CPU cores.
+
+Every variant computes real results that are checked against a golden
+reference, so the timing comparisons are between runs that demonstrably did
+the same work.
+"""
+
+from repro.workloads.base import WorkloadResult
+
+__all__ = ["WorkloadResult"]

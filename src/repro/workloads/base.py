@@ -1,0 +1,64 @@
+"""Common result type and helpers shared by every workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+
+class WorkloadVerificationError(ReproError):
+    """A workload's computed results did not match the golden reference."""
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of running one workload variant on one system.
+
+    ``time_ps`` is the simulated (or modelled) execution time; for OpenCL
+    runs ``time_without_setup_ps`` additionally excludes program compilation
+    and context initialisation, matching the paper's second APU datapoint in
+    Figure 5.
+    """
+
+    system: str
+    workload: str
+    params: Dict[str, object]
+    time_ps: int
+    dram_accesses: int
+    verified: bool
+    time_without_setup_ps: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def time_ns(self) -> float:
+        """Execution time in nanoseconds."""
+        return self.time_ps / 1_000.0
+
+    @property
+    def time_ms(self) -> float:
+        """Execution time in milliseconds."""
+        return self.time_ps / 1e9
+
+    def speedup_over(self, other: "WorkloadResult") -> float:
+        """How many times faster this run is than ``other``."""
+        if self.time_ps == 0:
+            return float("inf")
+        return other.time_ps / self.time_ps
+
+    def relative_runtime(self, baseline: "WorkloadResult") -> float:
+        """This run's time divided by the baseline's (Figure 5/6 y-axis)."""
+        if baseline.time_ps == 0:
+            return float("inf")
+        return self.time_ps / baseline.time_ps
+
+
+def require_verified(result: WorkloadResult) -> WorkloadResult:
+    """Raise unless ``result`` passed verification; returns it for chaining."""
+    if not result.verified:
+        raise WorkloadVerificationError(
+            f"{result.workload} on {result.system} with {result.params} produced "
+            "incorrect results"
+        )
+    return result

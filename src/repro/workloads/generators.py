@@ -1,0 +1,88 @@
+"""Deterministic input generation for the workloads.
+
+Every generator takes an explicit seed so that the CCSVM run, the APU run
+and the golden reference of one experiment point all operate on identical
+inputs — the prerequisite for comparing their timing and DRAM traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Fixed-point scale used by the Barnes-Hut workload (positions, masses).
+FIXED_POINT_SCALE = 1 << 10
+
+#: "Infinite" distance used by the all-pairs-shortest-path workload.  Kept
+#: well below 2**62 so additions of two infinities cannot overflow a word.
+APSP_INFINITY = 1 << 30
+
+
+def dense_matrix(size: int, seed: int, max_value: int = 9) -> List[int]:
+    """A row-major ``size`` x ``size`` matrix of small non-negative ints."""
+    rng = random.Random(seed)
+    return [rng.randint(0, max_value) for _ in range(size * size)]
+
+
+def vector(size: int, seed: int, max_value: int = 1000) -> List[int]:
+    """A vector of ``size`` non-negative ints."""
+    rng = random.Random(seed)
+    return [rng.randint(0, max_value) for _ in range(size)]
+
+
+def weighted_digraph(size: int, seed: int, edge_probability: float = 0.3,
+                     max_weight: int = 20) -> List[int]:
+    """A row-major adjacency matrix for the APSP workload.
+
+    Entry ``(i, j)`` is the edge weight, ``APSP_INFINITY`` when there is no
+    edge, and 0 on the diagonal.
+    """
+    rng = random.Random(seed)
+    matrix = [APSP_INFINITY] * (size * size)
+    for i in range(size):
+        matrix[i * size + i] = 0
+        for j in range(size):
+            if i != j and rng.random() < edge_probability:
+                matrix[i * size + j] = rng.randint(1, max_weight)
+    return matrix
+
+
+def sparse_matrix(size: int, density: float, seed: int,
+                  max_value: int = 9) -> Dict[Tuple[int, int], int]:
+    """A sparse ``size`` x ``size`` matrix as a ``{(row, col): value}`` dict.
+
+    Values are non-zero; ``density`` is the expected fraction of non-zero
+    entries.  Every row is guaranteed at least one non-zero element so
+    linked-list row traversals always have work to do.
+    """
+    rng = random.Random(seed)
+    entries: Dict[Tuple[int, int], int] = {}
+    for row in range(size):
+        for col in range(size):
+            if rng.random() < density:
+                entries[(row, col)] = rng.randint(1, max_value)
+        if not any(r == row for r, _ in entries):
+            entries[(row, rng.randrange(size))] = rng.randint(1, max_value)
+    return entries
+
+
+@dataclass(frozen=True)
+class Body:
+    """One Barnes-Hut body in fixed-point coordinates."""
+
+    x: int
+    y: int
+    z: int
+    mass: int
+
+
+def nbody_bodies(count: int, seed: int, space: int = 1 << 16) -> List[Body]:
+    """Random bodies in a cubic space of side ``space`` (fixed-point units)."""
+    rng = random.Random(seed)
+    bodies = []
+    for _ in range(count):
+        bodies.append(Body(x=rng.randrange(space), y=rng.randrange(space),
+                           z=rng.randrange(space),
+                           mass=rng.randint(1, 8) * FIXED_POINT_SCALE))
+    return bodies

@@ -1,0 +1,171 @@
+"""Dense matrix multiplication (Figures 5 and 9).
+
+The paper's first benchmark: a dense matrix-multiply kernel launched from a
+CPU onto as many MTTOP cores as the matrix size can use, swept over matrix
+sizes.  Small matrices expose the launch/communication overhead of the APU;
+large matrices let the APU's raw GPU throughput catch up (Figure 5).  The
+same runs also produce the off-chip DRAM access counts of Figure 9.
+
+Work decomposition:
+
+* **xthreads**: ``min(total MTTOP thread contexts, N*N)`` threads are
+  launched once; thread ``t`` computes output elements ``t, t+T, t+2T, ...``
+  (a cyclic distribution over output elements).
+* **OpenCL**: one work item per output element, the natural OpenCL mapping
+  (as in the paper's Figure 3 style of kernel).
+* **CPU**: a standard triple loop on one core.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baseline.apu import AMDAPU
+from repro.config import APUSystemConfig, CCSVMSystemConfig, ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
+from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.workloads import reference
+from repro.workloads.base import WorkloadResult
+from repro.workloads.generators import dense_matrix
+
+WORKLOAD = "matmul"
+
+
+# --------------------------------------------------------------------------- #
+# Kernels
+# --------------------------------------------------------------------------- #
+def matmul_device_kernel(tid: int, args) -> object:
+    """Compute output elements ``tid, tid+stride, ...`` of ``C = A x B``."""
+    a, b, c, size, stride = args
+    for index in range(tid, size * size, stride):
+        row, col = divmod(index, size)
+        acc = 0
+        for k in range(size):
+            a_val = yield Load(word_addr(a, row * size + k))
+            b_val = yield Load(word_addr(b, k * size + col))
+            yield Compute(2)
+            acc += a_val * b_val
+        yield Store(word_addr(c, index), acc)
+
+
+def matmul_xthreads_kernel(tid: int, args) -> object:
+    """xthreads wrapper: compute the assigned elements, then signal done."""
+    a, b, c, size, stride, done = args
+    yield from matmul_device_kernel(tid, (a, b, c, size, stride))
+    yield from mttop_signal(done, tid)
+
+
+# --------------------------------------------------------------------------- #
+# CCSVM / xthreads
+# --------------------------------------------------------------------------- #
+def run_ccsvm(size: int = 16, seed: int = 7,
+              config: Optional[CCSVMSystemConfig] = None,
+              threads: Optional[int] = None) -> WorkloadResult:
+    """Dense MM with xthreads on the CCSVM chip."""
+    system = config if config is not None else ccsvm_system()
+    a_values = dense_matrix(size, seed)
+    b_values = dense_matrix(size, seed + 1)
+    expected = reference.matmul(a_values, b_values, size)
+
+    chip = CCSVMChip(system)
+    chip.create_process(WORKLOAD)
+    if threads is None:
+        threads = min(system.mttop.total_thread_contexts, size * size)
+    addresses = {}
+
+    def host():
+        a = yield Malloc(size * size * 8)
+        b = yield Malloc(size * size * 8)
+        c = yield Malloc(size * size * 8)
+        done = yield Malloc(threads * 8)
+        addresses["c"] = c
+        for i, value in enumerate(a_values):
+            yield Store(word_addr(a, i), value)
+        for i, value in enumerate(b_values):
+            yield Store(word_addr(b, i), value)
+        for t in range(threads):
+            yield Store(word_addr(done, t), 0)
+        yield CreateMThread(matmul_xthreads_kernel,
+                            (a, b, c, size, threads, done), 0, threads - 1)
+        yield WaitCond(done, 0, threads - 1)
+
+    result = chip.run(host())
+    produced = chip.read_array(addresses["c"], size * size)
+    return WorkloadResult(system="ccsvm_xthreads", workload=WORKLOAD,
+                          params={"size": size, "threads": threads},
+                          time_ps=result.time_ps,
+                          dram_accesses=result.dram_accesses,
+                          verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# APU / OpenCL
+# --------------------------------------------------------------------------- #
+def run_opencl(size: int = 16, seed: int = 7,
+               config: Optional[APUSystemConfig] = None) -> WorkloadResult:
+    """Dense MM through the OpenCL session on the APU model."""
+    apu = AMDAPU(config)
+    a_values = dense_matrix(size, seed)
+    b_values = dense_matrix(size, seed + 1)
+    expected = reference.matmul(a_values, b_values, size)
+
+    session = apu.opencl_session()
+    session.build_program(["matmul"])
+    buf_a = session.create_buffer(size * size * 8)
+    buf_b = session.create_buffer(size * size * 8)
+    buf_c = session.create_buffer(size * size * 8)
+    session.map_buffer_write(buf_a, a_values)
+    session.map_buffer_write(buf_b, b_values)
+    kernel = session.create_kernel("matmul", matmul_device_kernel)
+    work_items = size * size
+    session.enqueue_nd_range(kernel, work_items,
+                             args=(buf_a.address, buf_b.address, buf_c.address,
+                                   size, work_items))
+    produced = session.map_buffer_read(buf_c, size * size)
+
+    return WorkloadResult(system="apu_opencl", workload=WORKLOAD,
+                          params={"size": size},
+                          time_ps=session.elapsed_ps,
+                          time_without_setup_ps=session.elapsed_without_setup_ps,
+                          dram_accesses=apu.dram_accesses,
+                          verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Single AMD CPU core
+# --------------------------------------------------------------------------- #
+def run_cpu(size: int = 16, seed: int = 7,
+            config: Optional[APUSystemConfig] = None) -> WorkloadResult:
+    """Dense MM as a sequential triple loop on one APU CPU core."""
+    apu = AMDAPU(config)
+    a_values = dense_matrix(size, seed)
+    b_values = dense_matrix(size, seed + 1)
+    expected = reference.matmul(a_values, b_values, size)
+
+    a = apu.allocate(size * size * 8)
+    b = apu.allocate(size * size * 8)
+    c = apu.allocate(size * size * 8)
+
+    def program():
+        for i, value in enumerate(a_values):
+            yield Store(word_addr(a, i), value)
+        for i, value in enumerate(b_values):
+            yield Store(word_addr(b, i), value)
+        for row in range(size):
+            for col in range(size):
+                acc = 0
+                for k in range(size):
+                    a_val = yield Load(word_addr(a, row * size + k))
+                    b_val = yield Load(word_addr(b, k * size + col))
+                    yield Compute(2)
+                    acc += a_val * b_val
+                yield Store(word_addr(c, row * size + col), acc)
+
+    run = apu.run_on_cpu(program())
+    produced = apu.read_array(c, size * size)
+    return WorkloadResult(system="apu_cpu", workload=WORKLOAD,
+                          params={"size": size},
+                          time_ps=run.time_ps,
+                          dram_accesses=apu.dram_accesses,
+                          verified=produced == expected)

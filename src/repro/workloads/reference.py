@@ -1,0 +1,63 @@
+"""Golden reference implementations.
+
+Plain Python implementations of each workload's computation, used by every
+runtime variant (CCSVM, OpenCL, CPU, pthreads) to verify that the simulated
+run produced correct results.  References use the exact same integer /
+fixed-point arithmetic as the kernels, so comparisons are bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.generators import APSP_INFINITY
+
+
+def vector_add(v1: Sequence[int], v2: Sequence[int]) -> List[int]:
+    """Element-wise sum of two equal-length vectors."""
+    return [a + b for a, b in zip(v1, v2)]
+
+
+def matmul(a: Sequence[int], b: Sequence[int], size: int) -> List[int]:
+    """Row-major dense matrix product of two ``size`` x ``size`` matrices."""
+    result = [0] * (size * size)
+    for i in range(size):
+        for k in range(size):
+            aik = a[i * size + k]
+            if aik == 0:
+                continue
+            row_offset = i * size
+            b_offset = k * size
+            for j in range(size):
+                result[row_offset + j] += aik * b[b_offset + j]
+    return result
+
+
+def floyd_warshall(adjacency: Sequence[int], size: int) -> List[int]:
+    """All-pairs shortest paths over a row-major adjacency matrix."""
+    dist = list(adjacency)
+    for k in range(size):
+        for i in range(size):
+            dik = dist[i * size + k]
+            if dik >= APSP_INFINITY:
+                continue
+            for j in range(size):
+                candidate = dik + dist[k * size + j]
+                if candidate < dist[i * size + j]:
+                    dist[i * size + j] = candidate
+    return dist
+
+
+def sparse_matmul(a: Dict[Tuple[int, int], int],
+                  b: Dict[Tuple[int, int], int],
+                  size: int) -> Dict[Tuple[int, int], int]:
+    """Product of two sparse matrices given as ``{(row, col): value}`` dicts."""
+    b_rows: Dict[int, List[Tuple[int, int]]] = {}
+    for (row, col), value in b.items():
+        b_rows.setdefault(row, []).append((col, value))
+    result: Dict[Tuple[int, int], int] = {}
+    for (i, k), a_value in a.items():
+        for j, b_value in b_rows.get(k, []):
+            key = (i, j)
+            result[key] = result.get(key, 0) + a_value * b_value
+    return {key: value for key, value in result.items() if value != 0}

@@ -1,0 +1,145 @@
+"""Vector addition — the running example of Figures 3 and 4.
+
+Not part of the paper's evaluation figures, but it is the example both code
+listings implement, so it serves as the quickstart workload and as the
+simplest end-to-end test of every runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baseline.apu import AMDAPU
+from repro.config import APUSystemConfig, CCSVMSystemConfig, ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
+from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.workloads import reference
+from repro.workloads.base import WorkloadResult
+from repro.workloads.generators import vector
+
+WORKLOAD = "vector_add"
+
+
+# --------------------------------------------------------------------------- #
+# Kernels
+# --------------------------------------------------------------------------- #
+def vector_add_device_kernel(tid: int, args) -> object:
+    """One element per work item: ``sum[tid] = v1[tid] + v2[tid]``."""
+    v1, v2, out = args
+    a = yield Load(word_addr(v1, tid))
+    b = yield Load(word_addr(v2, tid))
+    yield Compute(1)
+    yield Store(word_addr(out, tid), a + b)
+
+
+def vector_add_xthreads_kernel(tid: int, args) -> object:
+    """The xthreads variant of Figure 4: compute, then signal the CPU."""
+    v1, v2, out, done = args
+    a = yield Load(word_addr(v1, tid))
+    b = yield Load(word_addr(v2, tid))
+    yield Compute(1)
+    yield Store(word_addr(out, tid), a + b)
+    yield from mttop_signal(done, tid)
+
+
+# --------------------------------------------------------------------------- #
+# CCSVM / xthreads
+# --------------------------------------------------------------------------- #
+def run_ccsvm(size: int = 256, seed: int = 1,
+              config: Optional[CCSVMSystemConfig] = None) -> WorkloadResult:
+    """Run vector add with xthreads on the CCSVM chip (Figure 4's program)."""
+    system = config if config is not None else ccsvm_system()
+    v1 = vector(size, seed)
+    v2 = vector(size, seed + 1)
+    expected = reference.vector_add(v1, v2)
+
+    chip = CCSVMChip(system)
+    chip.create_process(WORKLOAD)
+    addresses = {}
+
+    def host():
+        a = yield Malloc(size * 8)
+        b = yield Malloc(size * 8)
+        out = yield Malloc(size * 8)
+        done = yield Malloc(size * 8)
+        addresses["out"] = out
+        for i in range(size):
+            yield Store(word_addr(a, i), v1[i])
+            yield Store(word_addr(b, i), v2[i])
+            yield Store(word_addr(done, i), 0)
+        yield CreateMThread(vector_add_xthreads_kernel, (a, b, out, done), 0, size - 1)
+        yield WaitCond(done, 0, size - 1)
+
+    result = chip.run(host())
+    produced = chip.read_array(addresses["out"], size)
+    return WorkloadResult(system="ccsvm_xthreads", workload=WORKLOAD,
+                          params={"size": size},
+                          time_ps=result.time_ps,
+                          dram_accesses=result.dram_accesses,
+                          verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# APU / OpenCL
+# --------------------------------------------------------------------------- #
+def run_opencl(size: int = 256, seed: int = 1,
+               config: Optional[APUSystemConfig] = None) -> WorkloadResult:
+    """Run vector add through the OpenCL session model (Figure 3's program)."""
+    apu = AMDAPU(config)
+    v1 = vector(size, seed)
+    v2 = vector(size, seed + 1)
+    expected = reference.vector_add(v1, v2)
+
+    session = apu.opencl_session()
+    session.build_program(["vector_add"])
+    buf_a = session.create_buffer(size * 8)
+    buf_b = session.create_buffer(size * 8)
+    buf_out = session.create_buffer(size * 8)
+    session.map_buffer_write(buf_a, v1)
+    session.map_buffer_write(buf_b, v2)
+    kernel = session.create_kernel("vector_add", vector_add_device_kernel)
+    session.enqueue_nd_range(kernel, size,
+                             args=(buf_a.address, buf_b.address, buf_out.address))
+    produced = session.map_buffer_read(buf_out, size)
+
+    return WorkloadResult(system="apu_opencl", workload=WORKLOAD,
+                          params={"size": size},
+                          time_ps=session.elapsed_ps,
+                          time_without_setup_ps=session.elapsed_without_setup_ps,
+                          dram_accesses=apu.dram_accesses,
+                          verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Single AMD CPU core
+# --------------------------------------------------------------------------- #
+def run_cpu(size: int = 256, seed: int = 1,
+            config: Optional[APUSystemConfig] = None) -> WorkloadResult:
+    """Run vector add sequentially on one APU CPU core."""
+    apu = AMDAPU(config)
+    v1 = vector(size, seed)
+    v2 = vector(size, seed + 1)
+    expected = reference.vector_add(v1, v2)
+
+    a = apu.allocate(size * 8)
+    b = apu.allocate(size * 8)
+    out = apu.allocate(size * 8)
+
+    def program():
+        for i in range(size):
+            yield Store(word_addr(a, i), v1[i])
+            yield Store(word_addr(b, i), v2[i])
+        for i in range(size):
+            x = yield Load(word_addr(a, i))
+            y = yield Load(word_addr(b, i))
+            yield Compute(1)
+            yield Store(word_addr(out, i), x + y)
+
+    run = apu.run_on_cpu(program())
+    produced = apu.read_array(out, size)
+    return WorkloadResult(system="apu_cpu", workload=WORKLOAD,
+                          params={"size": size},
+                          time_ps=run.time_ps,
+                          dram_accesses=apu.dram_accesses,
+                          verified=produced == expected)

@@ -1,0 +1,251 @@
+"""Tests for the APU baseline: memory, CPU cores, GPU, OpenCL, pthreads."""
+
+import pytest
+
+from repro.baseline.apu import AMDAPU
+from repro.baseline.memory import FlatMemory, PrivateCacheHierarchy
+from repro.config import APUGPUConfig
+from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.errors import KernelProgramError, MemoryError_, RuntimeModelError
+from repro.memory.dram import DRAMModel
+from repro.sim.stats import StatsRegistry
+
+
+class TestFlatMemory:
+    def test_allocations_are_disjoint_and_nonzero(self):
+        memory = FlatMemory()
+        a = memory.allocate(100)
+        b = memory.allocate(100)
+        assert a != 0 and b >= a + 100
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(MemoryError_):
+            FlatMemory().allocate(0)
+
+    def test_array_roundtrip(self):
+        memory = FlatMemory()
+        base = memory.allocate(32)
+        memory.write_array(base, [1, 2, 3, 4])
+        assert memory.read_array(base, 4) == [1, 2, 3, 4]
+
+
+class TestPrivateCacheHierarchy:
+    def _hierarchy(self, stats=None, l2=True):
+        dram = DRAMModel(72.0, stats=stats)
+        return PrivateCacheHierarchy("h", dram, l1_size_bytes=512,
+                                     l1_associativity=2, l1_hit_ps=1000,
+                                     l2_size_bytes=2048 if l2 else None,
+                                     l2_hit_ps=3600, stats=stats), dram
+
+    def test_miss_then_hit_latency(self):
+        hierarchy, _ = self._hierarchy()
+        miss = hierarchy.access(0x100, is_write=False)
+        hit = hierarchy.access(0x100, is_write=False)
+        assert miss > hit == 1000
+
+    def test_dram_counted_on_misses_only(self):
+        stats = StatsRegistry()
+        hierarchy, dram = self._hierarchy(stats)
+        hierarchy.access(0x100, False)
+        hierarchy.access(0x108, False)
+        assert dram.total_accesses == 1
+
+    def test_dirty_eviction_writes_back(self):
+        stats = StatsRegistry()
+        hierarchy, dram = self._hierarchy(stats)
+        # Fill one set with dirty lines until something is written back.
+        for index in range(64):
+            hierarchy.access(index * 64, is_write=True)
+        assert stats["dram.writes"] >= 1
+
+    def test_flush_writes_dirty_lines(self):
+        stats = StatsRegistry()
+        hierarchy, dram = self._hierarchy(stats)
+        hierarchy.access(0x100, is_write=True)
+        flushed, dirty = hierarchy.flush()
+        assert flushed >= 1 and dirty >= 1
+        assert stats["dram.writes"] >= dirty
+
+
+class TestBaselineCPU:
+    def test_runs_program_and_charges_time(self):
+        apu = AMDAPU()
+        base = apu.allocate(8 * 8)
+
+        def program():
+            for index in range(8):
+                yield Store(word_addr(base, index), index)
+            total = 0
+            for index in range(8):
+                value = yield Load(word_addr(base, index))
+                total += value
+            yield Compute(total)
+
+        result = apu.run_on_cpu(program())
+        assert result.time_ps > 0
+        assert result.instructions == 17
+        assert apu.read_array(base, 8) == list(range(8))
+
+    def test_malloc_supported_locally(self):
+        apu = AMDAPU()
+
+        def program():
+            address = yield Malloc(64)
+            yield Store(address, 5)
+
+        apu.run_on_cpu(program())
+
+    def test_oo_cpu_faster_than_ccsvm_style_inorder(self):
+        # max IPC 4 at 2.9 GHz: 100 compute ops ~ 8.6 ns.
+        apu = AMDAPU()
+
+        def program():
+            yield Compute(100)
+
+        result = apu.run_on_cpu(program())
+        assert result.time_ns < 20
+
+
+class TestGPU:
+    def _vadd(self, tid, args):
+        a, b, c = args
+        x = yield Load(word_addr(a, tid))
+        y = yield Load(word_addr(b, tid))
+        yield Compute(1)
+        yield Store(word_addr(c, tid), x + y)
+
+    def test_kernel_computes_correct_results(self):
+        apu = AMDAPU()
+        n = 128
+        a, b, c = (apu.allocate(n * 8) for _ in range(3))
+        apu.write_array(a, list(range(n)))
+        apu.write_array(b, [2 * i for i in range(n)])
+        result = apu.gpu.execute_kernel(self._vadd, (a, b, c), range(n))
+        assert apu.read_array(c, n) == [3 * i for i in range(n)]
+        assert result.work_items == n
+        assert result.dram_transactions > 0
+
+    def test_uncached_mode_generates_more_dram_traffic_than_cached(self):
+        def run(cached):
+            apu = AMDAPU()
+            apu.gpu.cache_buffer_accesses = cached
+            n = 256
+            a, b, c = (apu.allocate(n * 8) for _ in range(3))
+            result = apu.gpu.execute_kernel(self._vadd, (a, b, c), range(n))
+            return result.dram_transactions
+
+        assert run(cached=False) >= run(cached=True)
+
+    def test_higher_vliw_utilization_is_faster(self):
+        def run(util):
+            apu = AMDAPU()
+            apu.gpu.config = APUGPUConfig(vliw_utilization=util)
+            n = 512
+            a, b, c = (apu.allocate(n * 8) for _ in range(3))
+            # compute-bound kernel
+            def kernel(tid, args):
+                yield Compute(64)
+            return apu.gpu.execute_kernel(kernel, None, range(n)).time_ps
+
+        assert run(4.0) < run(1.0)
+
+    def test_malloc_in_kernel_rejected(self):
+        apu = AMDAPU()
+
+        def kernel(tid, args):
+            yield Malloc(8)
+
+        with pytest.raises(KernelProgramError):
+            apu.gpu.execute_kernel(kernel, None, range(4))
+
+
+class TestOpenCLSession:
+    def test_phase_ordering_enforced(self):
+        apu = AMDAPU()
+        session = apu.opencl_session()
+        with pytest.raises(RuntimeModelError):
+            session.create_kernel("k", lambda tid, args: iter(()))
+
+    def test_compile_and_init_counted_as_setup(self):
+        apu = AMDAPU()
+        session = apu.opencl_session()
+        session.build_program(["k"])
+        assert session.setup_ps > 0
+        assert session.elapsed_without_setup_ps == session.elapsed_ps - session.setup_ps
+
+    def test_build_program_idempotent(self):
+        apu = AMDAPU()
+        session = apu.opencl_session()
+        session.build_program(["k"])
+        once = session.elapsed_ps
+        session.build_program(["k"])
+        assert session.elapsed_ps == once
+
+    def test_launch_charges_overheads_and_runs_kernel(self):
+        apu = AMDAPU()
+        session = apu.opencl_session()
+        session.build_program(["vadd"])
+        n = 64
+        buf_a = session.create_buffer(n * 8)
+        buf_b = session.create_buffer(n * 8)
+        buf_c = session.create_buffer(n * 8)
+        session.map_buffer_write(buf_a, list(range(n)))
+        session.map_buffer_write(buf_b, list(range(n)))
+        kernel = session.create_kernel("vadd", TestGPU._vadd.__get__(TestGPU()))
+        session.enqueue_nd_range(kernel, n,
+                                 args=(buf_a.address, buf_b.address, buf_c.address))
+        out = session.map_buffer_read(buf_c, n)
+        assert out == [2 * i for i in range(n)]
+        for phase in ("launch", "kernel", "finish", "dma", "map"):
+            assert session.breakdown_ps.get(phase, 0) > 0
+        assert apu.dram_accesses > 0
+
+    def test_per_launch_overhead_accumulates(self):
+        apu = AMDAPU()
+        session = apu.opencl_session()
+        session.build_program(["k"])
+        buf = session.create_buffer(64 * 8)
+
+        def kernel(tid, args):
+            yield Store(word_addr(args, tid), tid)
+
+        k = session.create_kernel("k", kernel)
+        session.enqueue_nd_range(k, 8, args=buf.address)
+        after_one = session.breakdown_ps["launch"]
+        session.enqueue_nd_range(k, 8, args=buf.address)
+        assert session.breakdown_ps["launch"] == 2 * after_one
+
+
+class TestPThreads:
+    def test_parallel_phase_time_is_max_plus_barrier(self):
+        apu = AMDAPU()
+        machine = apu.pthreads(2)
+
+        def quick():
+            yield Compute(1)
+
+        def slow():
+            yield Compute(1000)
+
+        phase = machine.run_parallel([quick(), slow()])
+        assert phase.time_ps > max(phase.per_thread_ps) - 1
+        assert phase.slowest_thread_ps == max(phase.per_thread_ps)
+
+    def test_total_time_accumulates_phases(self):
+        apu = AMDAPU()
+        machine = apu.pthreads(2)
+        machine.run_sequential((Compute(10) for _ in range(1)))
+        before = machine.total_time_ps
+        machine.run_parallel([(Compute(10) for _ in range(1))])
+        machine.join()
+        assert machine.total_time_ps > before
+
+    def test_too_many_programs_rejected(self):
+        apu = AMDAPU()
+        machine = apu.pthreads(2)
+        with pytest.raises(RuntimeModelError):
+            machine.run_parallel([(Compute(1) for _ in range(1)) for _ in range(3)])
+
+    def test_thread_count_capped_at_core_count(self):
+        apu = AMDAPU()
+        assert apu.pthreads(16).num_threads == 4

@@ -1,0 +1,108 @@
+"""Tests for directory entries and the per-bank directory."""
+
+import pytest
+
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.errors import CoherenceError
+
+
+class TestDirectoryEntry:
+    def test_new_entry_has_no_copies(self):
+        entry = DirectoryEntry(line_address=0x100)
+        assert not entry.has_copies
+        assert entry.holders() == set()
+
+    def test_exclusive_owner(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_exclusive_owner("cpu0")
+        assert entry.owner == "cpu0" and entry.owner_exclusive
+        assert entry.holders() == {"cpu0"}
+
+    def test_exclusive_owner_clears_sharers(self):
+        entry = DirectoryEntry(0x100)
+        entry.add_sharer("cpu1")
+        entry.set_exclusive_owner("cpu0")
+        assert entry.sharers == set()
+
+    def test_shared_owner_coexists_with_sharers(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_shared_owner("cpu0")
+        entry.add_sharer("mttop0")
+        assert entry.holders() == {"cpu0", "mttop0"}
+        entry.check_invariant()
+
+    def test_cannot_add_sharer_under_exclusive_owner(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_exclusive_owner("cpu0")
+        with pytest.raises(CoherenceError):
+            entry.add_sharer("cpu1")
+
+    def test_owner_cannot_be_sharer(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_shared_owner("cpu0")
+        with pytest.raises(CoherenceError):
+            entry.add_sharer("cpu0")
+
+    def test_remove_owner(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_exclusive_owner("cpu0")
+        entry.remove("cpu0")
+        assert entry.owner is None and not entry.has_copies
+
+    def test_remove_sharer(self):
+        entry = DirectoryEntry(0x100)
+        entry.add_sharer("cpu1")
+        entry.remove("cpu1")
+        assert not entry.has_copies
+
+    def test_clear(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_shared_owner("cpu0")
+        entry.add_sharer("cpu1")
+        entry.clear()
+        assert not entry.has_copies
+
+    def test_invariant_violation_detected(self):
+        entry = DirectoryEntry(0x100)
+        entry.owner = "cpu0"
+        entry.owner_exclusive = True
+        entry.sharers = {"cpu1"}
+        with pytest.raises(CoherenceError):
+            entry.check_invariant()
+
+    def test_is_holder(self):
+        entry = DirectoryEntry(0x100)
+        entry.set_shared_owner("cpu0")
+        entry.add_sharer("cpu1")
+        assert entry.is_holder("cpu0") and entry.is_holder("cpu1")
+        assert not entry.is_holder("cpu2")
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        directory = Directory()
+        entry = directory.entry(0x40)
+        assert directory.entry(0x40) is entry
+        assert len(directory) == 1
+
+    def test_peek_does_not_create(self):
+        directory = Directory()
+        assert directory.peek(0x40) is None
+        assert len(directory) == 0
+
+    def test_drop(self):
+        directory = Directory()
+        directory.entry(0x40)
+        directory.drop(0x40)
+        assert directory.peek(0x40) is None
+
+    def test_check_invariants_covers_all_entries(self):
+        directory = Directory()
+        good = directory.entry(0x40)
+        good.set_exclusive_owner("cpu0")
+        bad = directory.entry(0x80)
+        bad.owner = "cpu0"
+        bad.owner_exclusive = True
+        bad.sharers = {"cpu1"}
+        with pytest.raises(CoherenceError):
+            directory.check_invariants()

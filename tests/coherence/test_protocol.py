@@ -1,0 +1,164 @@
+"""Tests for the MOESI directory protocol over L1s, L2 banks and DRAM."""
+
+import pytest
+
+from repro.coherence.protocol import AccessType
+from repro.coherence.states import MOESIState
+from tests.conftest import build_coherent_system
+
+
+class TestBasicAccesses:
+    def test_cold_load_fills_from_dram_as_exclusive(self, coherent_system, stats):
+        result = coherent_system.load("cpu0", 0x1000)
+        assert result.level == "dram"
+        block = coherent_system._l1s["cpu0"].cache.peek(0x1000)
+        assert block.state is MOESIState.EXCLUSIVE
+        assert stats["dram.reads"] == 1
+
+    def test_second_load_hits_l1(self, coherent_system, stats):
+        coherent_system.load("cpu0", 0x1000)
+        result = coherent_system.load("cpu0", 0x1008)   # same line
+        assert result.level == "l1"
+        assert stats["coherence.l1_hits"] == 1
+
+    def test_store_after_exclusive_load_is_silent_upgrade(self, coherent_system):
+        coherent_system.load("cpu0", 0x1000)
+        result = coherent_system.store("cpu0", 0x1000)
+        assert result.level == "l1"
+        assert coherent_system._l1s["cpu0"].cache.peek(0x1000).state \
+            is MOESIState.MODIFIED
+
+    def test_cold_store_gets_modified(self, coherent_system):
+        result = coherent_system.store("mttop0", 0x2000)
+        assert result.level == "dram"
+        assert coherent_system._l1s["mttop0"].cache.peek(0x2000).state \
+            is MOESIState.MODIFIED
+
+    def test_l2_hit_after_eviction_level(self, stats):
+        system = build_coherent_system(["cpu0"], stats, l1_bytes=128, l2_bytes=8192)
+        # Fill enough lines to evict 0x0 from the tiny L1 but keep it in L2.
+        system.load("cpu0", 0x0)
+        for index in range(1, 9):
+            system.load("cpu0", index * 64)
+        result = system.load("cpu0", 0x0)
+        assert result.level in ("l2", "dram")
+        assert stats["coherence.l2_hits"] >= 1
+
+    def test_latency_includes_l1_hit_cost(self, coherent_system):
+        coherent_system.load("cpu0", 0x3000)
+        hit = coherent_system.load("cpu0", 0x3000)
+        assert hit.latency_ps >= 700  # registered hit latency
+
+    def test_unknown_node_rejected(self, coherent_system):
+        with pytest.raises(Exception):
+            coherent_system.load("ghost", 0x0)
+
+
+class TestSharingAndInvalidation:
+    def test_read_sharing_two_nodes(self, coherent_system):
+        coherent_system.load("cpu0", 0x4000)
+        result = coherent_system.load("mttop0", 0x4000)
+        assert result.level in ("l2", "remote_l1")
+        states = {node: coherent_system._l1s[node].cache.peek(0x4000).state
+                  for node in ("cpu0", "mttop0")}
+        assert MOESIState.MODIFIED not in states.values()
+        coherent_system.check_invariants()
+
+    def test_store_invalidates_sharers(self, coherent_system, stats):
+        coherent_system.load("cpu0", 0x5000)
+        coherent_system.load("mttop0", 0x5000)
+        coherent_system.load("mttop1", 0x5000)
+        coherent_system.store("cpu0", 0x5000)
+        assert coherent_system._l1s["mttop0"].cache.peek(0x5000) is None
+        assert coherent_system._l1s["mttop1"].cache.peek(0x5000) is None
+        assert stats["coherence.invalidations"] >= 2
+        coherent_system.check_invariants()
+
+    def test_dirty_data_forwarded_between_l1s(self, coherent_system, stats):
+        coherent_system.store("cpu0", 0x6000)
+        result = coherent_system.load("mttop0", 0x6000)
+        assert result.level == "remote_l1"
+        owner_state = coherent_system._l1s["cpu0"].cache.peek(0x6000).state
+        assert owner_state is MOESIState.OWNED
+        sharer_state = coherent_system._l1s["mttop0"].cache.peek(0x6000).state
+        assert sharer_state is MOESIState.SHARED
+        coherent_system.check_invariants()
+
+    def test_write_after_remote_dirty_invalidates_owner(self, coherent_system):
+        coherent_system.store("cpu0", 0x7000)
+        coherent_system.store("mttop0", 0x7000)
+        assert coherent_system._l1s["cpu0"].cache.peek(0x7000) is None
+        assert coherent_system._l1s["mttop0"].cache.peek(0x7000).state \
+            is MOESIState.MODIFIED
+        coherent_system.check_invariants()
+
+    def test_upgrade_from_shared(self, coherent_system, stats):
+        coherent_system.load("cpu0", 0x8000)
+        coherent_system.load("mttop0", 0x8000)
+        result = coherent_system.store("mttop0", 0x8000)
+        assert result.level == "upgrade"
+        assert stats["coherence.upgrades"] == 1
+        assert coherent_system._l1s["cpu0"].cache.peek(0x8000) is None
+        coherent_system.check_invariants()
+
+    def test_exclusive_grant_to_sole_reader_avoids_upgrade_traffic(self, coherent_system, stats):
+        coherent_system.load("cpu0", 0x9000)
+        coherent_system.store("cpu0", 0x9000)
+        assert stats["coherence.upgrades"] == 0
+
+    def test_atomic_counts_and_gets_exclusive(self, coherent_system, stats):
+        coherent_system.load("mttop0", 0xA000)
+        coherent_system.load("mttop1", 0xA000)
+        coherent_system.atomic("mttop0", 0xA000)
+        assert stats["coherence.atomics"] == 1
+        assert coherent_system._l1s["mttop1"].cache.peek(0xA000) is None
+        coherent_system.check_invariants()
+
+
+class TestEvictionPaths:
+    def test_l1_capacity_eviction_writes_back_dirty_data(self, stats):
+        system = build_coherent_system(["cpu0"], stats, l1_bytes=128, l2_bytes=8192)
+        system.store("cpu0", 0x0)
+        # Force eviction of line 0x0 from the 2-line-per-set L1.
+        for index in range(1, 12):
+            system.store("cpu0", index * 64)
+        assert stats["coherence.writebacks_to_l2"] >= 1
+        system.check_invariants()
+
+    def test_inclusive_l2_eviction_recalls_l1_copies(self, stats):
+        system = build_coherent_system(["cpu0", "cpu1"], stats,
+                                       l1_bytes=4096, l2_bytes=512)
+        # Touch far more lines than the tiny L2 can hold.
+        for index in range(64):
+            system.load("cpu0", index * 64)
+        assert stats["coherence.l2_evictions"] >= 1
+        assert stats["coherence.recalls"] >= 1
+        system.check_invariants()
+
+    def test_dirty_l2_eviction_reaches_dram(self, stats):
+        system = build_coherent_system(["cpu0"], stats, l1_bytes=4096, l2_bytes=512)
+        for index in range(64):
+            system.store("cpu0", index * 64)
+        assert stats["coherence.writebacks_to_dram"] >= 1
+        assert stats["dram.writes"] >= 1
+        system.check_invariants()
+
+    def test_flush_l1_writes_back_dirty_lines(self, coherent_system, stats):
+        coherent_system.store("cpu0", 0x100)
+        coherent_system.store("cpu0", 0x200)
+        written_back = coherent_system.flush_l1("cpu0")
+        assert written_back == 2
+        assert coherent_system._l1s["cpu0"].cache.peek(0x100) is None
+        coherent_system.check_invariants()
+
+
+class TestAddressMapping:
+    def test_line_alignment(self, coherent_system):
+        assert coherent_system.line_address(0x12345) == 0x12340
+
+    def test_banks_interleaved_by_line(self, coherent_system):
+        banks = {coherent_system.home_bank(line * 64).name for line in range(8)}
+        assert len(banks) == len(coherent_system.banks)
+
+    def test_home_bank_stable(self, coherent_system):
+        assert coherent_system.home_bank(0x40).name == coherent_system.home_bank(0x40).name

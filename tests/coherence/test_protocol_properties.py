@@ -1,0 +1,53 @@
+"""Property-based tests: the protocol preserves SWMR and inclusion invariants.
+
+Hypothesis drives random interleavings of loads, stores and atomics from
+several cores over a small set of cache lines, against deliberately tiny
+caches so that evictions, recalls and writebacks all occur, and checks the
+full invariant suite after every step.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.protocol import AccessType
+from repro.sim.stats import StatsRegistry
+from tests.conftest import build_coherent_system
+
+NODES = ("cpu0", "cpu1", "mttop0", "mttop1")
+LINES = tuple(index * 64 for index in range(24))
+
+operations = st.lists(
+    st.tuples(st.sampled_from(NODES),
+              st.sampled_from(LINES),
+              st.sampled_from(list(AccessType))),
+    min_size=1, max_size=120)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_random_access_sequences_preserve_invariants(sequence):
+    stats = StatsRegistry()
+    system = build_coherent_system(list(NODES), stats, banks=2,
+                                   l1_bytes=256, l2_bytes=1024)
+    for node, paddr, access in sequence:
+        result = system.access(node, paddr, access)
+        assert result.latency_ps > 0
+    system.check_invariants()
+    for bank in system.banks:
+        bank.directory.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(operations)
+def test_accounting_identities(sequence):
+    stats = StatsRegistry()
+    system = build_coherent_system(list(NODES), stats, banks=2,
+                                   l1_bytes=256, l2_bytes=1024)
+    for node, paddr, access in sequence:
+        system.access(node, paddr, access)
+    total = stats["coherence.l1_hits"] + stats["coherence.l1_misses"] \
+        + stats["coherence.upgrades"]
+    assert total == len(sequence)
+    # Every DRAM fill corresponds to an L2 miss.
+    assert stats["coherence.dram_fills"] == stats["coherence.l2_misses"]
+    # DRAM reads happen only for fills.
+    assert stats["dram.reads"] == stats["coherence.dram_fills"]

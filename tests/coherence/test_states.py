@@ -1,0 +1,46 @@
+"""Tests for MOESI state semantics."""
+
+import pytest
+
+from repro.coherence.states import MOESIState
+
+
+class TestPermissions:
+    def test_readable_states(self):
+        readable = {state for state in MOESIState if state.can_read}
+        assert readable == {MOESIState.MODIFIED, MOESIState.OWNED,
+                            MOESIState.EXCLUSIVE, MOESIState.SHARED}
+
+    def test_writable_states(self):
+        writable = {state for state in MOESIState if state.can_write}
+        assert writable == {MOESIState.MODIFIED, MOESIState.EXCLUSIVE}
+
+    def test_ownership_states(self):
+        owners = {state for state in MOESIState if state.is_ownership}
+        assert owners == {MOESIState.MODIFIED, MOESIState.OWNED, MOESIState.EXCLUSIVE}
+
+    def test_dirty_states(self):
+        dirty = {state for state in MOESIState if state.is_dirty}
+        assert dirty == {MOESIState.MODIFIED, MOESIState.OWNED}
+
+    def test_exclusive_states(self):
+        exclusive = {state for state in MOESIState if state.is_exclusive}
+        assert exclusive == {MOESIState.MODIFIED, MOESIState.EXCLUSIVE}
+
+
+class TestTransitions:
+    def test_store_in_exclusive_becomes_modified(self):
+        assert MOESIState.EXCLUSIVE.after_local_store() is MOESIState.MODIFIED
+
+    def test_store_in_modified_stays_modified(self):
+        assert MOESIState.MODIFIED.after_local_store() is MOESIState.MODIFIED
+
+    @pytest.mark.parametrize("state", [MOESIState.SHARED, MOESIState.OWNED,
+                                       MOESIState.INVALID])
+    def test_store_without_permission_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.after_local_store()
+
+    def test_str_is_single_letter(self):
+        assert str(MOESIState.MODIFIED) == "M"
+        assert {str(state) for state in MOESIState} == {"M", "O", "E", "S", "I"}

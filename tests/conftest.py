@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import CoherentMemorySystem, L2Bank
+from repro.config import small_ccsvm_system, tiny_caches_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import Torus2DTopology
+from repro.memory.dram import DRAMModel
+from repro.memory.physical import FrameAllocator, PhysicalMemory
+from repro.sim.stats import StatsRegistry
+from repro.vm.manager import VirtualMemoryManager
+
+
+@pytest.fixture
+def stats():
+    """A fresh statistics registry."""
+    return StatsRegistry()
+
+
+@pytest.fixture
+def physical_memory():
+    """16 MiB of physical memory."""
+    return PhysicalMemory(16 * 1024 * 1024)
+
+
+@pytest.fixture
+def frame_allocator(physical_memory):
+    """Frame allocator covering the physical memory fixture."""
+    return FrameAllocator(physical_memory.size_bytes)
+
+
+@pytest.fixture
+def vm_manager(physical_memory, frame_allocator, stats):
+    """Virtual-memory manager over the physical-memory fixtures."""
+    return VirtualMemoryManager(physical_memory, frame_allocator, stats=stats)
+
+
+def build_coherent_system(node_names, stats, banks=2, l1_bytes=1024,
+                          l2_bytes=8192, line_size=64):
+    """Construct a small coherent memory system for protocol tests."""
+    l2_nodes = [f"l2b{i}" for i in range(banks)]
+    topology = Torus2DTopology.fit(list(node_names) + l2_nodes + ["mem0"])
+    network = NetworkModel(topology, stats=stats)
+    dram = DRAMModel(100.0, stats=stats)
+    l2_banks = []
+    for index, node in enumerate(l2_nodes):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=l2_bytes, associativity=4, line_size=line_size,
+                        hit_latency_ps=3000, name=f"l2.bank{index}"),
+            stats=stats)
+        l2_banks.append(L2Bank(name=node, cache=cache,
+                               directory=Directory(f"dir{index}"),
+                               hit_latency_ps=3000))
+    system = CoherentMemorySystem(network, dram, l2_banks, "mem0", stats=stats)
+    for node in node_names:
+        l1 = SetAssociativeCache(
+            CacheConfig(size_bytes=l1_bytes, associativity=2, line_size=line_size,
+                        hit_latency_ps=700, name=f"l1d.{node}"),
+            stats=stats)
+        system.register_l1(node, l1, 700)
+    return system
+
+
+@pytest.fixture
+def coherent_system(stats):
+    """A 3-node coherent memory system with small caches."""
+    return build_coherent_system(["cpu0", "mttop0", "mttop1"], stats)
+
+
+@pytest.fixture
+def small_chip():
+    """A small CCSVM chip (1 CPU core, 2 MTTOP cores) with SC checking."""
+    return CCSVMChip(small_ccsvm_system(), check_sc=True)
+
+
+@pytest.fixture
+def tiny_cache_chip():
+    """A CCSVM chip with tiny caches, for eviction/writeback paths."""
+    return CCSVMChip(tiny_caches_ccsvm_system(), check_sc=True)

@@ -1,0 +1,80 @@
+"""Tests for the per-core memory port (translation + coherence + data)."""
+
+import pytest
+
+from repro.config import small_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.errors import VirtualMemoryError
+
+
+@pytest.fixture
+def chip():
+    chip = CCSVMChip(small_ccsvm_system(), check_sc=True)
+    chip.create_process("access_test")
+    return chip
+
+
+class TestTranslation:
+    def test_port_without_address_space_rejects_access(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        port = chip.mttop_cores[0].memory_port
+        with pytest.raises(VirtualMemoryError):
+            port.load(0x1000_0000)
+
+    def test_first_touch_faults_then_tlb_hits(self, chip):
+        port = chip.cpu_cores[0].memory_port
+        vaddr = chip.malloc(64)
+        value, first_latency = port.load(vaddr)
+        assert value == 0
+        assert chip.stats[f"tlb.cpu0.misses"] == 1
+        assert chip.stats["os.page_faults"] >= 1
+        _, second_latency = port.load(vaddr)
+        assert chip.stats[f"tlb.cpu0.hits"] >= 1
+        assert second_latency < first_latency
+
+    def test_store_then_load_roundtrip(self, chip):
+        port = chip.cpu_cores[0].memory_port
+        vaddr = chip.malloc(64)
+        port.store(vaddr, 1234)
+        value, _ = port.load(vaddr)
+        assert value == 1234
+        assert chip.read_word(vaddr) == 1234
+
+    def test_mttop_fault_forwarded_through_mifd(self, chip):
+        port = chip.mttop_cores[0].memory_port
+        port.set_address_space(chip.process_space)
+        vaddr = chip.malloc(64)
+        port.store(vaddr, 9)
+        assert chip.stats["mifd.page_faults_forwarded"] == 1
+        assert chip.stats["os.page_faults_from_mttop"] == 1
+
+    def test_cross_core_visibility(self, chip):
+        cpu_port = chip.cpu_cores[0].memory_port
+        mttop_port = chip.mttop_cores[0].memory_port
+        mttop_port.set_address_space(chip.process_space)
+        vaddr = chip.malloc(64)
+        cpu_port.store(vaddr, 77)
+        value, _ = mttop_port.load(vaddr)
+        assert value == 77
+
+    def test_atomics(self, chip):
+        port = chip.cpu_cores[0].memory_port
+        vaddr = chip.malloc(8)
+        old, _ = port.atomic_add(vaddr, 5)
+        assert old == 0
+        old, _ = port.atomic_cas(vaddr, 5, 11)
+        assert old == 5
+        assert chip.read_word(vaddr) == 11
+
+    def test_cas_failure_leaves_value(self, chip):
+        port = chip.cpu_cores[0].memory_port
+        vaddr = chip.malloc(8)
+        port.store(vaddr, 3)
+        old, _ = port.atomic_cas(vaddr, 99, 1)
+        assert old == 3
+        assert chip.read_word(vaddr) == 3
+
+    def test_cr3_matches_process(self, chip):
+        port = chip.cpu_cores[0].memory_port
+        assert port.cr3 == chip.process_space.cr3
+        assert port.has_address_space

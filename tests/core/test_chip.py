@@ -1,0 +1,121 @@
+"""Tests for the assembled CCSVM chip."""
+
+import pytest
+
+from repro.config import ccsvm_system, small_ccsvm_system, tiny_caches_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
+from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.errors import SimulationError
+
+
+def _signal_kernel(tid, args):
+    out, done = args
+    yield Store(word_addr(out, tid), tid * 2)
+    yield from mttop_signal(done, tid)
+
+
+def _simple_host(threads, addresses):
+    def host():
+        out = yield Malloc(threads * 8)
+        done = yield Malloc(threads * 8)
+        addresses["out"] = out
+        for t in range(threads):
+            yield Store(word_addr(done, t), 0)
+        yield CreateMThread(_signal_kernel, (out, done), 0, threads - 1)
+        yield WaitCond(done, 0, threads - 1)
+    return host
+
+
+class TestConstruction:
+    def test_default_config_builds_full_chip(self):
+        chip = CCSVMChip(ccsvm_system())
+        assert len(chip.cpu_cores) == 4
+        assert len(chip.mttop_cores) == 10
+        assert len(chip.l2_banks) == 4
+        # Every core and bank is a node on the torus.
+        for node in chip.cpu_nodes + chip.mttop_nodes + chip.l2_nodes:
+            assert node in chip.topology
+
+    def test_small_config(self):
+        chip = CCSVMChip(small_ccsvm_system(cpu_cores=2, mttop_cores=3))
+        assert len(chip.cpu_cores) == 2
+        assert len(chip.mttop_cores) == 3
+
+
+class TestRunning:
+    def test_run_executes_host_and_mttop_threads(self):
+        chip = CCSVMChip(small_ccsvm_system(), check_sc=True)
+        chip.create_process("chip_test")
+        addresses = {}
+        result = chip.run(_simple_host(16, addresses)())
+        assert result.time_ps > 0
+        assert chip.read_array(addresses["out"], 16) == [t * 2 for t in range(16)]
+        assert result.dram_accesses == result.stats["dram.reads"] + \
+            result.stats["dram.writes"]
+
+    def test_run_accepts_generator_function(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("chip_test")
+        addresses = {}
+        chip.run(_simple_host(8, addresses))
+        assert chip.read_word(addresses["out"]) == 0
+
+    def test_chip_cannot_run_twice(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("chip_test")
+        chip.run(_simple_host(8, {})())
+        with pytest.raises(SimulationError):
+            chip.run(_simple_host(8, {})())
+
+    def test_extra_hosts_run_on_other_cpus(self):
+        chip = CCSVMChip(small_ccsvm_system(cpu_cores=2))
+        chip.create_process("chip_test")
+        marks = chip.malloc(2 * 8)
+
+        def worker(index):
+            def host():
+                yield Compute(10)
+                yield Store(word_addr(marks, index), index + 1)
+            return host
+
+        chip.run(worker(0)(), extra_hosts=[worker(1)()])
+        assert chip.read_array(marks, 2) == [1, 2]
+
+    def test_too_many_hosts_rejected(self):
+        chip = CCSVMChip(small_ccsvm_system(cpu_cores=1))
+        chip.create_process("chip_test")
+        with pytest.raises(SimulationError):
+            chip.run((Compute(1) for _ in range(0)),
+                     extra_hosts=[(Compute(1) for _ in range(0))])
+
+    def test_sc_checker_records_events(self):
+        chip = CCSVMChip(small_ccsvm_system(), check_sc=True)
+        chip.create_process("chip_test")
+        chip.run(_simple_host(8, {})())
+        assert chip.sc_checker.events_recorded > 0
+
+    def test_coherence_invariants_hold_after_run(self):
+        chip = CCSVMChip(tiny_caches_ccsvm_system(), check_sc=True)
+        chip.create_process("chip_test")
+        chip.run(_simple_host(24, {})())
+        chip.coherence.check_invariants()
+
+    def test_functional_helpers_roundtrip(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("chip_test")
+        vaddr = chip.malloc(4 * 8)
+        chip.write_array(vaddr, [1, 2, 3, 4])
+        assert chip.read_array(vaddr, 4) == [1, 2, 3, 4]
+
+    def test_process_space_required_before_helpers(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        with pytest.raises(SimulationError):
+            chip.read_word(0x1000)
+
+    def test_stats_snapshot_is_plain_dict(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("chip_test")
+        chip.run(_simple_host(8, {})())
+        snapshot = chip.stats_snapshot()
+        assert isinstance(snapshot, dict) and snapshot

@@ -1,0 +1,53 @@
+"""Tests for the sequential-consistency checker."""
+
+import pytest
+
+from repro.core.consistency import SequentialConsistencyChecker
+from repro.errors import ConsistencyViolationError
+
+
+class TestChecker:
+    def test_load_of_unwritten_address_must_be_zero(self):
+        checker = SequentialConsistencyChecker()
+        checker.record_load("cpu0", 0x100, 0, 10)
+        with pytest.raises(ConsistencyViolationError):
+            checker.record_load("cpu0", 0x200, 5, 20)
+
+    def test_load_sees_most_recent_store(self):
+        checker = SequentialConsistencyChecker()
+        checker.record_store("cpu0", 0x100, 7, 10)
+        checker.record_store("mttop0", 0x100, 9, 20)
+        checker.record_load("cpu1", 0x100, 9, 30)
+        with pytest.raises(ConsistencyViolationError):
+            checker.record_load("cpu1", 0x100, 7, 40)
+
+    def test_program_order_violation_detected(self):
+        checker = SequentialConsistencyChecker()
+        checker.record_store("cpu0", 0x100, 1, 100)
+        with pytest.raises(ConsistencyViolationError):
+            checker.record_store("cpu0", 0x100, 2, 50)
+
+    def test_different_nodes_may_have_unordered_times(self):
+        checker = SequentialConsistencyChecker()
+        checker.record_store("cpu0", 0x100, 1, 100)
+        checker.record_store("cpu1", 0x200, 2, 50)  # fine: different node
+        assert checker.events_recorded == 2
+
+    def test_atomic_records_load_and_store(self):
+        checker = SequentialConsistencyChecker()
+        checker.record_store("cpu0", 0x100, 3, 10)
+        checker.record_atomic("mttop0", 0x100, old_value=3, new_value=4, time_ps=20)
+        checker.record_load("cpu0", 0x100, 4, 30)
+        assert checker.last_value(0x100) == 4
+
+    def test_history_replay(self):
+        checker = SequentialConsistencyChecker(keep_history=True)
+        checker.record_store("cpu0", 0x100, 1, 10)
+        checker.record_load("cpu1", 0x100, 1, 20)
+        checker.verify_total_order()
+        assert len(checker.history) == 2
+
+    def test_history_not_kept_by_default(self):
+        checker = SequentialConsistencyChecker()
+        checker.record_store("cpu0", 0x100, 1, 10)
+        assert checker.history == []

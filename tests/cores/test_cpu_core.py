@@ -1,0 +1,142 @@
+"""Tests for the in-order CPU core model."""
+
+import pytest
+
+from repro.cores.cpu import CPUCore
+from repro.cores.interpreter import OpOutcome
+from repro.cores.isa import Compute, Load, Malloc, Store
+from repro.errors import KernelProgramError
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Engine
+from tests.cores.test_interpreter import FakePort
+
+
+def make_core(handler=None):
+    clock = ClockDomain.from_ghz("cpu", 1.0)  # 1000 ps / cycle
+    return CPUCore("cpu0", clock, cycles_per_instruction=2.0,
+                   memory_port=FakePort(), runtime_handler=handler)
+
+
+class TestExecution:
+    def test_runs_program_to_completion(self):
+        core = make_core()
+
+        def program():
+            yield Store(0, 5)
+            value = yield Load(0)
+            assert value == 5
+            yield Compute(3)
+
+        core.run_program(program())
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert core.finished
+        assert core.memory_port.words[0] == 5
+
+    def test_issue_cost_is_half_ipc(self):
+        core = make_core()
+
+        def program():
+            yield Compute(1)
+
+        core.run_program(program())
+        Engine().add_agent(core)
+        core.step()
+        # One instruction at 2 cycles/instr and 1000 ps/cycle.
+        assert core.local_time_ps == 2000
+
+    def test_compute_amount_scales_time(self):
+        core = make_core()
+
+        def program():
+            yield Compute(5)
+
+        core.run_program(program())
+        core.step()
+        assert core.local_time_ps == 5 * 2000
+
+    def test_memory_latency_added(self):
+        core = make_core()
+
+        def program():
+            yield Store(0, 1)
+
+        core.run_program(program())
+        core.step()
+        assert core.local_time_ps == 2000 + 20
+
+    def test_runtime_handler_invoked_for_unknown_ops(self):
+        calls = []
+
+        def handler(core, lane, op):
+            calls.append(op)
+            return OpOutcome(latency_ps=100, value=0x1234)
+
+        core = make_core(handler)
+
+        def program():
+            address = yield Malloc(64)
+            assert address == 0x1234
+
+        core.run_program(program())
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert len(calls) == 1
+
+    def test_missing_handler_raises(self):
+        core = make_core(handler=None)
+
+        def program():
+            yield Malloc(64)
+
+        core.run_program(program())
+        with pytest.raises(KernelProgramError):
+            core.step()
+
+    def test_completion_callback(self):
+        completed = []
+        core = make_core()
+
+        def program():
+            yield Compute(1)
+
+        core.run_program(program(), on_complete=lambda c, ctx: completed.append(ctx.tid))
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert completed == [0]
+
+    def test_queued_programs_run_in_order(self):
+        order = []
+        core = make_core()
+
+        def program(tag):
+            order.append(tag)
+            yield Compute(1)
+
+        core.run_program(program("first"))
+        core.run_program(program("second"))
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_interrupt_latency_charged(self):
+        core = make_core()
+
+        def program():
+            yield Compute(1)
+
+        core.run_program(program())
+        core.add_interrupt_latency(7777)
+        core.step()
+        assert core.local_time_ps == 7777
+
+    def test_core_without_work_finishes(self):
+        core = make_core()
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert core.finished

@@ -1,0 +1,125 @@
+"""Tests for the SIMT MTTOP core model."""
+
+import pytest
+
+from repro.cores.interpreter import ThreadContext
+from repro.cores.isa import Compute, Load, Store
+from repro.cores.mttop import MTTOPCore
+from repro.errors import MIFDError
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Engine
+from tests.cores.test_interpreter import FakePort
+
+
+def make_core(simd_width=4, contexts=16):
+    clock = ClockDomain.from_mhz("mttop", 1000)  # 1000 ps / cycle
+    return MTTOPCore("mttop0", clock, simd_width=simd_width,
+                     thread_contexts=contexts, memory_port=FakePort())
+
+
+def make_lanes(kernel, tids, args=None):
+    return [ThreadContext(tid=tid, program=kernel(tid, args)) for tid in tids]
+
+
+def store_kernel(tid, args):
+    yield Store(tid * 8, tid)
+    yield Compute(1)
+
+
+class TestAssignment:
+    def test_new_core_is_blocked(self):
+        assert make_core().blocked
+
+    def test_assign_warp_wakes_core_and_uses_contexts(self):
+        core = make_core()
+        core.assign_warp(make_lanes(store_kernel, [0, 1, 2]), at_time_ps=100)
+        assert not core.blocked
+        assert core.busy_contexts == 3
+        assert core.free_contexts == 13
+
+    def test_warp_larger_than_simd_width_rejected(self):
+        core = make_core(simd_width=2)
+        with pytest.raises(MIFDError):
+            core.assign_warp(make_lanes(store_kernel, [0, 1, 2]), 0)
+
+    def test_empty_warp_rejected(self):
+        with pytest.raises(MIFDError):
+            make_core().assign_warp([], 0)
+
+    def test_context_exhaustion_rejected(self):
+        core = make_core(simd_width=4, contexts=4)
+        core.assign_warp(make_lanes(store_kernel, [0, 1, 2, 3]), 0)
+        with pytest.raises(MIFDError):
+            core.assign_warp(make_lanes(store_kernel, [4]), 0)
+
+
+class TestExecution:
+    def test_lockstep_warp_executes_all_lanes(self):
+        core = make_core()
+        core.assign_warp(make_lanes(store_kernel, [0, 1, 2, 3]), 0)
+        core.request_halt(0)
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert core.finished
+        assert core.memory_port.words == {0: 0, 8: 1, 16: 2, 24: 3}
+
+    def test_contexts_released_when_warp_retires(self):
+        core = make_core()
+        core.assign_warp(make_lanes(store_kernel, [0, 1]), 0)
+        core.request_halt(0)
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        assert core.free_contexts == core.thread_contexts
+
+    def test_warp_latency_is_max_of_lanes_plus_issue(self):
+        core = make_core()
+
+        def kernel(tid, args):
+            yield Store(tid * 8, tid)
+
+        core.assign_warp(make_lanes(kernel, [0, 1]), 0)
+        core.step()
+        # store latency 20 ps (FakePort) + one issue cycle of 1000 ps
+        assert core.local_time_ps == 1020
+
+    def test_idle_core_blocks_until_halt_requested(self):
+        core = make_core()
+        core.blocked = False
+        outcome = core.step()
+        assert core.blocked
+        core.request_halt(0)
+        core.step()
+        assert core.finished
+
+    def test_round_robin_between_warps(self):
+        core = make_core(simd_width=1, contexts=4)
+        order = []
+
+        def kernel(tid, args):
+            order.append(tid)
+            yield Compute(1)
+            order.append(tid)
+
+        core.assign_warp(make_lanes(kernel, [0]), 0)
+        core.assign_warp(make_lanes(kernel, [1]), 0)
+        core.request_halt(0)
+        engine = Engine()
+        engine.add_agent(core)
+        engine.run()
+        # Both warps interleave rather than one running to completion first.
+        assert order[0:2] == [0, 1]
+
+    def test_multiple_tasks_over_time(self):
+        core = make_core()
+        core.assign_warp(make_lanes(store_kernel, [0, 1]), 0)
+        engine = Engine()
+        engine.add_agent(core)
+        # Run the first warp until the core goes idle (blocked).
+        while not core.blocked and not core.finished:
+            engine.run_step()
+        core.assign_warp(make_lanes(store_kernel, [2, 3]), engine.now_ps)
+        core.request_halt(engine.now_ps)
+        engine.run()
+        assert core.memory_port.words[24] == 3

@@ -1,0 +1,74 @@
+"""Tests for the experiment harness (report rendering and small sweeps)."""
+
+import pytest
+
+from repro.config import small_ccsvm_system
+from repro.experiments import figure5, figure6, figure7, figure8, figure9, table2
+from repro.experiments.report import render_table, rows_to_csv
+
+SMALL = small_ccsvm_system()
+
+
+class TestReport:
+    def test_render_table_alignment_and_values(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = render_table(rows, title="T")
+        assert "T" in text and "a" in text and "10" in text
+
+    def test_render_empty(self):
+        assert "(no data)" in render_table([])
+
+    def test_csv(self):
+        rows = [{"a": 1, "b": 2}]
+        assert rows_to_csv(rows) == "a,b\n1,2"
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestTable2:
+    def test_rows_cover_both_systems(self):
+        rows = table2.rows()
+        assert len(rows) >= 8
+        assert all(set(row) == set(table2.COLUMNS) for row in rows)
+
+    def test_render_mentions_key_numbers(self):
+        text = table2.render()
+        assert "2.9" in text and "600" in text and "torus" in text.lower()
+
+
+class TestFigureSweeps:
+    """Single-point sweeps with the small chip keep these fast but real."""
+
+    def test_figure5_row_contents(self):
+        rows = figure5.run(sizes=(6,), ccsvm_config=SMALL)
+        row = rows[0]
+        assert set(figure5.COLUMNS) <= set(row)
+        assert row["rel_apu_opencl"] > row["rel_apu_nosetup"]
+        assert "Figure 5" in figure5.render(rows)
+
+    def test_figure6_row_contents(self):
+        rows = figure6.run(sizes=(6,), ccsvm_config=SMALL)
+        assert rows[0]["rel_apu_opencl"] > 1
+        assert "Figure 6" in figure6.render(rows)
+
+    def test_figure7_row_contents(self):
+        rows = figure7.run(body_counts=(12,), timesteps=1, ccsvm_config=SMALL)
+        row = rows[0]
+        assert row["speedup_vs_cpu"] > 0
+        assert "Figure 7" in figure7.render(rows)
+
+    def test_figure8_panels(self):
+        panels = {
+            "by_size": figure8.run_size_sweep(sizes=(12,), ccsvm_config=SMALL),
+            "by_density": figure8.run_density_sweep(densities=(0.1,), size=12,
+                                                    ccsvm_config=SMALL),
+        }
+        assert panels["by_size"][0]["mttop_mallocs"] > 0
+        assert "Figure 8" in figure8.render(panels)
+
+    def test_figure9_row_contents(self):
+        rows = figure9.run(sizes=(6,), ccsvm_config=SMALL)
+        row = rows[0]
+        assert row["apu_opencl_dram_accesses"] > row["ccsvm_xthreads_dram_accesses"]
+        assert "Figure 9" in figure9.render(rows)

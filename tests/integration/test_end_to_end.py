@@ -1,0 +1,136 @@
+"""End-to-end integration and property tests across the full CCSVM stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import small_ccsvm_system, tiny_caches_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
+from repro.cores.isa import AtomicAdd, Load, Malloc, Store, word_addr
+
+
+class TestSharedCounter:
+    """Many MTTOP threads atomically increment one shared counter."""
+
+    def _run(self, threads, increments, config):
+        chip = CCSVMChip(config, check_sc=True)
+        chip.create_process("counter")
+        counter = chip.malloc(8)
+        chip.write_word(counter, 0)
+        done = chip.malloc(threads * 8)
+        for t in range(threads):
+            chip.write_word(word_addr(done, t), 0)
+
+        def kernel(tid, args):
+            for _ in range(increments):
+                yield AtomicAdd(counter, 1)
+            yield from mttop_signal(done, tid)
+
+        def host():
+            yield CreateMThread(kernel, None, 0, threads - 1)
+            yield WaitCond(done, 0, threads - 1)
+
+        chip.run(host())
+        chip.coherence.check_invariants()
+        return chip.read_word(counter)
+
+    def test_no_lost_updates_small_chip(self):
+        assert self._run(16, 4, small_ccsvm_system()) == 64
+
+    def test_no_lost_updates_with_tiny_caches(self):
+        assert self._run(24, 3, tiny_caches_ccsvm_system()) == 72
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(2, 20), st.integers(1, 5))
+    def test_no_lost_updates_property(self, threads, increments):
+        assert self._run(threads, increments,
+                         small_ccsvm_system()) == threads * increments
+
+
+class TestProducerConsumer:
+    def test_cpu_to_mttop_to_cpu_dataflow(self):
+        """CPU writes inputs, MTTOP transforms them, CPU reads outputs."""
+        chip = CCSVMChip(small_ccsvm_system(), check_sc=True)
+        chip.create_process("pipeline")
+        n = 40
+        collected = []
+
+        def kernel(tid, args):
+            src, dst, done = args
+            value = yield Load(word_addr(src, tid))
+            yield Store(word_addr(dst, tid), value * value)
+            yield from mttop_signal(done, tid)
+
+        def host():
+            src = yield Malloc(n * 8)
+            dst = yield Malloc(n * 8)
+            done = yield Malloc(n * 8)
+            for index in range(n):
+                yield Store(word_addr(src, index), index)
+                yield Store(word_addr(done, index), 0)
+            yield CreateMThread(kernel, (src, dst, done), 0, n - 1)
+            yield WaitCond(done, 0, n - 1)
+            for index in range(n):
+                value = yield Load(word_addr(dst, index))
+                collected.append(value)
+
+        chip.run(host())
+        assert collected == [index * index for index in range(n)]
+
+    def test_demand_paging_happens_from_both_core_types(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("paging")
+        n = 16
+
+        def kernel(tid, args):
+            src, dst, done = args
+            value = yield Load(word_addr(src, tid))
+            yield Store(word_addr(dst, tid), value + 1)
+            yield from mttop_signal(done, tid)
+
+        def host():
+            src = yield Malloc(n * 8)
+            # dst spans fresh pages the MTTOPs will fault in themselves.
+            dst = yield Malloc(16 * 4096)
+            done = yield Malloc(n * 8)
+            for index in range(n):
+                yield Store(word_addr(src, index), index)
+                yield Store(word_addr(done, index), 0)
+            yield CreateMThread(kernel, (src, dst + 8 * 4096, done), 0, n - 1)
+            yield WaitCond(done, 0, n - 1)
+
+        chip.run(host())
+        assert chip.stats["os.page_faults"] > 0
+        assert chip.stats["os.page_faults_from_mttop"] > 0
+        assert chip.stats["mifd.page_faults_forwarded"] > 0
+
+    def test_deterministic_replay(self):
+        """Two identical runs produce identical times and counters."""
+        def run():
+            chip = CCSVMChip(small_ccsvm_system())
+            chip.create_process("replay")
+            n = 16
+            addresses = {}
+
+            def kernel(tid, args):
+                src, done = args
+                value = yield Load(word_addr(src, tid))
+                yield Store(word_addr(src, tid), value + tid)
+                yield from mttop_signal(done, tid)
+
+            def host():
+                src = yield Malloc(n * 8)
+                done = yield Malloc(n * 8)
+                addresses["src"] = src
+                for index in range(n):
+                    yield Store(word_addr(src, index), index)
+                    yield Store(word_addr(done, index), 0)
+                yield CreateMThread(kernel, (src, done), 0, n - 1)
+                yield WaitCond(done, 0, n - 1)
+
+            result = chip.run(host())
+            return result.time_ps, chip.stats_snapshot(), chip.read_array(addresses["src"], n)
+
+        first = run()
+        second = run()
+        assert first == second

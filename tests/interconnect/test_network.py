@@ -1,0 +1,61 @@
+"""Tests for the network timing model."""
+
+from repro.interconnect.network import CONTROL_MESSAGE_BYTES, DATA_MESSAGE_BYTES, NetworkModel
+from repro.interconnect.topology import Torus2DTopology
+from repro.sim.stats import StatsRegistry
+
+
+def make_network(stats=None):
+    names = [f"n{i}" for i in range(9)]
+    return NetworkModel(Torus2DTopology(names, 3, 3), link_bandwidth_gbps=12.0,
+                        per_hop_latency_ns=1.0, stats=stats)
+
+
+class TestTiming:
+    def test_latency_grows_with_hops(self):
+        network = make_network()
+        near = network.send("n0", "n1")
+        far = network.send("n0", "n4")
+        assert far.hops > near.hops
+        assert far.latency_ps > near.latency_ps
+
+    def test_serialisation_depends_on_size(self):
+        network = make_network()
+        small = network.send("n0", "n1", size_bytes=8)
+        large = network.send("n0", "n1", size_bytes=72)
+        assert large.latency_ps > small.latency_ps
+
+    def test_self_message_pays_only_serialisation(self):
+        network = make_network()
+        message = network.send("n0", "n0", size_bytes=72)
+        assert message.hops == 0
+        assert message.latency_ps == network._serialisation_ps(72)
+
+    def test_control_and_data_sizes(self):
+        network = make_network()
+        assert network.control("n0", "n1").size_bytes == CONTROL_MESSAGE_BYTES
+        assert network.data("n0", "n1").size_bytes == DATA_MESSAGE_BYTES
+
+    def test_round_trip_is_sum(self):
+        network = make_network()
+        total = network.round_trip("n0", "n4")
+        assert total > 0
+
+    def test_zero_bandwidth_means_no_serialisation(self):
+        names = ["a", "b"]
+        network = NetworkModel(Torus2DTopology(names, 2, 1), link_bandwidth_gbps=0)
+        assert network.send("a", "b", size_bytes=1000).latency_ps == \
+            network.per_hop_latency_ps
+
+
+class TestAccounting:
+    def test_messages_and_bytes_counted(self):
+        stats = StatsRegistry()
+        network = make_network(stats)
+        network.send("n0", "n1", size_bytes=64, kind="data")
+        network.send("n1", "n2", size_bytes=8, kind="inv")
+        assert network.total_messages == 2
+        assert network.total_bytes == 72
+        assert stats["network.messages_data"] == 1
+        assert stats["network.messages_inv"] == 1
+        assert stats["network.hops"] == 2

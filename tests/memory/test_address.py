@@ -1,0 +1,82 @@
+"""Tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlignmentError
+from repro.memory import address
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert address.align_down(0x1234, 0x100) == 0x1200
+
+    def test_align_up(self):
+        assert address.align_up(0x1234, 0x100) == 0x1300
+
+    def test_align_up_already_aligned(self):
+        assert address.align_up(0x1200, 0x100) == 0x1200
+
+    def test_is_aligned(self):
+        assert address.is_aligned(4096, 4096)
+        assert not address.is_aligned(4097, 4096)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(AlignmentError):
+            address.align_down(100, 3)
+
+    @given(st.integers(0, 2**48), st.sampled_from([8, 64, 4096]))
+    def test_align_down_le_address(self, addr, alignment):
+        aligned = address.align_down(addr, alignment)
+        assert aligned <= addr and aligned % alignment == 0
+
+    @given(st.integers(0, 2**48), st.sampled_from([8, 64, 4096]))
+    def test_align_up_ge_address(self, addr, alignment):
+        aligned = address.align_up(addr, alignment)
+        assert aligned >= addr and aligned % alignment == 0
+
+
+class TestPageHelpers:
+    def test_page_number(self):
+        assert address.page_number(4096 * 3 + 5) == 3
+
+    def test_page_offset(self):
+        assert address.page_offset(4096 * 3 + 5) == 5
+
+    def test_page_address(self):
+        assert address.page_address(4096 * 3 + 5) == 4096 * 3
+
+    def test_constants(self):
+        assert address.PAGE_SIZE == 4096
+        assert address.CACHE_LINE_SIZE == 64
+        assert address.WORD_SIZE == 8
+
+
+class TestLineHelpers:
+    def test_line_address(self):
+        assert address.line_address(0x1234) == 0x1200
+
+    def test_line_offset(self):
+        assert address.line_offset(0x1234) == 0x34
+
+    def test_lines_in_range_single(self):
+        assert list(address.lines_in_range(0, 8)) == [0]
+
+    def test_lines_in_range_straddles(self):
+        assert list(address.lines_in_range(60, 8)) == [0, 64]
+
+    def test_lines_in_range_empty(self):
+        assert list(address.lines_in_range(100, 0)) == []
+
+    def test_words_in_range(self):
+        assert list(address.words_in_range(0, 24)) == [0, 8, 16]
+
+    def test_words_in_range_unaligned_start(self):
+        assert list(address.words_in_range(4, 8)) == [0, 8]
+
+    @given(st.integers(0, 1 << 30), st.integers(1, 1024))
+    def test_lines_cover_range(self, start, length):
+        lines = list(address.lines_in_range(start, length))
+        assert lines[0] <= start
+        assert lines[-1] + address.CACHE_LINE_SIZE >= start + length
+        assert all(b - a == address.CACHE_LINE_SIZE for a, b in zip(lines, lines[1:]))

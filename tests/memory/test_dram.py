@@ -1,0 +1,53 @@
+"""Tests for the DRAM timing/accounting model."""
+
+from repro.memory.dram import DRAMModel
+from repro.sim.stats import StatsRegistry
+
+
+class TestDRAMModel:
+    def test_read_latency(self):
+        dram = DRAMModel(latency_ns=100.0)
+        assert dram.read() == 100_000
+
+    def test_write_latency(self):
+        dram = DRAMModel(latency_ns=72.0)
+        assert dram.write() == 72_000
+
+    def test_access_counts(self):
+        stats = StatsRegistry()
+        dram = DRAMModel(100.0, stats=stats)
+        dram.read()
+        dram.read()
+        dram.write()
+        assert stats["dram.reads"] == 2
+        assert stats["dram.writes"] == 1
+        assert dram.total_accesses == 3
+
+    def test_bytes_counted(self):
+        dram = DRAMModel(100.0)
+        dram.read(64)
+        dram.write(128)
+        assert dram.total_bytes == 192
+
+    def test_access_dispatches_on_is_write(self):
+        stats = StatsRegistry()
+        dram = DRAMModel(100.0, stats=stats)
+        dram.access(is_write=True)
+        dram.access(is_write=False)
+        assert stats["dram.reads"] == 1 and stats["dram.writes"] == 1
+
+    def test_bandwidth_adds_serialisation(self):
+        slow = DRAMModel(100.0, bandwidth_bytes_per_ns=1.0)
+        fast = DRAMModel(100.0)
+        assert slow.read(64) == 100_000 + 64_000
+        assert fast.read(64) == 100_000
+
+    def test_custom_name_isolates_counters(self):
+        stats = StatsRegistry()
+        a = DRAMModel(100.0, stats=stats, name="dram_a")
+        b = DRAMModel(100.0, stats=stats, name="dram_b")
+        a.read()
+        b.write()
+        assert stats["dram_a.reads"] == 1
+        assert stats["dram_b.writes"] == 1
+        assert stats["dram_a.writes"] == 0

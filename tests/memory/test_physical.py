@@ -1,0 +1,138 @@
+"""Tests for the physical memory backing store and frame allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlignmentError, OutOfPhysicalMemoryError, UnmappedAddressError
+from repro.memory.address import PAGE_SIZE
+from repro.memory.physical import FrameAllocator, PhysicalMemory, to_signed, to_unsigned
+
+
+class TestWordEncoding:
+    def test_signed_roundtrip_negative(self):
+        assert to_signed(to_unsigned(-5)) == -5
+
+    def test_signed_roundtrip_positive(self):
+        assert to_signed(to_unsigned(123456789)) == 123456789
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_any_64bit(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+
+class TestFrameAllocator:
+    def test_allocates_distinct_page_aligned_frames(self):
+        allocator = FrameAllocator(16 * PAGE_SIZE)
+        frames = {allocator.allocate() for _ in range(16)}
+        assert len(frames) == 16
+        assert all(frame % PAGE_SIZE == 0 for frame in frames)
+
+    def test_exhaustion(self):
+        allocator = FrameAllocator(2 * PAGE_SIZE)
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(OutOfPhysicalMemoryError):
+            allocator.allocate()
+
+    def test_free_and_reuse(self):
+        allocator = FrameAllocator(PAGE_SIZE)
+        frame = allocator.allocate()
+        allocator.free(frame)
+        assert allocator.allocate() == frame
+
+    def test_double_free_rejected(self):
+        allocator = FrameAllocator(2 * PAGE_SIZE)
+        frame = allocator.allocate()
+        allocator.free(frame)
+        with pytest.raises(UnmappedAddressError):
+            allocator.free(frame)
+
+    def test_free_unaligned_rejected(self):
+        allocator = FrameAllocator(2 * PAGE_SIZE)
+        allocator.allocate()
+        with pytest.raises(AlignmentError):
+            allocator.free(12)
+
+    def test_counts(self):
+        allocator = FrameAllocator(4 * PAGE_SIZE)
+        assert allocator.total_frames == 4
+        allocator.allocate()
+        assert allocator.allocated_frames == 1
+        assert allocator.free_frames == 3
+
+    def test_reserved_region_not_allocated(self):
+        allocator = FrameAllocator(4 * PAGE_SIZE, reserved_bytes=2 * PAGE_SIZE)
+        assert allocator.total_frames == 2
+        assert allocator.allocate() >= 2 * PAGE_SIZE
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(AlignmentError):
+            FrameAllocator(PAGE_SIZE + 1)
+
+    def test_is_allocated(self):
+        allocator = FrameAllocator(2 * PAGE_SIZE)
+        frame = allocator.allocate()
+        assert allocator.is_allocated(frame)
+        assert not allocator.is_allocated(frame + PAGE_SIZE)
+
+
+class TestPhysicalMemory:
+    def test_unwritten_reads_zero(self):
+        assert PhysicalMemory(4096).read_word(128) == 0
+
+    def test_write_read_roundtrip(self):
+        memory = PhysicalMemory(4096)
+        memory.write_word(64, 42)
+        assert memory.read_word(64) == 42
+
+    def test_negative_values(self):
+        memory = PhysicalMemory(4096)
+        memory.write_word(0, -17)
+        assert memory.read_word(0) == -17
+        assert memory.read_unsigned(0) == (1 << 64) - 17
+
+    def test_subword_addresses_alias_word(self):
+        memory = PhysicalMemory(4096)
+        memory.write_word(8, 1)
+        assert memory.read_word(12) == 1
+
+    def test_out_of_range_rejected(self):
+        memory = PhysicalMemory(4096)
+        with pytest.raises(UnmappedAddressError):
+            memory.read_word(4096)
+        with pytest.raises(UnmappedAddressError):
+            memory.write_word(-8, 0)
+
+    def test_bulk_roundtrip(self):
+        memory = PhysicalMemory(4096)
+        memory.write_words(0, [1, 2, 3])
+        assert memory.read_words(0, 3) == [1, 2, 3]
+
+    def test_copy(self):
+        memory = PhysicalMemory(4096)
+        memory.write_words(0, [5, 6])
+        memory.copy(0, 256, 16)
+        assert memory.read_words(256, 2) == [5, 6]
+
+    def test_copy_rejects_unaligned_length(self):
+        with pytest.raises(AlignmentError):
+            PhysicalMemory(4096).copy(0, 64, 12)
+
+    def test_zero_page(self):
+        memory = PhysicalMemory(2 * PAGE_SIZE)
+        memory.write_word(10, 99)
+        memory.zero_page(0)
+        assert memory.read_word(10) == 0
+
+    def test_words_written_tracking(self):
+        memory = PhysicalMemory(4096)
+        memory.write_word(0, 1)
+        memory.write_word(8, 1)
+        memory.write_word(0, 2)
+        assert memory.words_written == 2
+
+    @given(st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=32))
+    def test_array_roundtrip_property(self, values):
+        memory = PhysicalMemory(64 * 1024)
+        memory.write_words(512, values)
+        assert memory.read_words(512, len(values)) == values

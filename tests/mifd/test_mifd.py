@@ -1,0 +1,118 @@
+"""Tests for the MIFD device, task descriptors and driver."""
+
+import pytest
+
+from repro.config import small_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.cores.isa import Store
+from repro.errors import InsufficientThreadContextsError, MIFDError
+from repro.mifd.task import TaskDescriptor
+
+
+def trivial_kernel(tid, args):
+    yield Store(args + tid * 8, tid)
+
+
+class TestTaskDescriptor:
+    def _task(self, first=0, last=7, space=None):
+        return TaskDescriptor(program_counter=0x400000, kernel=trivial_kernel,
+                              args=0, first_thread=first, last_thread=last,
+                              cr3=0x1000, address_space=space)
+
+    def test_thread_count(self):
+        assert self._task(0, 7).thread_count == 8
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(MIFDError):
+            self._task(5, 4)
+
+    def test_chunks_split_by_simd_width(self):
+        chunks = self._task(0, 9).chunks(4)
+        assert [chunk.size for chunk in chunks] == [4, 4, 2]
+        assert list(chunks[0].thread_ids) == [0, 1, 2, 3]
+
+    def test_chunks_require_positive_width(self):
+        with pytest.raises(MIFDError):
+            self._task().chunks(0)
+
+
+class TestMIFDOnChip:
+    """Exercise the MIFD through a real chip (cores, VM, runtime all wired)."""
+
+    def _chip(self, mttop_cores=2, contexts=16):
+        chip = CCSVMChip(small_ccsvm_system(mttop_cores=mttop_cores,
+                                            thread_contexts=contexts))
+        chip.create_process("mifd_test")
+        return chip
+
+    def test_submit_assigns_round_robin_across_cores(self):
+        chip = self._chip()
+        buffer = chip.malloc(64 * 8)
+        task = TaskDescriptor(program_counter=0x400000, kernel=trivial_kernel,
+                              args=buffer, first_thread=0, last_thread=31,
+                              cr3=chip.process_space.cr3,
+                              address_space=chip.process_space)
+        latency = chip.mifd.submit_task(task, now_ps=0)
+        assert latency > 0
+        busy = [core.busy_contexts for core in chip.mttop_cores]
+        assert all(count > 0 for count in busy)
+        assert sum(busy) == 32
+        assert chip.mifd.error_register == 0
+
+    def test_oversubscription_sets_error_register(self):
+        chip = self._chip(mttop_cores=1, contexts=16)
+        task = TaskDescriptor(program_counter=0x400000, kernel=trivial_kernel,
+                              args=0, first_thread=0, last_thread=63,
+                              cr3=chip.process_space.cr3,
+                              address_space=chip.process_space)
+        with pytest.raises(InsufficientThreadContextsError):
+            chip.mifd.submit_task(task, now_ps=0)
+        assert chip.mifd.error_register == 1
+
+    def test_capacity_properties(self):
+        chip = self._chip(mttop_cores=2, contexts=16)
+        assert chip.mifd.total_thread_contexts == 32
+        assert chip.mifd.total_free_contexts == 32
+
+    def test_forward_page_fault_maps_page_and_charges_cpu(self):
+        chip = self._chip()
+        vaddr = chip.vm.malloc(chip.process_space, 4096)
+        latency = chip.mifd.forward_page_fault("mttop0", vaddr,
+                                               chip.process_space.cr3,
+                                               is_write=True)
+        assert latency > 0
+        assert chip.process_space.page_table.translate(vaddr) is not None
+        assert chip.stats["mifd.page_faults_forwarded"] == 1
+        assert chip.stats["os.page_faults_from_mttop"] == 1
+        # The servicing CPU core was charged interrupt time.
+        assert any(chip.stats[f"{core.name}.interrupts"] for core in chip.cpu_cores)
+
+
+class TestDriver:
+    def test_launch_charges_syscall_plus_dispatch(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("driver_test")
+        buffer = chip.malloc(64 * 8)
+        latency = chip.driver.launch(0x400000, trivial_kernel, buffer, 0, 7,
+                                     chip.process_space, now_ps=0)
+        assert latency >= chip.driver.syscall_ps
+        assert chip.stats["mifd_driver.write_syscalls"] == 1
+
+    def test_arbitration_rejects_second_process_while_busy(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("proc_a")
+        space_a = chip.process_space
+        space_b = chip.vm.create_address_space()
+        buffer = chip.malloc(64 * 8)
+        chip.driver.launch(0x400000, trivial_kernel, buffer, 0, 7, space_a, 0)
+        with pytest.raises(MIFDError):
+            chip.driver.launch(0x400000, trivial_kernel, buffer, 0, 7, space_b, 0)
+
+    def test_release_allows_next_process(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("proc_a")
+        space_a = chip.process_space
+        chip.driver.launch(0x400000, trivial_kernel, chip.malloc(64 * 8), 0, 7,
+                           space_a, 0)
+        chip.driver.release(space_a.pid)
+        assert chip.driver._arbitration_owner_pid is None

@@ -1,0 +1,93 @@
+"""Tests for the time base and clock domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import (
+    ClockDomain,
+    PS_PER_NS,
+    hz_to_period_ps,
+    ns_to_ps,
+    ps_to_ns,
+    ps_to_seconds,
+)
+
+
+class TestConversions:
+    def test_ns_to_ps(self):
+        assert ns_to_ps(1.0) == 1_000
+
+    def test_ns_to_ps_fractional(self):
+        assert ns_to_ps(0.5) == 500
+
+    def test_ns_to_ps_rounds(self):
+        assert ns_to_ps(0.3448) == 345
+
+    def test_ps_to_ns(self):
+        assert ps_to_ns(2_500) == 2.5
+
+    def test_ps_to_seconds(self):
+        assert ps_to_seconds(1_000_000_000_000) == 1.0
+
+    def test_ps_per_ns_constant(self):
+        assert PS_PER_NS == 1_000
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    def test_roundtrip_within_rounding(self, nanoseconds):
+        assert abs(ps_to_ns(ns_to_ps(nanoseconds)) - nanoseconds) <= 0.001
+
+
+class TestHzToPeriod:
+    def test_one_ghz(self):
+        assert hz_to_period_ps(1e9) == 1_000
+
+    def test_cpu_clock_period(self):
+        # 2.9 GHz -> about 345 ps.
+        assert hz_to_period_ps(2.9e9) == 345
+
+    def test_mttop_clock_period(self):
+        # 600 MHz -> about 1667 ps.
+        assert hz_to_period_ps(600e6) == 1_667
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            hz_to_period_ps(0)
+
+    def test_never_returns_zero(self):
+        assert hz_to_period_ps(1e15) >= 1
+
+
+class TestClockDomain:
+    def test_from_ghz(self):
+        clock = ClockDomain.from_ghz("cpu", 2.9)
+        assert clock.frequency_hz == pytest.approx(2.9e9)
+
+    def test_from_mhz(self):
+        clock = ClockDomain.from_mhz("mttop", 600)
+        assert clock.frequency_hz == pytest.approx(600e6)
+
+    def test_period(self):
+        assert ClockDomain.from_ghz("c", 1.0).period_ps == 1_000
+
+    def test_cycles_to_ps(self):
+        clock = ClockDomain.from_ghz("c", 1.0)
+        assert clock.cycles_to_ps(10) == 10_000
+
+    def test_fractional_cycles(self):
+        clock = ClockDomain.from_ghz("c", 1.0)
+        assert clock.cycles_to_ps(0.5) == 500
+
+    def test_ps_to_cycles(self):
+        clock = ClockDomain.from_ghz("c", 2.0)
+        assert clock.ps_to_cycles(1_000) == pytest.approx(2.0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ClockDomain("bad", 0.0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_cycles_roundtrip(self, cycles):
+        clock = ClockDomain.from_mhz("m", 600)
+        assert clock.ps_to_cycles(clock.cycles_to_ps(cycles)) == pytest.approx(
+            cycles, rel=0.01)

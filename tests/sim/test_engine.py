@@ -1,0 +1,154 @@
+"""Tests for the event-ordered engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Agent, Engine, StepOutcome
+
+
+class CountingAgent(Agent):
+    """Runs a fixed number of steps, each advancing by a fixed duration."""
+
+    def __init__(self, name, steps, step_ps=100):
+        super().__init__(name)
+        self.remaining = steps
+        self.step_ps = step_ps
+        self.trace = []
+
+    def step(self):
+        if self.remaining == 0:
+            return self.finish()
+        self.remaining -= 1
+        self.trace.append(self.local_time_ps)
+        self.advance(self.step_ps)
+        return StepOutcome.RAN
+
+
+class BlockingAgent(Agent):
+    """Blocks immediately and stays blocked."""
+
+    def step(self):
+        return self.block()
+
+
+class TestAgentBasics:
+    def test_new_agent_is_runnable(self):
+        assert CountingAgent("a", 1).runnable
+
+    def test_finish_makes_unrunnable(self):
+        agent = CountingAgent("a", 0)
+        agent.step()
+        assert agent.finished and not agent.runnable
+
+    def test_wake_never_moves_clock_backwards(self):
+        agent = CountingAgent("a", 1)
+        agent.local_time_ps = 500
+        agent.wake(100)
+        assert agent.local_time_ps == 500
+
+    def test_wake_moves_clock_forward(self):
+        agent = CountingAgent("a", 1)
+        agent.block()
+        agent.wake(800)
+        assert agent.local_time_ps == 800 and not agent.blocked
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            CountingAgent("a", 1).advance(-1)
+
+
+class TestEngine:
+    def test_single_agent_runs_to_completion(self):
+        engine = Engine()
+        agent = engine.add_agent(CountingAgent("a", 5))
+        final = engine.run()
+        assert agent.finished
+        assert final == 500
+
+    def test_duplicate_names_rejected(self):
+        engine = Engine()
+        engine.add_agent(CountingAgent("a", 1))
+        with pytest.raises(SimulationError):
+            engine.add_agent(CountingAgent("a", 1))
+
+    def test_agent_lookup(self):
+        engine = Engine()
+        agent = engine.add_agent(CountingAgent("a", 1))
+        assert engine.agent("a") is agent
+        with pytest.raises(SimulationError):
+            engine.agent("missing")
+
+    def test_agents_stepped_in_time_order(self):
+        engine = Engine()
+        fast = engine.add_agent(CountingAgent("fast", 4, step_ps=100))
+        slow = engine.add_agent(CountingAgent("slow", 2, step_ps=1000))
+        engine.run()
+        # The fast agent should complete all its early steps before the slow
+        # agent's second step at t=1000.
+        assert fast.trace == [0, 100, 200, 300]
+        assert slow.trace == [0, 1000]
+
+    def test_global_time_is_max_local_time(self):
+        engine = Engine()
+        engine.add_agent(CountingAgent("a", 1, step_ps=300))
+        engine.add_agent(CountingAgent("b", 2, step_ps=500))
+        assert engine.run() == 1000
+
+    def test_deadlock_detected(self):
+        engine = Engine()
+        engine.add_agent(BlockingAgent("stuck"))
+        with pytest.raises(DeadlockError):
+            engine.run()
+
+    def test_blocked_agent_can_be_woken_externally(self):
+        engine = Engine()
+        stuck = engine.add_agent(BlockingAgent("stuck"))
+        worker = engine.add_agent(CountingAgent("worker", 1))
+        # Run one step at a time; after the worker finishes, unstick the
+        # blocked agent by finishing it directly.
+        engine.run_step()
+        engine.run_step()
+        stuck.finish()
+        assert engine.run() >= 0
+
+    def test_step_limit_enforced(self):
+        class Livelock(Agent):
+            def step(self):
+                self.advance(1)
+                return StepOutcome.RAN
+
+        engine = Engine(max_steps=100)
+        engine.add_agent(Livelock("loop"))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_zero_time_step_forced_forward(self):
+        class Sticky(Agent):
+            def __init__(self):
+                super().__init__("sticky")
+                self.count = 0
+
+            def step(self):
+                self.count += 1
+                if self.count >= 3:
+                    return self.finish()
+                return StepOutcome.RAN  # does not advance time
+
+        engine = Engine()
+        sticky = engine.add_agent(Sticky())
+        engine.run()
+        # The engine forces a minimal time advance to avoid spinning forever.
+        assert sticky.local_time_ps >= 2
+
+    def test_run_until_time_bound(self):
+        engine = Engine()
+        engine.add_agent(CountingAgent("a", 1000, step_ps=10))
+        engine.run(until_ps=50)
+        assert engine.now_ps <= 60
+
+    def test_run_step_returns_none_when_done(self):
+        engine = Engine()
+        agent = engine.add_agent(CountingAgent("a", 0))
+        engine.run()
+        assert engine.run_step() is None
+        assert agent.finished

@@ -1,0 +1,135 @@
+"""Tests for the statistics registry."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import StatsRegistry, diff
+
+
+class TestCounters:
+    def test_unknown_counter_reads_zero(self):
+        assert StatsRegistry().get("nope") == 0
+
+    def test_add_creates_counter(self):
+        stats = StatsRegistry()
+        stats.add("a.b")
+        assert stats.get("a.b") == 1
+
+    def test_add_amount(self):
+        stats = StatsRegistry()
+        stats.add("x", 5)
+        stats.add("x", 2)
+        assert stats["x"] == 7
+
+    def test_negative_amount(self):
+        stats = StatsRegistry()
+        stats.add("x", 5)
+        stats.add("x", -2)
+        assert stats["x"] == 3
+
+    def test_set_overwrites(self):
+        stats = StatsRegistry()
+        stats.add("x", 5)
+        stats.set("x", 1)
+        assert stats["x"] == 1
+
+    def test_max_keeps_largest(self):
+        stats = StatsRegistry()
+        stats.max("m", 3)
+        stats.max("m", 1)
+        assert stats["m"] == 3
+
+    def test_contains_and_len(self):
+        stats = StatsRegistry()
+        stats.add("x")
+        assert "x" in stats and "y" not in stats
+        assert len(stats) == 1
+
+    def test_reset(self):
+        stats = StatsRegistry()
+        stats.add("x")
+        stats.reset()
+        assert stats["x"] == 0 and len(stats) == 0
+
+    def test_items_sorted(self):
+        stats = StatsRegistry()
+        stats.add("b")
+        stats.add("a")
+        assert [name for name, _ in stats.items()] == ["a", "b"]
+
+
+class TestAggregation:
+    def test_sum_by_prefix(self):
+        stats = StatsRegistry()
+        stats.add("dram.reads", 3)
+        stats.add("dram.writes", 2)
+        stats.add("net.messages", 7)
+        assert stats.sum("dram.") == 5
+
+    def test_sum_by_suffix(self):
+        stats = StatsRegistry()
+        stats.add("l1.cpu0.hits", 3)
+        stats.add("l1.cpu1.hits", 2)
+        stats.add("l1.cpu0.misses", 9)
+        assert stats.sum(suffix=".hits") == 5
+
+    def test_group_strips_prefix(self):
+        stats = StatsRegistry()
+        stats.add("dram.reads", 3)
+        assert stats.group("dram.") == {"reads": 3}
+
+    def test_ratio(self):
+        stats = StatsRegistry()
+        stats.add("hits", 3)
+        stats.add("total", 4)
+        assert stats.ratio("hits", "total") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert StatsRegistry().ratio("a", "b") == 0.0
+
+    def test_merge(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+    def test_to_dict_snapshot_is_copy(self):
+        stats = StatsRegistry()
+        stats.add("x")
+        snapshot = stats.to_dict()
+        stats.add("x")
+        assert snapshot["x"] == 1 and stats["x"] == 2
+
+
+class TestRendering:
+    def test_render_empty(self):
+        assert StatsRegistry().render() == "(no counters)"
+
+    def test_render_contains_values(self):
+        stats = StatsRegistry()
+        stats.add("alpha", 42)
+        rendered = stats.render()
+        assert "alpha" in rendered and "42" in rendered
+
+    def test_render_prefix_filter(self):
+        stats = StatsRegistry()
+        stats.add("keep.x", 1)
+        stats.add("drop.y", 2)
+        assert "drop.y" not in stats.render("keep.")
+
+
+class TestDiff:
+    def test_diff_reports_deltas(self):
+        assert diff({"a": 1}, {"a": 3, "b": 2}) == {"a": 2, "b": 2}
+
+    def test_diff_drops_zero(self):
+        assert diff({"a": 1}, {"a": 1}) == {}
+
+    def test_diff_handles_removed(self):
+        assert diff({"a": 2}, {}) == {"a": -2}
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=5),
+                           st.integers(-100, 100), max_size=5))
+    def test_diff_of_identical_is_empty(self, counters):
+        assert diff(counters, dict(counters)) == {}

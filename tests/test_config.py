@@ -1,0 +1,74 @@
+"""Tests for the system configuration presets (Table 2)."""
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigurationError
+
+
+class TestCCSVMPreset:
+    def test_table2_cpu_parameters(self):
+        system = config.ccsvm_system()
+        assert system.cpu.count == 4
+        assert system.cpu.frequency_ghz == 2.9
+        assert system.cpu.max_ipc == 0.5
+        assert system.cpu.cycles_per_instruction == 2.0
+        assert system.cpu.l1_size_bytes == 64 * 1024
+        assert system.cpu.tlb_entries == 64
+
+    def test_table2_mttop_parameters(self):
+        system = config.ccsvm_system()
+        assert system.mttop.count == 10
+        assert system.mttop.simd_width == 8
+        assert system.mttop.thread_contexts == 128
+        assert system.mttop.total_thread_contexts == 1280
+        assert system.mttop.max_operations_per_cycle == 80
+        assert system.mttop.l1_size_bytes == 16 * 1024
+
+    def test_table2_memory_system(self):
+        system = config.ccsvm_system()
+        assert system.l2.total_size_bytes == 4 * 1024 * 1024
+        assert system.l2.banks == 4
+        assert system.l2.bank_size_bytes == 1024 * 1024
+        assert system.dram.latency_ns == 100.0
+        assert system.noc.link_bandwidth_gbps == 12.0
+        assert system.total_cores == 14
+
+    def test_small_variants_shrink_but_keep_structure(self):
+        small = config.small_ccsvm_system()
+        assert small.cpu.count == 1 and small.mttop.count == 2
+        assert small.l2.banks == 2
+        tiny = config.tiny_caches_ccsvm_system()
+        assert tiny.cpu.l1_size_bytes < small.cpu.l1_size_bytes
+
+
+class TestAPUPreset:
+    def test_table2_apu_parameters(self):
+        apu = config.amd_apu_system()
+        assert apu.cpu.count == 4 and apu.cpu.max_ipc == 4.0
+        assert apu.cpu.l2_size_bytes == 1024 * 1024
+        assert apu.cpu.tlb_entries == 1024
+        assert apu.gpu.simd_units == 5 and apu.gpu.vliw_lanes == 16
+        assert apu.gpu.lanes == 80
+        assert apu.dram.latency_ns == 72.0
+        assert apu.dram.size_bytes == 8 * config.GB
+
+    def test_gpu_throughput_range_matches_table2(self):
+        gpu = config.APUGPUConfig(vliw_utilization=4.0)
+        assert gpu.max_operations_per_cycle == 320
+        gpu_low = config.APUGPUConfig(vliw_utilization=1.0)
+        assert gpu_low.max_operations_per_cycle == 80
+
+
+class TestValidation:
+    def test_rejects_zero_cpu_count(self):
+        with pytest.raises(ConfigurationError):
+            config.CPUCoreConfig(count=0)
+
+    def test_rejects_contexts_not_multiple_of_simd(self):
+        with pytest.raises(ConfigurationError):
+            config.MTTOPCoreConfig(simd_width=8, thread_contexts=100)
+
+    def test_rejects_l2_not_divisible_by_banks(self):
+        with pytest.raises(ConfigurationError):
+            config.SharedL2Config(total_size_bytes=1000, banks=3)

@@ -1,0 +1,123 @@
+"""Tests for the virtual-memory manager (the OS model)."""
+
+import pytest
+
+from repro.errors import PageFaultError, VirtualMemoryError
+from repro.memory.address import PAGE_SIZE
+from repro.vm.manager import VirtualMemoryManager
+
+
+class TestAddressSpaces:
+    def test_create_assigns_unique_pids_and_cr3(self, vm_manager):
+        a = vm_manager.create_address_space()
+        b = vm_manager.create_address_space()
+        assert a.pid != b.pid
+        assert a.cr3 != b.cr3
+
+    def test_lookup_by_pid(self, vm_manager):
+        space = vm_manager.create_address_space()
+        assert vm_manager.address_space(space.pid) is space
+        with pytest.raises(VirtualMemoryError):
+            vm_manager.address_space(999)
+
+    def test_lookup_by_cr3(self, vm_manager):
+        space = vm_manager.create_address_space()
+        assert vm_manager.space_for_cr3(space.cr3) is space
+        with pytest.raises(VirtualMemoryError):
+            vm_manager.space_for_cr3(0xDEAD000)
+
+
+class TestMalloc:
+    def test_returns_word_aligned_growing_addresses(self, vm_manager):
+        space = vm_manager.create_address_space()
+        a = vm_manager.malloc(space, 100)
+        b = vm_manager.malloc(space, 100)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 100
+
+    def test_rejects_non_positive_size(self, vm_manager):
+        space = vm_manager.create_address_space()
+        with pytest.raises(VirtualMemoryError):
+            vm_manager.malloc(space, 0)
+
+    def test_lazy_mapping_by_default(self, vm_manager):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, PAGE_SIZE)
+        assert space.page_table.translate(vaddr) is None
+
+    def test_eager_mapping_option(self, physical_memory, frame_allocator):
+        manager = VirtualMemoryManager(physical_memory, frame_allocator,
+                                       eager_mapping=True)
+        space = manager.create_address_space()
+        vaddr = manager.malloc(space, PAGE_SIZE)
+        assert space.page_table.translate(vaddr) is not None
+
+    def test_free_marks_allocation(self, vm_manager):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 64)
+        vm_manager.free(space, vaddr)
+        with pytest.raises(VirtualMemoryError):
+            vm_manager.free(space, vaddr)
+
+    def test_bytes_allocated_tracking(self, vm_manager):
+        space = vm_manager.create_address_space()
+        a = vm_manager.malloc(space, 64)
+        vm_manager.malloc(space, 100)
+        vm_manager.free(space, a)
+        assert space.bytes_allocated() == 100
+
+
+class TestPageFaults:
+    def test_fault_maps_page(self, vm_manager):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 64)
+        latency = vm_manager.handle_page_fault(space, vaddr)
+        assert latency > 0
+        assert space.page_table.translate(vaddr) is not None
+
+    def test_fault_outside_heap_is_segfault(self, vm_manager):
+        space = vm_manager.create_address_space()
+        with pytest.raises(PageFaultError):
+            vm_manager.handle_page_fault(space, 0x10)
+
+    def test_spurious_fault_tolerated(self, vm_manager, stats):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 64)
+        vm_manager.handle_page_fault(space, vaddr)
+        vm_manager.handle_page_fault(space, vaddr)
+        assert stats["os.spurious_faults"] == 1
+
+    def test_mttop_faults_counted_separately(self, vm_manager, stats):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 64)
+        vm_manager.handle_page_fault(space, vaddr, from_mttop=True)
+        assert stats["os.page_faults_from_mttop"] == 1
+
+    def test_translate_or_fault(self, vm_manager):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 64)
+        translation = vm_manager.translate_or_fault(space, vaddr)
+        assert translation.physical_address(vaddr) % 8 == 0
+
+    def test_touch_maps_whole_range(self, vm_manager):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 3 * PAGE_SIZE)
+        vm_manager.touch(space, vaddr, 3 * PAGE_SIZE)
+        for offset in range(0, 3 * PAGE_SIZE, PAGE_SIZE):
+            assert space.page_table.translate(vaddr + offset) is not None
+
+
+class TestUnmap:
+    def test_unmap_range_frees_frames(self, vm_manager, frame_allocator):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 2 * PAGE_SIZE)
+        vm_manager.touch(space, vaddr, 2 * PAGE_SIZE)
+        allocated_before = frame_allocator.allocated_frames
+        unmapped = vm_manager.unmap_range(space, vaddr, 2 * PAGE_SIZE)
+        assert len(unmapped) >= 2
+        assert frame_allocator.allocated_frames < allocated_before
+
+    def test_unmap_range_skips_unmapped_pages(self, vm_manager):
+        space = vm_manager.create_address_space()
+        vaddr = vm_manager.malloc(space, 4 * PAGE_SIZE)
+        assert vm_manager.unmap_range(space, vaddr, 4 * PAGE_SIZE) == []

@@ -1,0 +1,132 @@
+"""Tests for the 4-level page table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PageFaultError
+from repro.memory.address import PAGE_SIZE
+from repro.memory.physical import FrameAllocator, PhysicalMemory
+from repro.vm.page_table import (
+    LEVELS,
+    PageTable,
+    PageTableEntry,
+    level_index,
+)
+
+
+@pytest.fixture
+def table(physical_memory, frame_allocator):
+    return PageTable(physical_memory, frame_allocator)
+
+
+class TestEntryEncoding:
+    def test_encode_decode(self):
+        raw = PageTableEntry.encode(0x5000, writable=True)
+        entry = PageTableEntry(raw)
+        assert entry.present and entry.writable and entry.frame_address == 0x5000
+
+    def test_read_only(self):
+        entry = PageTableEntry(PageTableEntry.encode(0x5000, writable=False))
+        assert entry.present and not entry.writable
+
+    def test_not_present(self):
+        assert not PageTableEntry(0).present
+
+    def test_rejects_unaligned_frame(self):
+        with pytest.raises(Exception):
+            PageTableEntry.encode(0x5001)
+
+
+class TestLevelIndex:
+    def test_low_address_indexes_zero(self):
+        assert [level_index(0, level) for level in range(LEVELS)] == [0, 0, 0, 0]
+
+    def test_leaf_index_increments_per_page(self):
+        assert level_index(PAGE_SIZE, LEVELS - 1) == 1
+
+    def test_higher_levels_change_more_slowly(self):
+        vaddr = PAGE_SIZE * 512  # one full leaf table
+        assert level_index(vaddr, LEVELS - 1) == 0
+        assert level_index(vaddr, LEVELS - 2) == 1
+
+
+class TestMapping:
+    def test_translate_unmapped_returns_none(self, table):
+        assert table.translate(0x1000_0000) is None
+
+    def test_map_then_translate(self, table, frame_allocator):
+        frame = frame_allocator.allocate()
+        table.map(0x1000_0000, frame)
+        result = table.translate(0x1000_0123)
+        assert result is not None
+        assert result.frame_address == frame
+        assert result.physical_address(0x1000_0123) == frame + 0x123
+
+    def test_map_read_only(self, table, frame_allocator):
+        frame = frame_allocator.allocate()
+        table.map(0x2000_0000, frame, writable=False)
+        assert not table.translate(0x2000_0000).writable
+
+    def test_set_writable(self, table, frame_allocator):
+        frame = frame_allocator.allocate()
+        table.map(0x2000_0000, frame, writable=False)
+        table.set_writable(0x2000_0000, True)
+        assert table.translate(0x2000_0000).writable
+
+    def test_unmap(self, table, frame_allocator):
+        frame = frame_allocator.allocate()
+        table.map(0x3000_0000, frame)
+        assert table.unmap(0x3000_0000) == frame
+        assert table.translate(0x3000_0000) is None
+
+    def test_unmap_unmapped_raises(self, table):
+        with pytest.raises(PageFaultError):
+            table.unmap(0x4000_0000)
+
+    def test_remap_same_page_does_not_double_count(self, table, frame_allocator):
+        table.map(0x5000_0000, frame_allocator.allocate())
+        table.map(0x5000_0000, frame_allocator.allocate())
+        assert table.mapped_pages == 1
+
+    def test_adjacent_pages_get_distinct_translations(self, table, frame_allocator):
+        f1, f2 = frame_allocator.allocate(), frame_allocator.allocate()
+        table.map(0x6000_0000, f1)
+        table.map(0x6000_1000, f2)
+        assert table.translate(0x6000_0000).frame_address == f1
+        assert table.translate(0x6000_1000).frame_address == f2
+
+    def test_node_count_grows_with_distant_mappings(self, table, frame_allocator):
+        before = table.node_count
+        table.map(0x0000_1000_0000, frame_allocator.allocate())
+        table.map(0x7000_0000_0000, frame_allocator.allocate())
+        assert table.node_count > before
+
+    def test_walk_entry_addresses_depth(self, table, frame_allocator):
+        # Unmapped: the walk stops at the first non-present entry (the root).
+        assert len(table.walk_entry_addresses(0x1234_5000)) == 1
+        table.map(0x1234_5000, frame_allocator.allocate())
+        assert len(table.walk_entry_addresses(0x1234_5000)) == LEVELS
+
+    def test_mappings_iterator(self, table, frame_allocator):
+        table.map(0x1000_0000, frame_allocator.allocate())
+        table.map(0x1000_1000, frame_allocator.allocate())
+        mappings = dict(table.mappings())
+        assert set(mappings) == {0x1000_0000 // PAGE_SIZE, 0x1000_1000 // PAGE_SIZE}
+
+
+class TestPageTableProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, 1 << 20), min_size=1, max_size=20))
+    def test_many_mappings_all_translate(self, vpns):
+        memory = PhysicalMemory(64 * 1024 * 1024)
+        frames = FrameAllocator(memory.size_bytes)
+        table = PageTable(memory, frames)
+        expected = {}
+        for vpn in vpns:
+            frame = frames.allocate()
+            table.map(vpn * PAGE_SIZE, frame)
+            expected[vpn] = frame
+        for vpn, frame in expected.items():
+            result = table.translate(vpn * PAGE_SIZE + 7)
+            assert result is not None and result.frame_address == frame
+        assert table.mapped_pages == len(expected)

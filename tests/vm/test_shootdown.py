@@ -1,0 +1,75 @@
+"""Tests for TLB shootdown."""
+
+from repro.memory.address import PAGE_SIZE
+from repro.sim.stats import StatsRegistry
+from repro.vm.shootdown import ShootdownPolicy, TLBShootdownController
+from repro.vm.tlb import TLB
+
+
+def _warm(tlb, pages=8):
+    for vpn in range(pages):
+        tlb.insert(vpn, vpn * PAGE_SIZE, True)
+
+
+class TestShootdown:
+    def _build(self, policy=ShootdownPolicy.FLUSH_ALL):
+        stats = StatsRegistry()
+        controller = TLBShootdownController(stats=stats, policy=policy)
+        cpu = [TLB(name=f"cpu{i}") for i in range(2)]
+        mttop = [TLB(name=f"mttop{i}") for i in range(3)]
+        for tlb in cpu:
+            controller.register_cpu_tlb(tlb)
+            _warm(tlb)
+        for tlb in mttop:
+            controller.register_mttop_tlb(tlb)
+            _warm(tlb)
+        return controller, cpu, mttop, stats
+
+    def test_registration_counts(self):
+        controller, cpu, mttop, _ = self._build()
+        assert controller.cpu_tlb_count == 2
+        assert controller.mttop_tlb_count == 3
+
+    def test_flush_all_policy_empties_mttop_tlbs(self):
+        controller, cpu, mttop, _ = self._build()
+        controller.shootdown([3 * PAGE_SIZE], initiator_tlb=cpu[0])
+        for tlb in mttop:
+            assert len(tlb) == 0
+
+    def test_flush_all_only_invalidates_page_on_cpus(self):
+        controller, cpu, mttop, _ = self._build()
+        controller.shootdown([3 * PAGE_SIZE], initiator_tlb=cpu[0])
+        for tlb in cpu:
+            assert (3 * PAGE_SIZE) not in tlb
+            assert (2 * PAGE_SIZE) in tlb
+
+    def test_selective_policy_preserves_other_mttop_entries(self):
+        controller, cpu, mttop, _ = self._build(ShootdownPolicy.SELECTIVE)
+        controller.shootdown([3 * PAGE_SIZE], initiator_tlb=cpu[0])
+        for tlb in mttop:
+            assert (3 * PAGE_SIZE) not in tlb
+            assert (2 * PAGE_SIZE) in tlb
+
+    def test_latency_scales_with_targets(self):
+        controller, cpu, mttop, _ = self._build()
+        result = controller.shootdown([PAGE_SIZE], initiator_tlb=cpu[0])
+        # one other CPU + three MTTOPs receive an IPI
+        assert result.cpu_tlbs_signalled == 1
+        assert result.mttop_tlbs_signalled == 3
+        assert result.latency_ps == 4 * controller.ipi_ps
+
+    def test_entries_dropped_counted(self):
+        controller, cpu, mttop, stats = self._build()
+        result = controller.shootdown([PAGE_SIZE], initiator_tlb=cpu[0])
+        # 1 entry in each CPU TLB (2 total, initiator + other) + full flush
+        # of 8 entries in each of the 3 MTTOP TLBs.
+        assert result.entries_dropped == 2 + 3 * 8
+        assert stats["shootdown.entries_dropped"] == result.entries_dropped
+
+    def test_multiple_pages(self):
+        controller, cpu, mttop, _ = self._build(ShootdownPolicy.SELECTIVE)
+        result = controller.shootdown([PAGE_SIZE, 2 * PAGE_SIZE],
+                                      initiator_tlb=cpu[0])
+        assert result.pages == 2
+        for tlb in cpu + mttop:
+            assert (PAGE_SIZE) not in tlb and (2 * PAGE_SIZE) not in tlb

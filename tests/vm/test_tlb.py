@@ -1,0 +1,89 @@
+"""Tests for the TLB."""
+
+import pytest
+
+from repro.errors import TLBError
+from repro.memory.address import PAGE_SIZE
+from repro.sim.stats import StatsRegistry
+from repro.vm.tlb import TLB
+
+
+class TestLookupInsert:
+    def test_miss_on_empty(self):
+        assert TLB().lookup(0x1000) is None
+
+    def test_hit_after_insert(self):
+        tlb = TLB()
+        tlb.insert(vpn=3, frame_address=7 * PAGE_SIZE, writable=True)
+        entry = tlb.lookup(3 * PAGE_SIZE + 0x123)
+        assert entry is not None
+        assert entry.physical_address(3 * PAGE_SIZE + 0x123) == 7 * PAGE_SIZE + 0x123
+
+    def test_insert_rejects_unaligned_frame(self):
+        with pytest.raises(TLBError):
+            TLB().insert(vpn=1, frame_address=123, writable=True)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TLBError):
+            TLB(entries=0)
+
+    def test_contains(self):
+        tlb = TLB()
+        tlb.insert(5, 5 * PAGE_SIZE, True)
+        assert (5 * PAGE_SIZE) in tlb
+        assert (6 * PAGE_SIZE) not in tlb
+
+    def test_stats_counted(self):
+        stats = StatsRegistry()
+        tlb = TLB(stats=stats, name="t")
+        tlb.lookup(0)
+        tlb.insert(0, 0, True)
+        tlb.lookup(0)
+        assert stats["t.misses"] == 1 and stats["t.hits"] == 1
+        assert tlb.hit_rate == 0.5
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.insert(1, PAGE_SIZE, True)
+        tlb.insert(2, 2 * PAGE_SIZE, True)
+        tlb.lookup(1 * PAGE_SIZE)          # touch vpn 1 so vpn 2 is LRU
+        tlb.insert(3, 3 * PAGE_SIZE, True)
+        assert (1 * PAGE_SIZE) in tlb
+        assert (2 * PAGE_SIZE) not in tlb
+        assert (3 * PAGE_SIZE) in tlb
+
+    def test_capacity_never_exceeded(self):
+        tlb = TLB(entries=4)
+        for vpn in range(32):
+            tlb.insert(vpn, vpn * PAGE_SIZE, True)
+        assert len(tlb) == 4
+
+    def test_reinsert_updates_not_duplicates(self):
+        tlb = TLB(entries=4)
+        tlb.insert(1, PAGE_SIZE, True)
+        tlb.insert(1, 2 * PAGE_SIZE, True)
+        assert len(tlb) == 1
+        assert tlb.lookup(PAGE_SIZE).frame_address == 2 * PAGE_SIZE
+
+
+class TestCoherenceOperations:
+    def test_invalidate_present(self):
+        tlb = TLB()
+        tlb.insert(1, PAGE_SIZE, True)
+        assert tlb.invalidate(PAGE_SIZE) is True
+        assert (PAGE_SIZE) not in tlb
+
+    def test_invalidate_absent(self):
+        assert TLB().invalidate(PAGE_SIZE) is False
+
+    def test_flush_drops_everything(self):
+        stats = StatsRegistry()
+        tlb = TLB(stats=stats, name="t")
+        for vpn in range(10):
+            tlb.insert(vpn, vpn * PAGE_SIZE, True)
+        assert tlb.flush() == 10
+        assert len(tlb) == 0
+        assert stats["t.flushes"] == 1
+        assert stats["t.flushed_entries"] == 10

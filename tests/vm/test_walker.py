@@ -1,0 +1,59 @@
+"""Tests for the hardware page-table walker."""
+
+import pytest
+
+from repro.sim.stats import StatsRegistry
+from repro.vm.page_table import LEVELS, PageTable
+from repro.vm.walker import PageTableWalker
+
+
+@pytest.fixture
+def table(physical_memory, frame_allocator):
+    return PageTable(physical_memory, frame_allocator)
+
+
+class TestWalker:
+    def test_walk_hits_mapped_page(self, physical_memory, frame_allocator, table):
+        frame = frame_allocator.allocate()
+        table.map(0x1000_0000, frame)
+        walker = PageTableWalker(physical_memory, default_entry_latency_ps=10)
+        result = walker.walk(table, 0x1000_0040)
+        assert not result.page_fault
+        assert result.translation.frame_address == frame
+        assert result.levels_visited == LEVELS
+        assert result.latency_ps == 10 * LEVELS
+
+    def test_walk_faults_on_unmapped(self, physical_memory, table):
+        walker = PageTableWalker(physical_memory, default_entry_latency_ps=10)
+        result = walker.walk(table, 0x5555_0000)
+        assert result.page_fault
+        assert result.translation is None
+        assert result.levels_visited >= 1
+
+    def test_timing_callback_used(self, physical_memory, frame_allocator, table):
+        frame = frame_allocator.allocate()
+        table.map(0x2000_0000, frame)
+        charged = []
+        walker = PageTableWalker(physical_memory,
+                                 entry_read_timing=lambda paddr: charged.append(paddr) or 500)
+        result = walker.walk(table, 0x2000_0000)
+        assert result.latency_ps == 500 * LEVELS
+        assert len(charged) == LEVELS
+
+    def test_stats_recorded(self, physical_memory, frame_allocator, table):
+        stats = StatsRegistry()
+        frame = frame_allocator.allocate()
+        table.map(0x3000_0000, frame)
+        walker = PageTableWalker(physical_memory, stats=stats, name="w")
+        walker.walk(table, 0x3000_0000)
+        walker.walk(table, 0x9999_0000)
+        assert stats["w.walks"] == 2
+        assert stats["w.faults"] == 1
+
+    def test_set_entry_read_timing_after_construction(self, physical_memory,
+                                                      frame_allocator, table):
+        frame = frame_allocator.allocate()
+        table.map(0x4000_0000, frame)
+        walker = PageTableWalker(physical_memory, default_entry_latency_ps=1)
+        walker.set_entry_read_timing(lambda paddr: 1000)
+        assert walker.walk(table, 0x4000_0000).latency_ps == 1000 * LEVELS

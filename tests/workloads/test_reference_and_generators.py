@@ -1,0 +1,96 @@
+"""Tests for input generators and golden reference implementations."""
+
+import numpy
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import generators, reference
+
+
+class TestGenerators:
+    def test_dense_matrix_deterministic(self):
+        assert generators.dense_matrix(8, seed=1) == generators.dense_matrix(8, seed=1)
+        assert generators.dense_matrix(8, seed=1) != generators.dense_matrix(8, seed=2)
+
+    def test_digraph_diagonal_zero_and_infinity_off_edges(self):
+        size = 8
+        matrix = generators.weighted_digraph(size, seed=3, edge_probability=0.0)
+        for i in range(size):
+            assert matrix[i * size + i] == 0
+        off_diagonal = [matrix[i * size + j] for i in range(size)
+                        for j in range(size) if i != j]
+        assert all(value == generators.APSP_INFINITY for value in off_diagonal)
+
+    def test_sparse_matrix_density_and_rows_nonempty(self):
+        entries = generators.sparse_matrix(32, density=0.1, seed=5)
+        rows_with_entries = {row for row, _ in entries}
+        assert rows_with_entries == set(range(32))
+        assert all(value != 0 for value in entries.values())
+
+    def test_bodies_within_space(self):
+        bodies = generators.nbody_bodies(50, seed=7, space=1000)
+        assert len(bodies) == 50
+        assert all(0 <= body.x < 1000 and 0 <= body.y < 1000 and 0 <= body.z < 1000
+                   for body in bodies)
+        assert all(body.mass > 0 for body in bodies)
+
+
+class TestReferences:
+    def test_vector_add(self):
+        assert reference.vector_add([1, 2], [10, 20]) == [11, 22]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8), st.integers(0, 1000))
+    def test_matmul_matches_numpy(self, size, seed):
+        a = generators.dense_matrix(size, seed)
+        b = generators.dense_matrix(size, seed + 1)
+        ours = reference.matmul(a, b, size)
+        theirs = (numpy.array(a).reshape(size, size) @
+                  numpy.array(b).reshape(size, size)).flatten().tolist()
+        assert ours == theirs
+
+    def test_floyd_warshall_small_known_graph(self):
+        INF = generators.APSP_INFINITY
+        size = 3
+        adjacency = [0, 1, INF,
+                     INF, 0, 2,
+                     7, INF, 0]
+        dist = reference.floyd_warshall(adjacency, size)
+        assert dist[0 * size + 2] == 3      # 0 -> 1 -> 2
+        assert dist[2 * size + 1] == 8      # 2 -> 0 -> 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 10), st.integers(0, 100))
+    def test_floyd_warshall_matches_scipy(self, size, seed):
+        from scipy.sparse.csgraph import floyd_warshall as scipy_fw
+
+        adjacency = generators.weighted_digraph(size, seed, edge_probability=0.4)
+        ours = reference.floyd_warshall(adjacency, size)
+        dense = numpy.array(adjacency, dtype=float).reshape(size, size)
+        dense[dense >= generators.APSP_INFINITY] = numpy.inf
+        theirs = scipy_fw(dense)
+        for i in range(size):
+            for j in range(size):
+                expected = theirs[i, j]
+                value = ours[i * size + j]
+                if numpy.isinf(expected):
+                    assert value >= generators.APSP_INFINITY
+                else:
+                    assert value == int(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 12), st.floats(0.05, 0.5), st.integers(0, 100))
+    def test_sparse_matmul_matches_dense_product(self, size, density, seed):
+        a = generators.sparse_matrix(size, density, seed)
+        b = generators.sparse_matrix(size, density, seed + 1)
+        ours = reference.sparse_matmul(a, b, size)
+        dense_a = numpy.zeros((size, size), dtype=int)
+        dense_b = numpy.zeros((size, size), dtype=int)
+        for (i, j), value in a.items():
+            dense_a[i, j] = value
+        for (i, j), value in b.items():
+            dense_b[i, j] = value
+        dense_c = dense_a @ dense_b
+        for (i, j), value in ours.items():
+            assert dense_c[i, j] == value
+        assert len(ours) == int(numpy.count_nonzero(dense_c))

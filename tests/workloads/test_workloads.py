@@ -1,0 +1,110 @@
+"""Cross-system workload tests: every variant computes verified results."""
+
+import pytest
+
+from repro.config import small_ccsvm_system
+from repro.workloads import apsp, barnes_hut, matmul, sparse_matmul, vector_add
+from repro.workloads.base import WorkloadResult, require_verified
+from repro.workloads.base import WorkloadVerificationError
+
+SMALL = small_ccsvm_system()
+
+
+class TestResultType:
+    def test_time_conversions(self):
+        result = WorkloadResult(system="s", workload="w", params={}, time_ps=2_000_000,
+                                dram_accesses=1, verified=True)
+        assert result.time_ns == 2000.0
+        assert result.time_ms == pytest.approx(0.002)
+
+    def test_speedup_and_relative(self):
+        fast = WorkloadResult("a", "w", {}, 100, 0, True)
+        slow = WorkloadResult("b", "w", {}, 400, 0, True)
+        assert fast.speedup_over(slow) == 4.0
+        assert slow.relative_runtime(fast) == 4.0
+
+    def test_require_verified_raises(self):
+        bad = WorkloadResult("a", "w", {}, 1, 0, False)
+        with pytest.raises(WorkloadVerificationError):
+            require_verified(bad)
+
+
+class TestVectorAdd:
+    def test_ccsvm(self):
+        result = vector_add.run_ccsvm(size=32, config=SMALL)
+        assert result.verified and result.time_ps > 0
+
+    def test_opencl(self):
+        result = vector_add.run_opencl(size=32)
+        assert result.verified
+        assert result.time_without_setup_ps < result.time_ps
+
+    def test_cpu(self):
+        assert vector_add.run_cpu(size=32).verified
+
+
+class TestMatmul:
+    def test_all_systems_agree_on_results(self):
+        assert matmul.run_ccsvm(size=8, config=SMALL).verified
+        assert matmul.run_opencl(size=8).verified
+        assert matmul.run_cpu(size=8).verified
+
+    def test_ccsvm_thread_count_defaults_to_elements(self):
+        result = matmul.run_ccsvm(size=6, config=SMALL)
+        assert result.params["threads"] == 36
+
+    def test_ccsvm_thread_cap(self):
+        result = matmul.run_ccsvm(size=12, config=SMALL)
+        assert result.params["threads"] <= SMALL.mttop.total_thread_contexts
+
+    def test_dram_accesses_grow_with_size(self):
+        small = matmul.run_ccsvm(size=8, config=SMALL)
+        large = matmul.run_ccsvm(size=16, config=SMALL)
+        assert large.dram_accesses > small.dram_accesses
+
+
+class TestAPSP:
+    def test_all_systems_agree_on_results(self):
+        assert apsp.run_ccsvm(size=8, config=SMALL).verified
+        assert apsp.run_opencl(size=8).verified
+        assert apsp.run_cpu(size=8).verified
+
+    def test_opencl_launch_per_pivot(self):
+        result = apsp.run_opencl(size=8)
+        # One launch per pivot iteration dominates the no-setup runtime.
+        assert (result.time_without_setup_ps or 0) > 8 * 30_000_000 / 2
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            apsp.run_ccsvm(size=SMALL.mttop.total_thread_contexts + 1, config=SMALL)
+
+
+class TestSparseMatmul:
+    def test_ccsvm_and_cpu_verified(self):
+        ccsvm = sparse_matmul.run_ccsvm(size=16, density=0.1, config=SMALL)
+        cpu = sparse_matmul.run_cpu(size=16, density=0.1)
+        assert ccsvm.verified and cpu.verified
+        assert ccsvm.extra["mttop_mallocs"] > 0
+
+    def test_malloc_count_grows_with_density(self):
+        sparse = sparse_matmul.run_ccsvm(size=16, density=0.05, config=SMALL)
+        dense = sparse_matmul.run_ccsvm(size=16, density=0.3, config=SMALL)
+        assert dense.extra["mttop_mallocs"] > sparse.extra["mttop_mallocs"]
+
+
+class TestBarnesHut:
+    def test_all_variants_agree_with_functional_reference(self):
+        assert barnes_hut.run_ccsvm(bodies_count=16, timesteps=1, config=SMALL).verified
+        assert barnes_hut.run_cpu(bodies_count=16, timesteps=1).verified
+        assert barnes_hut.run_pthreads(bodies_count=16, timesteps=1).verified
+
+    def test_reference_positions_move_bodies(self):
+        bodies = barnes_hut.nbody_bodies(8, seed=1)
+        before = [coordinate for body in bodies for coordinate in (body.x, body.y, body.z)]
+        after = barnes_hut.reference_positions(bodies, timesteps=1)
+        assert after != before
+
+    def test_more_timesteps_take_longer(self):
+        one = barnes_hut.run_cpu(bodies_count=16, timesteps=1)
+        two = barnes_hut.run_cpu(bodies_count=16, timesteps=2)
+        assert two.time_ps > one.time_ps

@@ -1,0 +1,166 @@
+"""Tests for the xthreads API operations and runtime behaviour on a chip."""
+
+import pytest
+
+from repro.config import small_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.core.xthreads.api import (
+    READY,
+    WAITING_ON_CPU,
+    CpuMttopBarrier,
+    CreateMThread,
+    SignalCond,
+    WaitCond,
+    cond_entry,
+    mttop_barrier,
+    mttop_signal,
+    mttop_wait,
+)
+from repro.cores.isa import Load, Malloc, Store, WaitValue, word_addr
+from repro.errors import ReproError
+
+
+class TestAPIHelpers:
+    def test_cond_entry_addressing(self):
+        assert cond_entry(0x1000, 0) == 0x1000
+        assert cond_entry(0x1000, 3) == 0x1018
+
+    def test_mttop_signal_emits_single_store(self):
+        ops = list(mttop_signal(0x1000, 2))
+        assert ops == [Store(cond_entry(0x1000, 2), READY)]
+
+    def test_mttop_wait_announces_then_spins(self):
+        ops = list(mttop_wait(0x1000, 1))
+        assert ops[0] == Store(cond_entry(0x1000, 1), WAITING_ON_CPU)
+        assert ops[1] == WaitValue(cond_entry(0x1000, 1), READY)
+
+    def test_mttop_barrier_writes_slot_then_waits_for_sense(self):
+        ops = list(mttop_barrier(0x2000, 0x3000, 4, release_sense=1))
+        assert isinstance(ops[0], Store) and ops[0].vaddr == cond_entry(0x2000, 4)
+        assert ops[1] == WaitValue(0x3000, 1)
+
+
+class TestRuntimeOnChip:
+    def test_cpu_signal_then_mttop_wait(self):
+        """CPU signals MTTOP threads that are blocked in mttop_wait."""
+        chip = CCSVMChip(small_ccsvm_system(), check_sc=True)
+        chip.create_process("signal_test")
+        threads = 8
+        observed = chip.malloc(threads * 8)
+
+        def kernel(tid, args):
+            cond, out = args
+            yield from mttop_wait(cond, tid)
+            yield Store(word_addr(out, tid), tid + 100)
+
+        def host():
+            cond = yield Malloc(threads * 8)
+            for t in range(threads):
+                yield Store(word_addr(cond, t), 0)
+            yield CreateMThread(kernel, (cond, observed), 0, threads - 1)
+            # Wait for every thread to announce it is waiting, then release.
+            yield WaitCond(cond, 0, threads - 1, value=WAITING_ON_CPU)
+            yield SignalCond(cond, 0, threads - 1)
+            # Wait for results to be produced.
+            for t in range(threads):
+                yield WaitValue(word_addr(observed, t), t + 100)
+
+        chip.run(host())
+        assert chip.read_array(observed, threads) == [t + 100 for t in range(threads)]
+
+    def test_cpu_mttop_barrier_synchronises_iterations(self):
+        """Values written before the barrier are visible after it."""
+        chip = CCSVMChip(small_ccsvm_system(), check_sc=True)
+        chip.create_process("barrier_test")
+        threads = 4
+        totals = chip.malloc(8)
+        chip.write_word(totals, 0)
+
+        def kernel(tid, args):
+            barrier, sense, data, done = args
+            yield Store(word_addr(data, tid), tid + 1)
+            yield from mttop_barrier(barrier, sense, tid, release_sense=1)
+            # After the barrier every thread reads the full array.
+            total = 0
+            for index in range(threads):
+                value = yield Load(word_addr(data, index))
+                total += value
+            yield Store(word_addr(done, tid), total)
+
+        def host():
+            barrier = yield Malloc(threads * 8)
+            sense = yield Malloc(8)
+            data = yield Malloc(threads * 8)
+            done = yield Malloc(threads * 8)
+            for t in range(threads):
+                yield Store(word_addr(barrier, t), 0)
+                yield Store(word_addr(data, t), 0)
+                yield Store(word_addr(done, t), 0)
+            yield Store(sense, 0)
+            yield CreateMThread(kernel, (barrier, sense, data, done), 0, threads - 1)
+            yield CpuMttopBarrier(barrier, sense, 0, threads - 1)
+            for t in range(threads):
+                yield WaitValue(word_addr(done, t), 10)
+
+        chip.run(host())
+        assert chip.stats["xthreads.barriers_completed"] == 1
+
+    def test_mttop_malloc_serialises_at_the_cpu(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("malloc_test")
+        threads = 8
+        out = chip.malloc(threads * 8)
+
+        def kernel(tid, args):
+            node = yield Malloc(24)
+            yield Store(node, tid)
+            yield Store(word_addr(args, tid), node)
+
+        def host():
+            done = yield Malloc(threads * 8)
+            for t in range(threads):
+                yield Store(word_addr(done, t), 0)
+            yield CreateMThread(kernel, out, 0, threads - 1)
+            for t in range(threads):
+                yield WaitValue(word_addr(out, t), 0, negate=True)
+
+        chip.run(host())
+        pointers = chip.read_array(out, threads)
+        assert len(set(pointers)) == threads
+        assert all(pointer != 0 for pointer in pointers)
+        assert chip.stats["xthreads.mttop_mallocs"] == threads
+        # Requests queued behind each other at the CPU servicer.
+        assert chip.stats["xthreads.mttop_malloc_wait_ps"] > 0
+
+    def test_create_mthread_from_mttop_rejected(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("nested_launch")
+
+        def kernel(tid, args):
+            yield CreateMThread(kernel, None, 0, 0)
+
+        def host():
+            done = yield Malloc(8)
+            yield Store(done, 0)
+            yield CreateMThread(kernel, None, 0, 0)
+            yield WaitValue(done, 1)
+
+        with pytest.raises(ReproError):
+            chip.run(host())
+
+    def test_wait_polls_are_counted(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("poll_test")
+
+        def kernel(tid, args):
+            yield from mttop_signal(args, tid)
+
+        def host():
+            done = yield Malloc(8)
+            yield Store(done, 0)
+            yield CreateMThread(kernel, done, 0, 0)
+            yield WaitCond(done, 0, 0)
+
+        chip.run(host())
+        assert chip.stats["xthreads.waits_completed"] == 1
+        assert chip.stats["xthreads.create_mthread"] == 1

@@ -1,0 +1,96 @@
+"""Tests for the xthreads toolchain (compilation model)."""
+
+import pytest
+
+from repro.core.xthreads.toolchain import (
+    KERNEL_SLOT_BYTES,
+    MTTOP_TEXT_BASE,
+    XThreadsToolchain,
+)
+from repro.cores.isa import Compute
+from repro.errors import KernelProgramError
+
+
+def good_kernel(tid, args):
+    yield Compute(1)
+
+
+def other_kernel(tid, args):
+    yield Compute(2)
+
+
+def good_host():
+    yield Compute(1)
+
+
+class TestCompilation:
+    def test_compile_process_with_kernels(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app", host_entry=good_host,
+                                            kernels=[good_kernel, other_kernel])
+        assert len(process.kernels) == 2
+        assert process.kernel_for(good_kernel).program_counter == MTTOP_TEXT_BASE
+        assert process.kernel_for(other_kernel).program_counter == \
+            MTTOP_TEXT_BASE + KERNEL_SLOT_BYTES
+
+    def test_kernel_lookup_by_pc(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app", kernels=[good_kernel])
+        pc = process.kernel_for(good_kernel).program_counter
+        assert process.kernel_at(pc).function is good_kernel
+
+    def test_unknown_pc_rejected(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app", kernels=[good_kernel])
+        with pytest.raises(KernelProgramError):
+            process.kernel_at(0xDEAD)
+
+    def test_unknown_kernel_rejected(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app")
+        with pytest.raises(KernelProgramError):
+            process.kernel_for(good_kernel)
+
+    def test_add_kernel_is_idempotent(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app", kernels=[good_kernel])
+        again = toolchain.add_kernel(process, good_kernel)
+        assert again is process.kernel_for(good_kernel)
+        assert len(process.kernels) == 1
+
+    def test_non_generator_kernel_rejected(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app")
+
+        def not_a_generator(tid, args):
+            return 42
+
+        with pytest.raises(KernelProgramError):
+            toolchain.add_kernel(process, not_a_generator)
+
+    def test_wrong_signature_rejected(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app")
+
+        def bad_kernel(tid):
+            yield Compute(1)
+
+        with pytest.raises(KernelProgramError):
+            toolchain.add_kernel(process, bad_kernel)
+
+    def test_non_generator_host_rejected(self):
+        toolchain = XThreadsToolchain()
+        with pytest.raises(KernelProgramError):
+            toolchain.compile_process("app", host_entry=lambda: 42)
+
+    def test_text_segment_lists_pcs_in_order(self):
+        toolchain = XThreadsToolchain()
+        process = toolchain.compile_process("app", kernels=[good_kernel, other_kernel])
+        assert process.text_segment() == [MTTOP_TEXT_BASE,
+                                          MTTOP_TEXT_BASE + KERNEL_SLOT_BYTES]
+
+    def test_compiled_processes_tracked(self):
+        toolchain = XThreadsToolchain()
+        toolchain.compile_process("a")
+        toolchain.compile_process("b")
+        assert [process.name for process in toolchain.compiled_processes] == ["a", "b"]
