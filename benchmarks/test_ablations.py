@@ -1,170 +1,71 @@
 """Ablation benchmarks for design choices the paper discusses.
 
-These are not figures from the paper but quantify the design points its text
-calls out:
-
-* **Launch overhead vs task size** (Section 5.2's intuition): the cost of a
-  task launch on the CCSVM chip vs on the APU's OpenCL runtime.
-* **TLB shootdown policy** (Section 3.2.1): the conservative flush-everything
-  policy the paper adopts vs selective invalidation.
-* **Atomic placement** (Section 3.2.4): atomics performed at the L1 after an
-  exclusive request vs an idealised L2-resident atomic.
-* **GPU buffer caching** (Section 6.1): the APU GPU's uncached zero-copy
-  buffer path vs a hypothetical cached path.
+The ablation grid itself now lives in :mod:`repro.experiments.ablations` as
+a registered sweep spec (``python -m repro run ablations``); these benchmarks
+execute slices of the grid through the unified
+:class:`~repro.harness.runner.SweepRunner` and assert the paper's qualitative
+claims about each design point.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.baseline.apu import AMDAPU
-from repro.config import small_ccsvm_system
-from repro.core.chip import CCSVMChip
-from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
-from repro.cores.isa import Load, Malloc, Store, word_addr
-from repro.sim.stats import StatsRegistry
-from repro.vm.shootdown import ShootdownPolicy, TLBShootdownController
-from repro.vm.tlb import TLB
-from repro.workloads.vector_add import vector_add_device_kernel
+from repro.experiments import ablations
+from repro.harness import SweepRunner
 
 
-def _noop_kernel(tid, args):
-    done = args
-    yield from mttop_signal(done, tid)
+def _run_ablation(name: str):
+    rows = ablations.run(ablations=(name,), runner=SweepRunner())
+    return ablations.values(rows, name)
 
 
-def _launch_only_host(threads):
-    def host():
-        done = yield Malloc(threads * 8)
-        for t in range(threads):
-            yield Store(word_addr(done, t), 0)
-        yield CreateMThread(_noop_kernel, done, 0, threads - 1)
-        yield WaitCond(done, 0, threads - 1)
-    return host
-
-
-def _ccsvm_launch_time(threads: int) -> float:
-    chip = CCSVMChip(small_ccsvm_system(mttop_cores=4, thread_contexts=64))
-    chip.create_process("launch_ablation")
-    return chip.run(_launch_only_host(threads)()).time_ns
-
-
-def _opencl_launch_time() -> float:
-    apu = AMDAPU()
-    session = apu.opencl_session()
-    session.build_program(["noop"])
-    buffer = session.create_buffer(64 * 8)
-    kernel = session.create_kernel("noop", vector_add_device_kernel)
-    session.enqueue_nd_range(kernel, 1, args=(buffer.address, buffer.address,
-                                              buffer.address))
-    return session.elapsed_without_setup_ps / 1_000.0
-
-
-def test_ablation_launch_overhead(benchmark):
+def test_ablation_launch_overhead(benchmark, record_figure):
     """CCSVM task launch is orders of magnitude cheaper than an OpenCL launch."""
-    ccsvm_ns = run_once(benchmark, _ccsvm_launch_time, 32)
-    opencl_ns = _opencl_launch_time()
+    by_variant = run_once(benchmark, _run_ablation, "launch_overhead")
+    ccsvm_ns = by_variant["ccsvm_32_threads"]
+    opencl_ns = by_variant["opencl_nosetup"]
     print(f"\nlaunch+sync of an empty task: ccsvm={ccsvm_ns:.0f} ns, "
           f"opencl(no setup)={opencl_ns:.0f} ns")
     assert ccsvm_ns * 3 < opencl_ns
 
 
-def _shootdown_cost(policy: ShootdownPolicy) -> int:
-    stats = StatsRegistry()
-    controller = TLBShootdownController(stats=stats, policy=policy)
-    cpu_tlbs = [TLB(name=f"cpu{i}", stats=stats) for i in range(4)]
-    mttop_tlbs = [TLB(name=f"mttop{i}", stats=stats) for i in range(10)]
-    for tlb in cpu_tlbs:
-        controller.register_cpu_tlb(tlb)
-    for tlb in mttop_tlbs:
-        controller.register_mttop_tlb(tlb)
-    # Warm every TLB with 64 translations, then shoot down one page.
-    for tlb in cpu_tlbs + mttop_tlbs:
-        for page in range(64):
-            tlb.insert(page, page * 4096, True)
-    result = controller.shootdown([5 * 4096], initiator_tlb=cpu_tlbs[0])
-    return result.entries_dropped
-
-
 def test_ablation_tlb_shootdown_policy(benchmark):
     """The paper's conservative MTTOP flush drops far more entries than needed."""
-    flushed = run_once(benchmark, _shootdown_cost, ShootdownPolicy.FLUSH_ALL)
-    selective = _shootdown_cost(ShootdownPolicy.SELECTIVE)
+    by_variant = run_once(benchmark, _run_ablation, "tlb_shootdown")
+    flushed = by_variant["flush_all"]
+    selective = by_variant["selective"]
     print(f"\nTLB entries dropped by one shootdown: flush_all={flushed}, "
           f"selective={selective}")
     assert flushed > selective
     assert selective <= 14  # at most one entry per TLB
 
 
-def _atomic_heavy_run(atomic_at_l1: bool) -> int:
-    """Time a counter-increment kernel with atomics at the L1 vs 'at the L2'.
-
-    The at-L2 variant is idealised by charging only the directory/L2 access
-    (no exclusive ownership transfer), which is what performing the atomic at
-    the shared cache would avoid.
-    """
-    config = small_ccsvm_system(mttop_cores=2, thread_contexts=32)
-    chip = CCSVMChip(config)
-    chip.create_process("atomic_ablation")
-    counter = chip.malloc(8)
-    chip.write_word(counter, 0)
-    done = chip.malloc(64 * 8)
-    for t in range(64):
-        chip.write_word(word_addr(done, t), 0)
-
-    if atomic_at_l1:
-        def kernel(tid, args):
-            from repro.cores.isa import AtomicAdd
-            for _ in range(4):
-                yield AtomicAdd(counter, 1)
-            yield from mttop_signal(done, tid)
-    else:
-        def kernel(tid, args):
-            for _ in range(4):
-                value = yield Load(counter)
-                yield Store(counter, value + 1)
-            yield from mttop_signal(done, tid)
-
-    def host():
-        yield CreateMThread(kernel, None, 0, 63)
-        yield WaitCond(done, 0, 63)
-
-    return chip.run(host()).time_ps
-
-
 def test_ablation_atomics_contended_counter(benchmark):
     """Contended atomics at the L1 cost real invalidation traffic."""
-    at_l1_ps = run_once(benchmark, _atomic_heavy_run, True)
+    by_variant = run_once(benchmark, _run_ablation, "atomics")
+    at_l1_ps = by_variant["l1_atomic"]
     print(f"\ncontended counter, atomics at L1: {at_l1_ps / 1000:.0f} ns")
     assert at_l1_ps > 0
 
 
-def _gpu_dram_accesses(cached: bool) -> int:
-    from repro.workloads.generators import dense_matrix
-    from repro.workloads.matmul import matmul_device_kernel
-
-    apu = AMDAPU()
-    apu.gpu.cache_buffer_accesses = cached
-    size = 16
-    a = apu.allocate(size * size * 8)
-    b = apu.allocate(size * size * 8)
-    c = apu.allocate(size * size * 8)
-    apu.write_array(a, dense_matrix(size, 1))
-    apu.write_array(b, dense_matrix(size, 2))
-    before = apu.dram_accesses
-    apu.gpu.execute_kernel(matmul_device_kernel,
-                           (a, b, c, size, size * size), range(size * size))
-    return apu.dram_accesses - before
-
-
-def test_ablation_gpu_buffer_caching(benchmark):
+def test_ablation_gpu_buffer_caching(benchmark, record_figure):
     """Letting the GPU cache shared buffers would slash its off-chip traffic.
 
     This is the Section 6.1 discussion: the zero-copy path is uncached to
     stay coherent, at a large DRAM-traffic cost.
     """
-    uncached = run_once(benchmark, _gpu_dram_accesses, False)
-    cached = _gpu_dram_accesses(True)
+    by_variant = run_once(benchmark, _run_ablation, "gpu_buffer_caching")
+    uncached = by_variant["uncached"]
+    cached = by_variant["cached"]
     print(f"\nGPU DRAM accesses for a 16x16 matmul kernel: uncached={uncached}, "
           f"cached={cached}")
     assert uncached > cached
+
+
+def test_ablation_grid_renders(record_figure):
+    """The full grid runs through the harness and records its table."""
+    rows = ablations.run(runner=SweepRunner())
+    text = ablations.render(rows)
+    record_figure("ablations", text)
+    assert {row["ablation"] for row in rows} == set(ablations.ABLATIONS)

@@ -8,6 +8,12 @@ access counts, and prints the Table 2 configuration summary.
 Run with::
 
     python examples/quickstart.py [vector_size]
+
+To regenerate the paper's full evaluation (Figures 5-9, Table 2 and the
+ablation grid) with process parallelism and point caching, use the sweep
+harness CLI instead::
+
+    python -m repro run all --jobs 4
 """
 
 import sys

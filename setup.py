@@ -1,10 +1,23 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose setuptools lacks
-PEP 660 editable-wheel support.
+Installs the ``repro`` package from ``src/`` and exposes the sweep-harness
+CLI both as ``python -m repro`` and as the ``repro`` console script.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hechtman-sorin-ispass13",
+    version="1.0.0",
+    description="Reproduction of Hechtman & Sorin, 'Evaluating Cache Coherent "
+                "Shared Virtual Memory for Heterogeneous Multicore Chips' "
+                "(ISPASS 2013)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.harness.cli:main",
+        ],
+    },
+)

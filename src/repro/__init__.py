@@ -34,8 +34,9 @@ from repro.config import (
 )
 from repro.core.chip import CCSVMChip, RunResult
 from repro.errors import ReproError
+from repro.harness import SweepPoint, SweepRunner, SweepSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "APUSystemConfig",
@@ -43,6 +44,9 @@ __all__ = [
     "CCSVMSystemConfig",
     "ReproError",
     "RunResult",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
     "__version__",
     "amd_apu_system",
     "ccsvm_system",

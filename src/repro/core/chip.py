@@ -83,10 +83,12 @@ class CCSVMChip:
 
     def __init__(self, config: Optional[CCSVMSystemConfig] = None,
                  check_sc: bool = False,
-                 max_engine_steps: int = 200_000_000) -> None:
+                 max_engine_steps: int = 200_000_000,
+                 engine_scheduler: str = "heap") -> None:
         self.config = config if config is not None else ccsvm_system()
         self.stats = StatsRegistry()
-        self.engine = Engine(max_steps=max_engine_steps)
+        self.engine = Engine(max_steps=max_engine_steps,
+                             scheduler=engine_scheduler)
         self.check_sc = check_sc
         self.sc_checker = SequentialConsistencyChecker() if check_sc else None
 

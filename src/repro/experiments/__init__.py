@@ -1,16 +1,19 @@
-"""Experiment harness: one module per figure of the paper's evaluation.
+"""Experiment modules: one per figure of the paper's evaluation.
 
-Each ``figureN`` module exposes
+Each ``figureN`` module (plus ``table2`` and ``ablations``) exposes
 
-* ``run(...) -> list[dict]`` — execute the sweep and return one row per
-  data point (all systems' times / counters plus the derived ratios the
-  paper plots), and
+* ``run(...) -> list[dict]`` — execute the sweep through the unified
+  :mod:`repro.harness` sweep runner and return one row per data point (all
+  systems' times / counters plus the derived ratios the paper plots),
 * ``render(rows) -> str`` — format the rows as the table printed by the
-  benchmark harness and the examples.
+  benchmark harness and the examples, and
+* ``build_points(...) -> list[SweepPoint]`` + a registered ``SPEC`` — the
+  declarative sweep description the harness executes (run it from the shell
+  with ``python -m repro run figureN [--full] [--jobs N]``).
 
 Default sweep parameters are sized for a laptop-class machine; pass larger
-sizes (or set the environment variable ``REPRO_FULL_SWEEP=1``) for the
-larger sweeps recorded in EXPERIMENTS.md.
+sizes (or set the environment variable ``REPRO_FULL_SWEEP=1``, the CLI's
+``--full``) for the larger sweeps recorded in EXPERIMENTS.md.
 """
 
 from repro.experiments.report import render_table, rows_to_csv

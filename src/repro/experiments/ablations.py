@@ -1,0 +1,244 @@
+"""Ablation grid for design choices the paper discusses.
+
+Not figures from the paper, but quantified design points its text calls out:
+
+* **Launch overhead vs task size** (Section 5.2's intuition): the cost of a
+  task launch on the CCSVM chip vs on the APU's OpenCL runtime.
+* **TLB shootdown policy** (Section 3.2.1): the conservative flush-everything
+  policy the paper adopts vs selective invalidation.
+* **Atomic placement** (Section 3.2.4): atomics performed at the L1 after an
+  exclusive request vs an idealised L2-resident atomic.
+* **GPU buffer caching** (Section 6.1): the APU GPU's uncached zero-copy
+  buffer path vs a hypothetical cached path.
+
+Each grid cell is one :class:`~repro.harness.spec.SweepPoint`; rows share the
+schema ``{"ablation", "variant", "metric", "value"}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baseline.apu import AMDAPU
+from repro.config import small_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
+from repro.cores.isa import Load, Malloc, Store, word_addr
+from repro.experiments.report import render_table
+from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
+from repro.sim.stats import StatsRegistry
+from repro.vm.shootdown import ShootdownPolicy, TLBShootdownController
+from repro.vm.tlb import TLB
+from repro.workloads.vector_add import vector_add_device_kernel
+
+COLUMNS = ("ablation", "variant", "metric", "value")
+
+ABLATIONS = ("launch_overhead", "tlb_shootdown", "atomics", "gpu_buffer_caching")
+
+
+# --------------------------------------------------------------------------- #
+# Launch overhead: empty task launch+sync on CCSVM vs an OpenCL launch
+# --------------------------------------------------------------------------- #
+def _noop_kernel(tid, args):
+    done = args
+    yield from mttop_signal(done, tid)
+
+
+def _launch_only_host(threads):
+    def host():
+        done = yield Malloc(threads * 8)
+        for t in range(threads):
+            yield Store(word_addr(done, t), 0)
+        yield CreateMThread(_noop_kernel, done, 0, threads - 1)
+        yield WaitCond(done, 0, threads - 1)
+    return host
+
+
+def ccsvm_launch_point(threads: int) -> PointResult:
+    """Launch+sync of an empty ``threads``-wide task on the CCSVM chip (ns)."""
+    chip = CCSVMChip(small_ccsvm_system(mttop_cores=4, thread_contexts=64))
+    chip.create_process("launch_ablation")
+    result = chip.run(_launch_only_host(threads)())
+    row = {"ablation": "launch_overhead", "variant": f"ccsvm_{threads}_threads",
+           "metric": "launch_sync_ns", "value": result.time_ns}
+    return PointResult(rows=[row], stats=result.stats.to_dict())
+
+
+def opencl_launch_point() -> PointResult:
+    """An OpenCL no-op kernel launch on the APU, compile/init excluded (ns)."""
+    apu = AMDAPU()
+    session = apu.opencl_session()
+    session.build_program(["noop"])
+    buffer = session.create_buffer(64 * 8)
+    kernel = session.create_kernel("noop", vector_add_device_kernel)
+    session.enqueue_nd_range(kernel, 1, args=(buffer.address, buffer.address,
+                                              buffer.address))
+    row = {"ablation": "launch_overhead", "variant": "opencl_nosetup",
+           "metric": "launch_sync_ns",
+           "value": session.elapsed_without_setup_ps / 1_000.0}
+    return PointResult(rows=[row])
+
+
+# --------------------------------------------------------------------------- #
+# TLB shootdown policy: conservative flush vs selective invalidation
+# --------------------------------------------------------------------------- #
+def shootdown_point(policy: str) -> PointResult:
+    """Entries dropped by one single-page shootdown under ``policy``."""
+    stats = StatsRegistry()
+    controller = TLBShootdownController(stats=stats,
+                                        policy=ShootdownPolicy(policy))
+    cpu_tlbs = [TLB(name=f"cpu{i}", stats=stats) for i in range(4)]
+    mttop_tlbs = [TLB(name=f"mttop{i}", stats=stats) for i in range(10)]
+    for tlb in cpu_tlbs:
+        controller.register_cpu_tlb(tlb)
+    for tlb in mttop_tlbs:
+        controller.register_mttop_tlb(tlb)
+    # Warm every TLB with 64 translations, then shoot down one page.
+    for tlb in cpu_tlbs + mttop_tlbs:
+        for page in range(64):
+            tlb.insert(page, page * 4096, True)
+    result = controller.shootdown([5 * 4096], initiator_tlb=cpu_tlbs[0])
+    row = {"ablation": "tlb_shootdown", "variant": policy,
+           "metric": "entries_dropped", "value": result.entries_dropped}
+    return PointResult(rows=[row], stats=stats.to_dict())
+
+
+# --------------------------------------------------------------------------- #
+# Atomic placement: contended counter with atomics at the L1 vs 'at the L2'
+# --------------------------------------------------------------------------- #
+def atomics_point(at_l1: bool) -> PointResult:
+    """Time a counter-increment kernel with atomics at the L1 vs 'at the L2'.
+
+    The at-L2 variant is idealised by charging only the directory/L2 access
+    (no exclusive ownership transfer), which is what performing the atomic at
+    the shared cache would avoid.
+    """
+    config = small_ccsvm_system(mttop_cores=2, thread_contexts=32)
+    chip = CCSVMChip(config)
+    chip.create_process("atomic_ablation")
+    counter = chip.malloc(8)
+    chip.write_word(counter, 0)
+    done = chip.malloc(64 * 8)
+    for t in range(64):
+        chip.write_word(word_addr(done, t), 0)
+
+    if at_l1:
+        def kernel(tid, args):
+            from repro.cores.isa import AtomicAdd
+            for _ in range(4):
+                yield AtomicAdd(counter, 1)
+            yield from mttop_signal(done, tid)
+    else:
+        def kernel(tid, args):
+            for _ in range(4):
+                value = yield Load(counter)
+                yield Store(counter, value + 1)
+            yield from mttop_signal(done, tid)
+
+    def host():
+        yield CreateMThread(kernel, None, 0, 63)
+        yield WaitCond(done, 0, 63)
+
+    result = chip.run(host())
+    row = {"ablation": "atomics",
+           "variant": "l1_atomic" if at_l1 else "l2_idealized",
+           "metric": "time_ps", "value": result.time_ps}
+    return PointResult(rows=[row], stats=result.stats.to_dict())
+
+
+# --------------------------------------------------------------------------- #
+# GPU buffer caching: the uncached zero-copy path vs a hypothetical cached one
+# --------------------------------------------------------------------------- #
+def gpu_caching_point(cached: bool) -> PointResult:
+    """DRAM accesses of a 16x16 matmul kernel with/without GPU buffer caching."""
+    from repro.workloads.generators import dense_matrix
+    from repro.workloads.matmul import matmul_device_kernel
+
+    apu = AMDAPU()
+    apu.gpu.cache_buffer_accesses = cached
+    size = 16
+    a = apu.allocate(size * size * 8)
+    b = apu.allocate(size * size * 8)
+    c = apu.allocate(size * size * 8)
+    apu.write_array(a, dense_matrix(size, 1))
+    apu.write_array(b, dense_matrix(size, 2))
+    before = apu.dram_accesses
+    apu.gpu.execute_kernel(matmul_device_kernel,
+                           (a, b, c, size, size * size), range(size * size))
+    row = {"ablation": "gpu_buffer_caching",
+           "variant": "cached" if cached else "uncached",
+           "metric": "dram_accesses", "value": apu.dram_accesses - before}
+    return PointResult(rows=[row])
+
+
+# --------------------------------------------------------------------------- #
+# The grid
+# --------------------------------------------------------------------------- #
+def build_points(full: bool = False, launch_threads: int = 32,
+                 ablations: Optional[Sequence[str]] = None) -> List[SweepPoint]:
+    """Expand the ablation grid (optionally restricted to some ablations)."""
+    thread_counts = tuple(dict.fromkeys((8, launch_threads, 64))) if full \
+        else (launch_threads,)
+    grid: List[SweepPoint] = []
+    grid.extend(SweepPoint(spec="ablations", point_id=f"launch_ccsvm_{threads}",
+                           func=ccsvm_launch_point, kwargs={"threads": threads})
+                for threads in thread_counts)
+    grid.append(SweepPoint(spec="ablations", point_id="launch_opencl",
+                           func=opencl_launch_point, kwargs={}))
+    grid.extend(SweepPoint(spec="ablations", point_id=f"shootdown_{policy.value}",
+                           func=shootdown_point, kwargs={"policy": policy.value})
+                for policy in ShootdownPolicy)
+    grid.extend(SweepPoint(spec="ablations", point_id=f"atomics_at_l1={at_l1}",
+                           func=atomics_point, kwargs={"at_l1": at_l1})
+                for at_l1 in (True, False))
+    grid.extend(SweepPoint(spec="ablations", point_id=f"gpu_cached={cached}",
+                           func=gpu_caching_point, kwargs={"cached": cached})
+                for cached in (False, True))
+    if ablations is not None:
+        wanted = set(ablations)
+        unknown = wanted - set(ABLATIONS)
+        if unknown:
+            raise ValueError(f"unknown ablations: {sorted(unknown)}")
+        grid = [point for point in grid if _point_ablation(point) in wanted]
+    return grid
+
+
+def _point_ablation(point: SweepPoint) -> str:
+    prefixes = {"launch_": "launch_overhead", "shootdown_": "tlb_shootdown",
+                "atomics_": "atomics", "gpu_": "gpu_buffer_caching"}
+    for prefix, name in prefixes.items():
+        if point.point_id.startswith(prefix):
+            return name
+    raise ValueError(f"unknown ablation point {point.point_id!r}")
+
+
+def run(ablations: Optional[Sequence[str]] = None,
+        runner: Optional["SweepRunner"] = None,
+        launch_threads: int = 32) -> List[Dict[str, object]]:
+    """Run the ablation grid (or a named subset) and return its rows."""
+    from repro.experiments.report import full_sweep_enabled
+    from repro.harness.runner import SweepRunner
+
+    runner = runner if runner is not None else SweepRunner()
+    return runner.run_spec(SPEC, full=full_sweep_enabled(), ablations=ablations,
+                           launch_threads=launch_threads).result
+
+
+def values(rows: Sequence[Dict[str, object]], ablation: str) -> Dict[str, object]:
+    """Map ``variant -> value`` for one ablation's rows."""
+    return {row["variant"]: row["value"] for row in rows
+            if row["ablation"] == ablation}
+
+
+def render(rows: Sequence[Dict[str, object]]) -> str:
+    """Format the ablation grid rows."""
+    return render_table(rows, COLUMNS,
+                        title="Ablations — design points discussed in the paper")
+
+
+SPEC = register(SweepSpec(
+    name="ablations",
+    title="Design-choice ablation grid (launch, shootdown, atomics, caching)",
+    build_points=build_points,
+    render=render,
+))

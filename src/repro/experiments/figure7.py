@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
+from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
 from repro.workloads import barnes_hut
 from repro.workloads.base import require_verified
 
@@ -29,32 +30,57 @@ COLUMNS = (
 )
 
 
+def _point(bodies: int, timesteps: int, seed: int,
+           ccsvm_config: Optional[CCSVMSystemConfig],
+           apu_config: Optional[APUSystemConfig]) -> PointResult:
+    """Simulate all three systems at one body count and build its row."""
+    cpu = require_verified(barnes_hut.run_cpu(bodies, timesteps, seed=seed,
+                                              config=apu_config))
+    pthreads = require_verified(barnes_hut.run_pthreads(bodies, timesteps,
+                                                        seed=seed,
+                                                        config=apu_config))
+    ccsvm = require_verified(barnes_hut.run_ccsvm(bodies, timesteps, seed=seed,
+                                                  config=ccsvm_config))
+    row = {
+        "bodies": bodies,
+        "cpu_ms": cpu.time_ms,
+        "pthreads_ms": pthreads.time_ms,
+        "ccsvm_xthreads_ms": ccsvm.time_ms,
+        "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
+        "speedup_vs_pthreads": pthreads.time_ps / ccsvm.time_ps,
+    }
+    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+def build_points(full: bool = False,
+                 body_counts: Optional[Sequence[int]] = None,
+                 timesteps: int = 2,
+                 ccsvm_config: Optional[CCSVMSystemConfig] = None,
+                 apu_config: Optional[APUSystemConfig] = None,
+                 seed: int = 5) -> List[SweepPoint]:
+    """Expand the Figure 7 sweep into one point per body count."""
+    if body_counts is None:
+        body_counts = FULL_SWEEP_BODY_COUNTS if full else DEFAULT_BODY_COUNTS
+    return [SweepPoint(spec="figure7", point_id=f"bodies={bodies}", func=_point,
+                       kwargs={"bodies": bodies, "timesteps": timesteps,
+                               "seed": seed, "ccsvm_config": ccsvm_config,
+                               "apu_config": apu_config})
+            for bodies in body_counts]
+
+
 def run(body_counts: Optional[Sequence[int]] = None, timesteps: int = 2,
         ccsvm_config: Optional[CCSVMSystemConfig] = None,
         apu_config: Optional[APUSystemConfig] = None,
-        seed: int = 5) -> List[Dict[str, object]]:
+        seed: int = 5, runner: Optional["SweepRunner"] = None
+        ) -> List[Dict[str, object]]:
     """Run the Figure 7 sweep and return one row per body count."""
-    if body_counts is None:
-        body_counts = FULL_SWEEP_BODY_COUNTS if full_sweep_enabled() \
-            else DEFAULT_BODY_COUNTS
-    rows: List[Dict[str, object]] = []
-    for bodies in body_counts:
-        cpu = require_verified(barnes_hut.run_cpu(bodies, timesteps, seed=seed,
-                                                  config=apu_config))
-        pthreads = require_verified(barnes_hut.run_pthreads(bodies, timesteps,
-                                                            seed=seed,
-                                                            config=apu_config))
-        ccsvm = require_verified(barnes_hut.run_ccsvm(bodies, timesteps, seed=seed,
-                                                      config=ccsvm_config))
-        rows.append({
-            "bodies": bodies,
-            "cpu_ms": cpu.time_ms,
-            "pthreads_ms": pthreads.time_ms,
-            "ccsvm_xthreads_ms": ccsvm.time_ms,
-            "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
-            "speedup_vs_pthreads": pthreads.time_ps / ccsvm.time_ps,
-        })
-    return rows
+    from repro.harness.runner import SweepRunner
+
+    runner = runner if runner is not None else SweepRunner()
+    return runner.run_spec(SPEC, full=full_sweep_enabled(),
+                           body_counts=body_counts, timesteps=timesteps,
+                           ccsvm_config=ccsvm_config, apu_config=apu_config,
+                           seed=seed).result
 
 
 def render(rows: Sequence[Dict[str, object]]) -> str:
@@ -62,3 +88,11 @@ def render(rows: Sequence[Dict[str, object]]) -> str:
     return render_table(rows, COLUMNS,
                         title="Figure 7 — Barnes-Hut n-body runtime "
                               "(speedups > 1 favour CCSVM/xthreads)")
+
+
+SPEC = register(SweepSpec(
+    name="figure7",
+    title="Barnes-Hut n-body runtime vs one CPU core and vs pthreads",
+    build_points=build_points,
+    render=render,
+))

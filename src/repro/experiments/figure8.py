@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
+from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
 from repro.workloads import sparse_matmul
 from repro.workloads.base import require_verified
 
@@ -36,12 +37,13 @@ DENSITY_COLUMNS = ("density", "size", "cpu_ms", "ccsvm_xthreads_ms",
 
 def _point(size: int, density: float, seed: int,
            ccsvm_config: Optional[CCSVMSystemConfig],
-           apu_config: Optional[APUSystemConfig]) -> Dict[str, object]:
+           apu_config: Optional[APUSystemConfig]) -> PointResult:
+    """Simulate one (size, density) cell on the CPU core and the CCSVM chip."""
     cpu = require_verified(sparse_matmul.run_cpu(size, density, seed=seed,
                                                  config=apu_config))
     ccsvm = require_verified(sparse_matmul.run_ccsvm(size, density, seed=seed,
                                                      config=ccsvm_config))
-    return {
+    row = {
         "size": size,
         "density": density,
         "cpu_ms": cpu.time_ms,
@@ -49,39 +51,90 @@ def _point(size: int, density: float, seed: int,
         "mttop_mallocs": ccsvm.extra.get("mttop_mallocs", 0),
         "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
     }
+    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+def _size_points(sizes: Sequence[int], density: float, seed: int,
+                 ccsvm_config: Optional[CCSVMSystemConfig],
+                 apu_config: Optional[APUSystemConfig]) -> List[SweepPoint]:
+    return [SweepPoint(spec="figure8", point_id=f"size={size},density={density}",
+                       func=_point, group="by_size",
+                       kwargs={"size": size, "density": density, "seed": seed,
+                               "ccsvm_config": ccsvm_config,
+                               "apu_config": apu_config})
+            for size in sizes]
+
+
+def _density_points(densities: Sequence[float], size: int, seed: int,
+                    ccsvm_config: Optional[CCSVMSystemConfig],
+                    apu_config: Optional[APUSystemConfig]) -> List[SweepPoint]:
+    return [SweepPoint(spec="figure8", point_id=f"density={density},size={size}",
+                       func=_point, group="by_density",
+                       kwargs={"size": size, "density": density, "seed": seed,
+                               "ccsvm_config": ccsvm_config,
+                               "apu_config": apu_config})
+            for density in densities]
+
+
+def build_points(full: bool = False,
+                 sizes: Optional[Sequence[int]] = None,
+                 densities: Optional[Sequence[float]] = None,
+                 ccsvm_config: Optional[CCSVMSystemConfig] = None,
+                 apu_config: Optional[APUSystemConfig] = None,
+                 seed: int = 23) -> List[SweepPoint]:
+    """Expand both Figure 8 panels into one point per (size, density) cell."""
+    if sizes is None:
+        sizes = FULL_SWEEP_SIZES if full else DEFAULT_SIZES
+    if densities is None:
+        densities = FULL_SWEEP_DENSITIES if full else DEFAULT_DENSITIES
+    return (_size_points(sizes, LEFT_PANEL_DENSITY, seed, ccsvm_config, apu_config)
+            + _density_points(densities, RIGHT_PANEL_SIZE, seed,
+                              ccsvm_config, apu_config))
 
 
 def run_size_sweep(sizes: Optional[Sequence[int]] = None,
                    density: float = LEFT_PANEL_DENSITY,
                    ccsvm_config: Optional[CCSVMSystemConfig] = None,
                    apu_config: Optional[APUSystemConfig] = None,
-                   seed: int = 23) -> List[Dict[str, object]]:
+                   seed: int = 23, runner: Optional["SweepRunner"] = None
+                   ) -> List[Dict[str, object]]:
     """Left panel: fixed density, varying matrix size."""
+    from repro.harness.runner import SweepRunner
+
     if sizes is None:
         sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
-    return [_point(size, density, seed, ccsvm_config, apu_config) for size in sizes]
+    runner = runner if runner is not None else SweepRunner()
+    points = _size_points(sizes, density, seed, ccsvm_config, apu_config)
+    return runner.run_points(points, spec_name="figure8").result["by_size"]
 
 
 def run_density_sweep(densities: Optional[Sequence[float]] = None,
                       size: int = RIGHT_PANEL_SIZE,
                       ccsvm_config: Optional[CCSVMSystemConfig] = None,
                       apu_config: Optional[APUSystemConfig] = None,
-                      seed: int = 23) -> List[Dict[str, object]]:
+                      seed: int = 23, runner: Optional["SweepRunner"] = None
+                      ) -> List[Dict[str, object]]:
     """Right panel: fixed matrix size, varying density."""
+    from repro.harness.runner import SweepRunner
+
     if densities is None:
         densities = FULL_SWEEP_DENSITIES if full_sweep_enabled() else DEFAULT_DENSITIES
-    return [_point(size, density, seed, ccsvm_config, apu_config)
-            for density in densities]
+    runner = runner if runner is not None else SweepRunner()
+    points = _density_points(densities, size, seed, ccsvm_config, apu_config)
+    return runner.run_points(points, spec_name="figure8").result["by_density"]
 
 
 def run(ccsvm_config: Optional[CCSVMSystemConfig] = None,
-        apu_config: Optional[APUSystemConfig] = None) -> Dict[str, List[Dict[str, object]]]:
+        apu_config: Optional[APUSystemConfig] = None,
+        runner: Optional["SweepRunner"] = None
+        ) -> Dict[str, List[Dict[str, object]]]:
     """Run both panels and return ``{"by_size": ..., "by_density": ...}``."""
-    return {
-        "by_size": run_size_sweep(ccsvm_config=ccsvm_config, apu_config=apu_config),
-        "by_density": run_density_sweep(ccsvm_config=ccsvm_config,
-                                        apu_config=apu_config),
-    }
+    from repro.harness.runner import SweepRunner
+
+    runner = runner if runner is not None else SweepRunner()
+    return runner.run_spec(SPEC, full=full_sweep_enabled(),
+                           ccsvm_config=ccsvm_config,
+                           apu_config=apu_config).result
 
 
 def render(panels: Dict[str, List[Dict[str, object]]]) -> str:
@@ -93,3 +146,11 @@ def render(panels: Dict[str, List[Dict[str, object]]]) -> str:
                          title="Figure 8 (right) — sparse MM speedup vs one AMD CPU "
                                f"core, size fixed at {RIGHT_PANEL_SIZE}")
     return left + "\n\n" + right
+
+
+SPEC = register(SweepSpec(
+    name="figure8",
+    title="Sparse matrix multiply speedup (size and density sweeps)",
+    build_points=build_points,
+    render=render,
+))

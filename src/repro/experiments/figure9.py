@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
+from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
 from repro.workloads import matmul
 from repro.workloads.base import require_verified
 
@@ -30,29 +31,52 @@ COLUMNS = (
 )
 
 
+def _point(size: int, seed: int,
+           ccsvm_config: Optional[CCSVMSystemConfig],
+           apu_config: Optional[APUSystemConfig]) -> PointResult:
+    """Simulate all three systems at one matrix size and count DRAM traffic."""
+    cpu = require_verified(matmul.run_cpu(size, seed=seed, config=apu_config))
+    apu = require_verified(matmul.run_opencl(size, seed=seed, config=apu_config))
+    ccsvm = require_verified(matmul.run_ccsvm(size, seed=seed,
+                                              config=ccsvm_config))
+    ratio = (apu.dram_accesses / ccsvm.dram_accesses
+             if ccsvm.dram_accesses else float("inf"))
+    row = {
+        "size": size,
+        "cpu_dram_accesses": cpu.dram_accesses,
+        "apu_opencl_dram_accesses": apu.dram_accesses,
+        "ccsvm_xthreads_dram_accesses": ccsvm.dram_accesses,
+        "apu_over_ccsvm": ratio,
+    }
+    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
+                 ccsvm_config: Optional[CCSVMSystemConfig] = None,
+                 apu_config: Optional[APUSystemConfig] = None,
+                 seed: int = 7) -> List[SweepPoint]:
+    """Expand the Figure 9 sweep into one point per matrix size."""
+    if sizes is None:
+        sizes = FULL_SWEEP_SIZES if full else DEFAULT_SIZES
+    return [SweepPoint(spec="figure9", point_id=f"size={size}", func=_point,
+                       kwargs={"size": size, "seed": seed,
+                               "ccsvm_config": ccsvm_config,
+                               "apu_config": apu_config})
+            for size in sizes]
+
+
 def run(sizes: Optional[Sequence[int]] = None,
         ccsvm_config: Optional[CCSVMSystemConfig] = None,
         apu_config: Optional[APUSystemConfig] = None,
-        seed: int = 7) -> List[Dict[str, object]]:
+        seed: int = 7, runner: Optional["SweepRunner"] = None
+        ) -> List[Dict[str, object]]:
     """Run the Figure 9 sweep and return one row per matrix size."""
-    if sizes is None:
-        sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
-    rows: List[Dict[str, object]] = []
-    for size in sizes:
-        cpu = require_verified(matmul.run_cpu(size, seed=seed, config=apu_config))
-        apu = require_verified(matmul.run_opencl(size, seed=seed, config=apu_config))
-        ccsvm = require_verified(matmul.run_ccsvm(size, seed=seed,
-                                                  config=ccsvm_config))
-        ratio = (apu.dram_accesses / ccsvm.dram_accesses
-                 if ccsvm.dram_accesses else float("inf"))
-        rows.append({
-            "size": size,
-            "cpu_dram_accesses": cpu.dram_accesses,
-            "apu_opencl_dram_accesses": apu.dram_accesses,
-            "ccsvm_xthreads_dram_accesses": ccsvm.dram_accesses,
-            "apu_over_ccsvm": ratio,
-        })
-    return rows
+    from repro.harness.runner import SweepRunner
+
+    runner = runner if runner is not None else SweepRunner()
+    return runner.run_spec(SPEC, full=full_sweep_enabled(), sizes=sizes,
+                           ccsvm_config=ccsvm_config, apu_config=apu_config,
+                           seed=seed).result
 
 
 def render(rows: Sequence[Dict[str, object]]) -> str:
@@ -60,3 +84,11 @@ def render(rows: Sequence[Dict[str, object]]) -> str:
     return render_table(rows, COLUMNS,
                         title="Figure 9 — off-chip DRAM accesses for dense matrix "
                               "multiply (lower is better)")
+
+
+SPEC = register(SweepSpec(
+    name="figure9",
+    title="Off-chip DRAM accesses for dense matrix multiply",
+    build_points=build_points,
+    render=render,
+))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import csv
 import io
 import os
 from typing import Dict, List, Optional, Sequence
@@ -49,12 +50,19 @@ def render_table(rows: Sequence[Dict[str, object]],
 
 def rows_to_csv(rows: Sequence[Dict[str, object]],
                 columns: Optional[Sequence[str]] = None) -> str:
-    """Render rows as CSV text (useful for plotting outside the harness)."""
+    """Render rows as CSV text (useful for plotting outside the harness).
+
+    Values containing commas, quotes or newlines are quoted/escaped per RFC
+    4180, so string cells (e.g. Table 2's parameter descriptions) survive a
+    round-trip through any CSV reader.
+    """
     if not rows:
         return ""
     if columns is None:
         columns = list(rows[0].keys())
-    lines = [",".join(str(column) for column in columns)]
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow([str(column) for column in columns])
     for row in rows:
-        lines.append(",".join(_format_value(row.get(column, "")) for column in columns))
-    return "\n".join(lines)
+        writer.writerow([_format_value(row.get(column, "")) for column in columns])
+    return out.getvalue().rstrip("\n")

@@ -6,7 +6,7 @@ honest and gives the examples something compact to print.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import (
     APUSystemConfig,
@@ -15,6 +15,7 @@ from repro.config import (
     ccsvm_system,
 )
 from repro.experiments.report import render_table
+from repro.harness.spec import SweepPoint, SweepSpec, register
 
 COLUMNS = ("parameter", "ccsvm_simulated", "amd_apu_a8_3850")
 
@@ -73,7 +74,33 @@ def rows(ccsvm: CCSVMSystemConfig = None,
     ]
 
 
-def render() -> str:
+def build_points(full: bool = False,
+                 ccsvm: Optional[CCSVMSystemConfig] = None,
+                 apu: Optional[APUSystemConfig] = None) -> List[SweepPoint]:
+    """Table 2 is a single 'point' that emits every parameter row."""
+    return [SweepPoint(spec="table2", point_id="configs", func=rows,
+                       kwargs={"ccsvm": ccsvm, "apu": apu})]
+
+
+def run(ccsvm: Optional[CCSVMSystemConfig] = None,
+        apu: Optional[APUSystemConfig] = None,
+        runner: Optional["SweepRunner"] = None) -> List[Dict[str, object]]:
+    """Build the Table 2 rows through the sweep harness."""
+    from repro.harness.runner import SweepRunner
+
+    runner = runner if runner is not None else SweepRunner()
+    return runner.run_spec(SPEC, ccsvm=ccsvm, apu=apu).result
+
+
+def render(table_rows: Optional[Sequence[Dict[str, object]]] = None) -> str:
     """Format Table 2."""
-    return render_table(rows(), COLUMNS,
+    return render_table(table_rows if table_rows is not None else rows(), COLUMNS,
                         title="Table 2 — simulated CCSVM system vs AMD APU")
+
+
+SPEC = register(SweepSpec(
+    name="table2",
+    title="System configurations: simulated CCSVM chip vs AMD APU",
+    build_points=build_points,
+    render=render,
+))

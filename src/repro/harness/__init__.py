@@ -1,0 +1,41 @@
+"""Unified sweep-runner subsystem.
+
+Every experiment of the reproduction — the paper's Figures 5-9, Table 2 and
+the ablation grid — is declared as a :class:`~repro.harness.spec.SweepSpec`:
+a named registry entry that expands into independent
+:class:`~repro.harness.spec.SweepPoint` s.  A
+:class:`~repro.harness.runner.SweepRunner` executes the points sequentially
+or across a ``multiprocessing`` pool, merges their
+:class:`~repro.sim.stats.StatsRegistry` counters, and caches completed
+points to disk keyed by a hash of their full configuration.
+
+``python -m repro run figure5 --full --jobs 4`` drives it from the shell.
+"""
+
+from repro.harness.runner import SweepOutcome, SweepRunner, default_cache_dir
+from repro.harness.spec import (
+    HarnessError,
+    PointResult,
+    SweepPoint,
+    SweepSpec,
+    execute_point,
+    get_spec,
+    load_builtin_specs,
+    register,
+    spec_names,
+)
+
+__all__ = [
+    "HarnessError",
+    "PointResult",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
+    "default_cache_dir",
+    "execute_point",
+    "get_spec",
+    "load_builtin_specs",
+    "register",
+    "spec_names",
+]

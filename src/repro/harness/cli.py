@@ -1,0 +1,119 @@
+"""``python -m repro`` — run the paper's sweeps from the command line.
+
+Examples::
+
+    python -m repro list
+    python -m repro run figure5
+    python -m repro run figure5 --full --jobs 4
+    python -m repro run all --jobs 8 --no-cache
+    python -m repro run figure9 --csv --out figure9.csv
+
+``--full`` selects each sweep's larger parameter grid (the same grids the
+``REPRO_FULL_SWEEP=1`` environment variable selects), ``--jobs N`` fans the
+sweep's independent simulation points out over N worker processes, and
+completed points are cached under ``.repro-cache/`` (override with
+``--cache-dir`` or ``REPRO_CACHE_DIR``; disable with ``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.report import full_sweep_enabled, rows_to_csv
+from repro.harness.runner import SweepRunner, default_cache_dir
+from repro.harness.spec import HarnessError, get_spec, spec_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the figures and tables of Hechtman & Sorin "
+                    "(ISPASS 2013) via the parallel sweep harness.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered sweeps")
+
+    run = sub.add_parser("run", help="run one or more sweeps")
+    run.add_argument("sweeps", nargs="+",
+                     help="sweep names (see 'repro list'), or 'all'")
+    run.add_argument("--full", action="store_true",
+                     help="use the larger sweep grids "
+                          "(default honours REPRO_FULL_SWEEP)")
+    run.add_argument("--jobs", "-j", type=int,
+                     default=int(os.environ.get("REPRO_JOBS", "1")),
+                     help="worker processes per sweep (default: $REPRO_JOBS or 1)")
+    run.add_argument("--cache-dir", default=None,
+                     help=f"per-point result cache directory "
+                          f"(default: $REPRO_CACHE_DIR or {default_cache_dir()!r})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute every point; do not read or write the cache")
+    run.add_argument("--csv", action="store_true",
+                     help="emit CSV instead of the rendered table")
+    run.add_argument("--out", default=None,
+                     help="also write the output to this file")
+    run.add_argument("--stats", action="store_true",
+                     help="print the merged stats counters after each sweep")
+    return parser
+
+
+def _emit_csv(result: object) -> str:
+    if isinstance(result, list):
+        return rows_to_csv(result)
+    parts = []
+    for group, rows in result.items():
+        parts.append(f"# {group}")
+        parts.append(rows_to_csv(rows))
+    return "\n".join(parts)
+
+
+def _run(args: argparse.Namespace) -> int:
+    names = list(args.sweeps)
+    if names == ["all"]:
+        names = spec_names()
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    runner = SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+    full = args.full or full_sweep_enabled()
+
+    outputs: List[str] = []
+    for name in names:
+        spec = get_spec(name)
+        started = time.monotonic()
+        outcome = runner.run_spec(spec, full=full)
+        elapsed = time.monotonic() - started
+        text = _emit_csv(outcome.result) if args.csv else spec.render(outcome.result)
+        outputs.append(text)
+        print(text)
+        fresh = outcome.points_total - outcome.points_from_cache
+        print(f"[{name}] {outcome.points_total} points "
+              f"({fresh} simulated, {outcome.points_from_cache} cached) "
+              f"in {elapsed:.1f}s with jobs={args.jobs}", file=sys.stderr)
+        if args.stats:
+            print(outcome.stats.render())
+        print()
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``repro`` console script)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in spec_names():
+            print(f"{name:12s}  {get_spec(name).title}")
+        return 0
+    try:
+        return _run(args)
+    except (HarnessError, ValueError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

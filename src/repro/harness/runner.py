@@ -1,0 +1,188 @@
+"""Parallel sweep execution with per-point disk caching.
+
+:class:`SweepRunner` executes the :class:`~repro.harness.spec.SweepPoint` s
+of a sweep, optionally fanning them out over a ``multiprocessing`` pool —
+every point is an independent full-chip simulation, so the sweep
+parallelises embarrassingly — and merges the per-point stats into one
+:class:`~repro.sim.stats.StatsRegistry`.  Completed points can be cached to
+disk keyed by a hash of the spec name, point function and its full
+configuration, so re-running a sweep only simulates points whose
+configuration changed.
+
+Row order is always the declaration order of the points, independent of
+``jobs``, so parallel runs render byte-identical tables to sequential ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.harness.spec import (
+    PointResult,
+    SweepPoint,
+    SweepSpec,
+    default_combine,
+    execute_point,
+)
+from repro.sim.stats import StatsRegistry
+
+#: Environment variable naming the default cache directory for the CLI.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache directory the CLI uses unless told otherwise."""
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+def point_cache_key(point: SweepPoint) -> str:
+    """A stable hash of everything that determines a point's result.
+
+    The key covers the spec name, the point function's identity and the
+    ``repr`` of its keyword arguments — configuration dataclasses have
+    deterministic reprs, so any parameter change (sizes, cache geometry,
+    seeds, ...) changes the key.
+    """
+    from repro import __version__
+
+    func = point.func
+    payload = "\x1f".join((
+        __version__,
+        point.spec,
+        point.point_id,
+        f"{func.__module__}.{getattr(func, '__qualname__', func.__name__)}",
+        repr(sorted(point.kwargs.items())),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep run produced."""
+
+    spec: str
+    result: object               #: combined rows (list) or panels (dict)
+    stats: StatsRegistry         #: merged counters from every point
+    points_total: int
+    points_from_cache: int
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """The flat row list (single-panel sweeps only)."""
+        if not isinstance(self.result, list):
+            raise TypeError(f"sweep {self.spec} has multiple panels; use .result")
+        return self.result
+
+
+class SweepRunner:
+    """Executes sweep points, optionally in parallel and with a disk cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (default) runs in-process, which is
+        what unit tests want; experiment CLIs pass ``--jobs N``.
+    cache_dir:
+        Directory for per-point result JSON.  ``None`` disables caching
+        entirely (again the library/test default; the CLI turns it on).
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+
+    # ------------------------------------------------------------------ #
+    # Cache
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, point: SweepPoint) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, point.spec,
+                            point_cache_key(point) + ".json")
+
+    def _cache_load(self, point: SweepPoint) -> Optional[PointResult]:
+        path = self._cache_path(point)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return PointResult(rows=payload["rows"], stats=payload.get("stats", {}))
+        except (OSError, ValueError, KeyError):
+            return None  # treat a corrupt entry as a miss and recompute
+
+    def _cache_store(self, point: SweepPoint, result: PointResult) -> None:
+        path = self._cache_path(point)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"point_id": point.point_id, "rows": result.rows,
+                           "stats": result.stats}, handle)
+            os.replace(tmp, path)
+        except (OSError, TypeError):
+            pass  # a point with unserialisable rows simply isn't cached
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_points(self, points: List[SweepPoint],
+                   spec_name: str = "adhoc") -> SweepOutcome:
+        """Execute ``points`` (cache-aware, possibly in parallel)."""
+        results: List[Optional[PointResult]] = [self._cache_load(p) for p in points]
+        cached = sum(1 for r in results if r is not None)
+        pending = [(i, p) for i, p in enumerate(points) if results[i] is None]
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                fresh = self._execute_parallel([p for _, p in pending])
+            else:
+                fresh = [execute_point(p) for _, p in pending]
+            for (index, point), result in zip(pending, fresh):
+                results[index] = result
+                self._cache_store(point, result)
+
+        stats = StatsRegistry()
+        groups: Dict[str, List[Dict[str, object]]] = {}
+        for point, result in zip(points, results):
+            groups.setdefault(point.group, []).extend(result.rows)
+            for name, value in result.stats.items():
+                stats.add(name, value)
+            stats.add("harness.points")
+            stats.add("harness.rows", len(result.rows))
+        stats.add("harness.points_from_cache", cached)
+
+        return SweepOutcome(spec=spec_name, result=default_combine(groups),
+                            stats=stats, points_total=len(points),
+                            points_from_cache=cached)
+
+    def _execute_parallel(self, points: List[SweepPoint]) -> List[PointResult]:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        workers = min(self.jobs, len(points))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(execute_point, points)
+
+    def run_spec(self, spec: SweepSpec, full: bool = False,
+                 **overrides: object) -> SweepOutcome:
+        """Expand ``spec`` into points, execute them, and combine the rows."""
+        points = spec.build_points(full=full, **overrides)
+        return self.run_points(points, spec_name=spec.name)
+
+    def run(self, spec_name: str, full: bool = False,
+            **overrides: object) -> SweepOutcome:
+        """Execute a registered sweep by name."""
+        from repro.harness.spec import get_spec
+
+        return self.run_spec(get_spec(spec_name), full=full, **overrides)

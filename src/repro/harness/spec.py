@@ -1,0 +1,142 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names an experiment (one figure or table of the paper,
+or an ablation grid) and knows how to expand it into independent
+:class:`SweepPoint` s — one full-chip simulation (or a small cluster of
+related simulations) per point.  Points carry a module-level function plus
+picklable keyword arguments, so a :class:`~repro.harness.runner.SweepRunner`
+can execute them in worker processes and cache them on disk.
+
+Registering a new experiment is ~10 lines::
+
+    def _point(size, seed):          # module level, returns a row dict
+        ...
+
+    def _build(full=False, sizes=None, seed=7):
+        sizes = sizes or (FULL if full else DEFAULT)
+        return [SweepPoint("myexp", f"size={s}", _point,
+                           {"size": s, "seed": seed}) for s in sizes]
+
+    register(SweepSpec(name="myexp", title="My experiment",
+                       build_points=_build,
+                       render=lambda rows: render_table(rows, COLUMNS)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class HarnessError(ReproError):
+    """A sweep specification or runner was misused."""
+
+
+@dataclass
+class PointResult:
+    """What one executed sweep point produced.
+
+    ``rows`` feed the experiment's table (usually exactly one row);
+    ``stats`` is a flat counter dict (in :class:`~repro.sim.stats.StatsRegistry`
+    form) merged across all points of the sweep by the runner.
+    """
+
+    rows: List[Dict[str, object]]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of work within a sweep.
+
+    ``func`` must be a module-level callable (so it pickles across process
+    boundaries) and ``kwargs`` must be picklable.  ``group`` names the output
+    panel the point's rows belong to; single-table sweeps leave it at
+    ``"rows"``.
+    """
+
+    spec: str
+    point_id: str
+    func: Callable[..., object]
+    kwargs: Dict[str, object]
+    group: str = "rows"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, declarative description of one experiment sweep.
+
+    The runner folds the executed points' rows per ``SweepPoint.group``:
+    sweeps whose points all use the default ``"rows"`` group get a plain row
+    list, multi-panel sweeps (Figure 8) get a ``{group: rows}`` dict — in
+    both cases that is the shape ``render`` receives.
+    """
+
+    name: str
+    title: str
+    build_points: Callable[..., List[SweepPoint]]
+    render: Callable[[object], str]
+
+
+def execute_point(point: SweepPoint) -> PointResult:
+    """Run one sweep point in the current process and normalise its result."""
+    produced = point.func(**point.kwargs)
+    if isinstance(produced, PointResult):
+        return produced
+    if isinstance(produced, dict):
+        return PointResult(rows=[produced])
+    if isinstance(produced, list):
+        return PointResult(rows=produced)
+    raise HarnessError(
+        f"point {point.spec}:{point.point_id} returned {type(produced).__name__}; "
+        "expected PointResult, row dict or list of row dicts"
+    )
+
+
+def default_combine(groups: Dict[str, List[Dict[str, object]]]) -> object:
+    """Collapse single-panel sweeps to a plain row list."""
+    if list(groups) == ["rows"]:
+        return groups["rows"]
+    return dict(groups)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, SweepSpec] = {}
+
+
+def register(spec: SweepSpec) -> SweepSpec:
+    """Add ``spec`` to the global registry (idempotent per name) and return it."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise HarnessError(f"sweep spec {spec.name!r} registered twice")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> SweepSpec:
+    """Look up a registered sweep spec by name."""
+    load_builtin_specs()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise HarnessError(f"no sweep spec named {name!r}; known specs: {known}") \
+            from None
+
+
+def spec_names() -> List[str]:
+    """Names of every registered sweep spec, sorted."""
+    load_builtin_specs()
+    return sorted(_REGISTRY)
+
+
+def load_builtin_specs() -> None:
+    """Import the experiment modules so their specs self-register."""
+    # Imported lazily to avoid a cycle: experiment modules import this module
+    # to build their specs.
+    from repro.experiments import (  # noqa: F401
+        ablations, figure5, figure6, figure7, figure8, figure9, table2)

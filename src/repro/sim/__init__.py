@@ -6,6 +6,13 @@ picoseconds.  The engine repeatedly steps the agent with the smallest local
 clock, so the global interleaving of memory operations is deterministic and
 totally ordered by time — which is exactly the sequentially consistent
 execution the paper's strawman design provides (Section 3.2.3).
+
+The next-agent choice is served by an indexed min-heap ready queue keyed on
+``(local_time_ps, registration_index)`` and maintained through block / wake
+/ finish callbacks, so the per-step cost is O(log n) instead of an O(n)
+rescan; ties break by registration order, which keeps the step order
+bit-identical to the historical linear scan (still available as
+``Engine(scheduler="linear")``).
 """
 
 from repro.sim.clock import PS_PER_NS, ClockDomain, ns_to_ps, ps_to_ns, ps_to_seconds

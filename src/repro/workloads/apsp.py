@@ -111,7 +111,8 @@ def run_ccsvm(size: int = 16, seed: int = 11,
                           params={"size": size},
                           time_ps=result.time_ps,
                           dram_accesses=result.dram_accesses,
-                          verified=produced == expected)
+                          verified=produced == expected,
+                          counters=result.stats.to_dict())
 
 
 # --------------------------------------------------------------------------- #

@@ -383,7 +383,8 @@ def run_ccsvm(bodies_count: int = 64, timesteps: int = 2, seed: int = 5,
                                   "threads": threads},
                           time_ps=result.time_ps,
                           dram_accesses=result.dram_accesses,
-                          verified=produced == expected)
+                          verified=produced == expected,
+                          counters=result.stats.to_dict())
 
 
 # --------------------------------------------------------------------------- #

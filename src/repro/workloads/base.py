@@ -30,6 +30,9 @@ class WorkloadResult:
     verified: bool
     time_without_setup_ps: Optional[int] = None
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Flat counter snapshot (``StatsRegistry.to_dict()``) of the simulated
+    #: run, so the sweep harness can merge stats across experiment points.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def time_ns(self) -> float:

@@ -96,7 +96,8 @@ def run_ccsvm(size: int = 16, seed: int = 7,
                           params={"size": size, "threads": threads},
                           time_ps=result.time_ps,
                           dram_accesses=result.dram_accesses,
-                          verified=produced == expected)
+                          verified=produced == expected,
+                          counters=result.stats.to_dict())
 
 
 # --------------------------------------------------------------------------- #

@@ -179,7 +179,8 @@ def run_ccsvm(size: int = 32, density: float = 0.05, seed: int = 23,
                           dram_accesses=result.dram_accesses,
                           verified=produced == expected,
                           extra={"mttop_mallocs":
-                                 result.stats.get("xthreads.mttop_mallocs")})
+                                 result.stats.get("xthreads.mttop_mallocs")},
+                          counters=result.stats.to_dict())
 
 
 # --------------------------------------------------------------------------- #

@@ -25,6 +25,17 @@ class TestReport:
     def test_csv_empty(self):
         assert rows_to_csv([]) == ""
 
+    def test_csv_escapes_commas_and_quotes(self):
+        rows = [{"a": "x,y", "b": 'he said "hi"'}]
+        assert rows_to_csv(rows) == 'a,b\n"x,y","he said ""hi"""'
+
+    def test_csv_round_trips_through_csv_reader(self):
+        import csv
+        import io
+        rows = [{"parameter": "4 cores, 2.9 GHz", "value": 12}]
+        parsed = list(csv.reader(io.StringIO(rows_to_csv(rows))))
+        assert parsed == [["parameter", "value"], ["4 cores, 2.9 GHz", "12"]]
+
 
 class TestTable2:
     def test_rows_cover_both_systems(self):

@@ -1,0 +1,218 @@
+"""Tests for the declarative sweep harness (spec registry, runner, cache, CLI)."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import small_ccsvm_system
+from repro.harness import (
+    HarnessError,
+    PointResult,
+    SweepPoint,
+    SweepRunner,
+    SweepSpec,
+    execute_point,
+    get_spec,
+    spec_names,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.runner import point_cache_key
+
+SMALL = small_ccsvm_system()
+
+
+# --------------------------------------------------------------------------- #
+# Module-level point functions (picklable across process boundaries)
+# --------------------------------------------------------------------------- #
+def square_point(value):
+    return PointResult(rows=[{"value": value, "square": value * value}],
+                       stats={"points.computed": 1})
+
+
+def dict_point(value):
+    return {"value": value}
+
+
+def bad_point():
+    return 42  # not an accepted result shape
+
+
+def _points(values, func=square_point, group="rows"):
+    return [SweepPoint(spec="test", point_id=f"value={v}", func=func,
+                       kwargs={"value": v}, group=group) for v in values]
+
+
+class TestExecutePoint:
+    def test_point_result_passthrough(self):
+        result = execute_point(_points([3])[0])
+        assert result.rows == [{"value": 3, "square": 9}]
+
+    def test_plain_dict_normalised(self):
+        result = execute_point(_points([3], func=dict_point)[0])
+        assert result.rows == [{"value": 3}]
+
+    def test_bad_return_type_rejected(self):
+        point = SweepPoint(spec="test", point_id="bad", func=bad_point, kwargs={})
+        with pytest.raises(HarnessError):
+            execute_point(point)
+
+
+class TestRegistry:
+    def test_all_seven_experiments_registered(self):
+        assert {"figure5", "figure6", "figure7", "figure8", "figure9",
+                "table2", "ablations"} <= set(spec_names())
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(HarnessError):
+            get_spec("figure99")
+
+
+class TestSweepRunner:
+    def test_sequential_rows_in_declaration_order(self):
+        outcome = SweepRunner().run_points(_points([4, 2, 3]))
+        assert [row["value"] for row in outcome.rows] == [4, 2, 3]
+        assert outcome.points_total == 3 and outcome.points_from_cache == 0
+
+    def test_stats_merged_across_points(self):
+        outcome = SweepRunner().run_points(_points([1, 2, 3]))
+        assert outcome.stats.get("points.computed") == 3
+        assert outcome.stats.get("harness.points") == 3
+        assert outcome.stats.get("harness.rows") == 3
+
+    def test_parallel_matches_sequential(self):
+        sequential = SweepRunner(jobs=1).run_points(_points(list(range(8))))
+        parallel = SweepRunner(jobs=4).run_points(_points(list(range(8))))
+        assert sequential.rows == parallel.rows
+
+    def test_groups_split_into_panels(self):
+        points = _points([1, 2], group="left") + _points([3], group="right")
+        outcome = SweepRunner().run_points(points)
+        assert set(outcome.result) == {"left", "right"}
+        assert [row["value"] for row in outcome.result["left"]] == [1, 2]
+
+    def test_rows_property_rejects_multi_panel(self):
+        points = _points([1], group="left") + _points([2], group="right")
+        outcome = SweepRunner().run_points(points)
+        with pytest.raises(TypeError):
+            _ = outcome.rows
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestCache:
+    def test_cache_round_trip(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        runner = SweepRunner(cache_dir=cache)
+        first = runner.run_points(_points([5, 6]))
+        assert first.points_from_cache == 0
+        second = runner.run_points(_points([5, 6]))
+        assert second.points_from_cache == 2
+        assert second.rows == first.rows
+        # Stats come back from the cache as well.
+        assert second.stats.get("points.computed") == 2
+
+    def test_cache_key_covers_parameters(self):
+        a, b = _points([5]), _points([6])
+        assert point_cache_key(a[0]) != point_cache_key(b[0])
+
+    def test_cache_key_covers_config_dataclasses(self):
+        small = SweepPoint(spec="t", point_id="p", func=square_point,
+                           kwargs={"value": 1, "config": SMALL})
+        default = SweepPoint(spec="t", point_id="p", func=square_point,
+                             kwargs={"value": 1, "config": None})
+        assert point_cache_key(small) != point_cache_key(default)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        runner = SweepRunner(cache_dir=cache)
+        runner.run_points(_points([7]))
+        (path,) = [os.path.join(root, name)
+                   for root, _, names in os.walk(cache) for name in names]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        outcome = runner.run_points(_points([7]))
+        assert outcome.points_from_cache == 0
+        assert outcome.rows == [{"value": 7, "square": 49}]
+
+    def test_cache_files_are_json(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepRunner(cache_dir=cache).run_points(_points([9]))
+        (path,) = [os.path.join(root, name)
+                   for root, _, names in os.walk(cache) for name in names]
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["rows"] == [{"value": 9, "square": 81}]
+
+
+class TestExperimentSpecs:
+    """The figure specs expand and execute through the generic runner."""
+
+    def test_figure5_points_have_picklable_kwargs(self):
+        points = get_spec("figure5").build_points(full=False)
+        assert [point.kwargs["size"] for point in points] == [8, 12, 16, 24, 32]
+        assert all(point.func.__module__ == "repro.experiments.figure5"
+                   for point in points)
+
+    def test_full_flag_selects_larger_grids(self):
+        spec = get_spec("figure9")
+        assert len(spec.build_points(full=True)) > len(spec.build_points(full=False))
+
+    def test_figure8_panels_via_spec(self):
+        spec = get_spec("figure8")
+        groups = {point.group for point in spec.build_points(full=False)}
+        assert groups == {"by_size", "by_density"}
+
+    def test_table2_through_runner(self):
+        outcome = SweepRunner().run(get_spec("table2").name)
+        assert len(outcome.rows) >= 8
+        assert "torus" in get_spec("table2").render(outcome.result).lower()
+
+    def test_figure5_runs_parallel_through_spec(self):
+        runner = SweepRunner(jobs=2)
+        outcome = runner.run("figure5", sizes=(6, 8), ccsvm_config=SMALL)
+        assert [row["size"] for row in outcome.rows] == [6, 8]
+        # Merged chip counters surface through the outcome.
+        assert outcome.stats.get("dram.reads") > 0
+
+    def test_ablation_subset_selection(self):
+        spec = get_spec("ablations")
+        points = spec.build_points(ablations=("tlb_shootdown",))
+        assert [point.point_id for point in points] == \
+            ["shootdown_flush_all", "shootdown_selective"]
+        with pytest.raises(ValueError):
+            spec.build_points(ablations=("bogus",))
+
+
+class TestCLI:
+    def test_list_names_every_spec(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure5", "figure9", "table2", "ablations"):
+            assert name in out
+
+    def test_run_table2_renders_table(self, capsys, tmp_path):
+        out_file = str(tmp_path / "table2.txt")
+        code = cli_main(["run", "table2", "--no-cache", "--out", out_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        with open(out_file, "r", encoding="utf-8") as handle:
+            assert "Table 2" in handle.read()
+
+    def test_run_table2_csv_escapes_commas(self, capsys):
+        assert cli_main(["run", "table2", "--no-cache", "--csv"]) == 0
+        out = capsys.readouterr().out
+        # Table 2 cells contain commas, so the CSV must quote them.
+        assert '"' in out
+        assert out.startswith("parameter,ccsvm_simulated,amd_apu_a8_3850")
+
+    def test_run_uses_cache_dir(self, capsys, tmp_path):
+        cache = str(tmp_path / "cli-cache")
+        assert cli_main(["run", "table2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert cli_main(["run", "table2", "--cache-dir", cache]) == 0
+        err = capsys.readouterr().err
+        assert "1 cached" in err

@@ -152,3 +152,143 @@ class TestEngine:
         engine.run()
         assert engine.run_step() is None
         assert agent.finished
+
+    def test_run_step_applies_zero_time_guard(self):
+        """run_step forces the clock forward on zero-time RAN outcomes, like run."""
+        class Sticky(Agent):
+            def step(self):
+                return StepOutcome.RAN  # never advances its clock
+
+        engine = Engine()
+        sticky = engine.add_agent(Sticky("sticky"))
+        for expected in (1, 2, 3):
+            assert engine.run_step() is sticky
+            assert sticky.local_time_ps == expected
+
+
+class HandoffAgent(Agent):
+    """Produces irregular clock advances and blocks until a peer wakes it.
+
+    Each agent advances by a deterministic pseudo-random stride, blocks every
+    third step (to be woken by whichever peer steps next), and wakes every
+    currently-blocked peer when it runs — a dense exercise of the
+    block/wake/advance callback paths.
+    """
+
+    def __init__(self, name, index, steps, peers, log):
+        super().__init__(name)
+        self.index = index
+        self.remaining = steps
+        self.peers = peers
+        self.log = log
+        self.state = index * 2654435761 % 2 ** 32
+
+    def _next_stride(self):
+        self.state = (self.state * 1103515245 + 12345) % 2 ** 31
+        return 1 + self.state % 997
+
+    def step(self):
+        self.log.append((self.name, self.local_time_ps))
+        for peer in self.peers:
+            if peer is not self and peer.blocked:
+                peer.wake(self.local_time_ps)
+        if self.remaining == 0:
+            return self.finish()
+        self.remaining -= 1
+        self.advance(self._next_stride())
+        if self.remaining % 3 == 0 and any(
+                p is not self and p.runnable for p in self.peers):
+            return self.block()
+        return StepOutcome.RAN
+
+
+def _run_handoff_trace(scheduler, agents=6, steps=40):
+    engine = Engine(scheduler=scheduler)
+    log = []
+    peers = []
+    for index in range(agents):
+        peers.append(HandoffAgent(f"agent{index}", index, steps, peers, log))
+    for agent in peers:
+        engine.add_agent(agent)
+    final = engine.run()
+    return log, final
+
+
+class TestSchedulerEquivalence:
+    def test_heap_rejects_unknown_scheduler(self):
+        with pytest.raises(SimulationError):
+            Engine(scheduler="random")
+
+    def test_determinism_across_runs(self):
+        """Two identical heap-scheduled runs produce the identical step trace."""
+        first, final1 = _run_handoff_trace("heap")
+        second, final2 = _run_handoff_trace("heap")
+        assert first == second
+        assert final1 == final2
+
+    def test_heap_matches_linear_scan_on_recorded_trace(self):
+        """The heap scheduler replays the linear scan's exact total order."""
+        heap_log, heap_final = _run_handoff_trace("heap")
+        linear_log, linear_final = _run_handoff_trace("linear")
+        assert heap_log == linear_log
+        assert heap_final == linear_final
+
+    def test_heap_matches_linear_for_simple_agents(self):
+        for scheduler in ("heap", "linear"):
+            engine = Engine(scheduler=scheduler)
+            fast = engine.add_agent(CountingAgent("fast", 4, step_ps=100))
+            slow = engine.add_agent(CountingAgent("slow", 2, step_ps=1000))
+            engine.run()
+            assert fast.trace == [0, 100, 200, 300]
+            assert slow.trace == [0, 1000]
+
+    def test_ties_break_by_registration_order(self):
+        """Agents with equal clocks step in the order they were registered."""
+        engine = Engine()
+        b = engine.add_agent(CountingAgent("b", 3, step_ps=100))
+        a = engine.add_agent(CountingAgent("a", 3, step_ps=100))
+        order = []
+        while True:
+            stepped = engine.run_step()
+            if stepped is None:
+                break
+            order.append(stepped.name)
+        # At every shared timestamp, "b" (registered first) steps before "a",
+        # regardless of names.
+        ran = [name for name in order][:6]
+        assert ran == ["b", "a", "b", "a", "b", "a"]
+        assert b.finished and a.finished
+
+    def test_wake_never_rewinds_clock_under_heap(self):
+        """A stale (earlier) heap entry never steps an agent at a rewound time."""
+        engine = Engine()
+        worker = engine.add_agent(CountingAgent("worker", 2, step_ps=50))
+        sleeper = engine.add_agent(BlockingAgent("sleeper"))
+        engine.run_step()   # worker @0
+        engine.run_step()   # sleeper blocks @0
+        sleeper.local_time_ps = 1000
+        sleeper.wake(10)    # earlier wake must not rewind the clock
+        assert sleeper.local_time_ps == 1000
+        stepped = engine.run_step()
+        # The worker (t=50) must be chosen over the sleeper (t=1000), even
+        # though the sleeper once had an entry at t=0.
+        assert stepped is worker
+
+    def test_externally_mutated_state_reaches_the_ready_queue(self):
+        """Direct attribute writes (tests, cores) keep the heap consistent."""
+        engine = Engine()
+        agent = engine.add_agent(CountingAgent("a", 1, step_ps=100))
+        agent.blocked = True
+        assert engine.run_step() is None
+        agent.blocked = False
+        assert engine.run_step() is agent
+
+    def test_steps_executed_identical_across_schedulers(self):
+        counts = {}
+        for scheduler in ("heap", "linear"):
+            engine = Engine(scheduler=scheduler)
+            engine.add_agent(CountingAgent("a", 10, step_ps=7))
+            engine.add_agent(CountingAgent("b", 5, step_ps=13))
+            engine.run()
+            counts[scheduler] = engine.steps_executed
+        assert counts["heap"] == counts["linear"]
