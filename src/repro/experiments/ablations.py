@@ -17,7 +17,10 @@ schema ``{"ablation", "variant", "metric", "value"}``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.harness.runner import SweepRunner
 
 from repro.baseline.apu import AMDAPU
 from repro.config import small_ccsvm_system

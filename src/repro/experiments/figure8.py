@@ -12,7 +12,10 @@ size at fixed density and falls as density rises at fixed size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.harness.runner import SweepRunner
 
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table

@@ -6,7 +6,10 @@ honest and gives the examples something compact to print.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.harness.runner import SweepRunner
 
 from repro.config import (
     APUSystemConfig,

@@ -4,15 +4,34 @@ Every experiment of the reproduction — the paper's Figures 5-9, Table 2 and
 the ablation grid — is declared as a :class:`~repro.harness.spec.SweepSpec`:
 a named registry entry that expands into independent
 :class:`~repro.harness.spec.SweepPoint` s.  A
-:class:`~repro.harness.runner.SweepRunner` executes the points sequentially
-or across a ``multiprocessing`` pool, merges their
+:class:`~repro.harness.runner.SweepRunner` executes the points through a
+pluggable :class:`~repro.harness.backends.ExecutionBackend` — sequentially,
+across a ``multiprocessing`` pool, or streamed over TCP to ``repro worker``
+processes on other hosts — merges their
 :class:`~repro.sim.stats.StatsRegistry` counters, and caches completed
-points to disk keyed by a hash of their full configuration.
+points to disk keyed by a hash of their full configuration (cache access is
+coordinator-side only; workers never touch it).
 
-``python -m repro run figure5 --full --jobs 4`` drives it from the shell.
+``python -m repro run figure5 --full --jobs 4`` drives it from the shell;
+``python -m repro run table2 --backend distributed --workers 2`` fans out
+to ``python -m repro worker --connect HOST:PORT`` processes.
 """
 
-from repro.harness.runner import SweepOutcome, SweepRunner, default_cache_dir
+from repro.harness.backends import (
+    DistributedBackend,
+    ExecutionBackend,
+    PointFailure,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+)
+from repro.harness.runner import (
+    SweepOutcome,
+    SweepRunner,
+    cache_clear,
+    cache_info,
+    default_cache_dir,
+)
 from repro.harness.spec import (
     HarnessError,
     PointResult,
@@ -24,18 +43,28 @@ from repro.harness.spec import (
     register,
     spec_names,
 )
+from repro.harness.worker import run_worker
 
 __all__ = [
+    "DistributedBackend",
+    "ExecutionBackend",
     "HarnessError",
+    "PointFailure",
     "PointResult",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "SweepOutcome",
     "SweepPoint",
     "SweepRunner",
     "SweepSpec",
+    "cache_clear",
+    "cache_info",
+    "create_backend",
     "default_cache_dir",
     "execute_point",
     "get_spec",
     "load_builtin_specs",
     "register",
+    "run_worker",
     "spec_names",
 ]

@@ -1,0 +1,494 @@
+"""Pluggable execution backends for the sweep harness.
+
+A backend turns a list of :class:`~repro.harness.spec.SweepPoint` s into a
+list of :class:`~repro.harness.spec.PointResult` s **in declaration order**
+— that ordering contract is what keeps rendered tables byte-identical
+across backends and worker counts.  Three implementations ship:
+
+- :class:`SerialBackend` — in-process, one point at a time.  The library
+  and unit-test default.
+- :class:`ProcessPoolBackend` — a ``multiprocessing`` pool with
+  as-completed dispatch (one task per point, no ``map`` chunking), so a
+  single slow point no longer straggles the whole sweep behind it.
+- :class:`DistributedBackend` — a TCP coordinator that streams points to
+  workers started with ``repro worker --connect HOST:PORT`` (possibly on
+  other hosts).  Points lost to a dying worker are retried on the
+  survivors; results are still merged in declaration order.
+
+A point whose *function* raises does not tear the sweep down from inside a
+worker: every backend returns a :class:`PointFailure` in that point's slot
+and :class:`~repro.harness.runner.SweepRunner` raises a
+:class:`~repro.harness.spec.HarnessError` naming the point.
+
+Backends only execute; cache lookups and stores stay on the coordinator
+side (in the runner), so remote workers never touch ``.repro-cache/``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import socket
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.harness.spec import HarnessError, PointResult, SweepPoint, execute_point
+from repro.harness.wire import (
+    decode_result,
+    encode_point,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+#: Environment variable naming the CLI's default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+#: Environment variable naming the CLI's default coordinator address.
+BIND_ENV = "REPRO_BIND"
+#: The coordinator address the CLI uses unless told otherwise.
+DEFAULT_BIND = "127.0.0.1:7421"
+
+BACKEND_NAMES = ("serial", "process", "distributed")
+
+
+@dataclass
+class PointFailure:
+    """A point a backend could not produce a result for.
+
+    Carried in the result list in the failed point's slot so declaration
+    order survives even partial sweeps; the runner turns it into a
+    :class:`~repro.harness.spec.HarnessError` naming the point.
+    """
+
+    spec: str
+    point_id: str
+    error: str
+
+
+BackendResult = Union[PointResult, PointFailure]
+
+
+class ExecutionBackend:
+    """Protocol for sweep-point executors.
+
+    Subclasses implement :meth:`run`; ``name`` appears in error messages
+    and the CLI's per-sweep summary line.
+    """
+
+    name = "abstract"
+
+    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any long-lived resources (workers, sockets)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _failure(point: SweepPoint, error: BaseException) -> PointFailure:
+    return PointFailure(spec=point.spec, point_id=point.point_id,
+                        error=f"{type(error).__name__}: {error}")
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute every point in the calling process, one after another."""
+
+    name = "serial"
+
+    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
+        results: List[BackendResult] = []
+        for point in points:
+            try:
+                results.append(execute_point(point))
+            except Exception as error:  # noqa: BLE001 - reported per point
+                results.append(_failure(point, error))
+        return results
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan points out over a local ``multiprocessing`` pool.
+
+    Each point is submitted as its own task (``apply_async``), so idle
+    workers pull the next pending point as soon as they finish — unlike
+    ``pool.map``, whose chunked dispatch can leave one worker grinding
+    through a chunk of slow points while the rest of the pool sits idle.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
+        if self.jobs == 1 or len(points) <= 1:
+            return SerialBackend().run(points)
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        workers = min(self.jobs, len(points))
+        results: List[Optional[BackendResult]] = [None] * len(points)
+        with context.Pool(processes=workers) as pool:
+            handles = [pool.apply_async(execute_point, (point,))
+                       for point in points]
+            for index, (point, handle) in enumerate(zip(points, handles)):
+                try:
+                    results[index] = handle.get()
+                except Exception as error:  # noqa: BLE001 - reported per point
+                    results[index] = _failure(point, error)
+        return results
+
+
+# --------------------------------------------------------------------------- #
+# Distributed backend
+# --------------------------------------------------------------------------- #
+def enable_keepalive(conn: socket.socket) -> None:
+    """Make a dead worker *host* surface as a connection error.
+
+    A worker process that crashes sends a FIN/RST and is requeued
+    immediately; a host that vanishes (power loss, network partition)
+    sends nothing, so without keepalive the serve thread would block in
+    ``recv`` forever.  The parameters below detect that within ~a minute
+    without bounding how long a legitimate point may compute.
+    """
+    conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (("TCP_KEEPIDLE", 30), ("TCP_KEEPINTVL", 10),
+                          ("TCP_KEEPCNT", 3)):
+        if hasattr(socket, option):  # platform-dependent
+            conn.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+
+
+class _RunState:
+    """Bookkeeping for one :meth:`DistributedBackend.run` call."""
+
+    def __init__(self, points: List[SweepPoint], max_retries: int) -> None:
+        self.points = points
+        self.max_retries = max_retries
+        self.results: List[Optional[BackendResult]] = [None] * len(points)
+        self.attempts = [0] * len(points)
+        self.tasks: "queue.Queue[Optional[int]]" = queue.Queue()
+        for index in range(len(points)):
+            self.tasks.put(index)
+        self.lock = threading.Lock()
+        self.outstanding = len(points)
+        self.active_workers = 0
+        self.done = threading.Event()
+        if not points:
+            self.done.set()
+
+    def try_admit(self) -> bool:
+        """Register a serve thread, unless the run has already drained.
+
+        Admission and the drain check share one lock, so the sentinel
+        count ``_release`` captures always covers every admitted thread.
+        """
+        with self.lock:
+            if self.outstanding == 0:
+                return False
+            self.active_workers += 1
+            return True
+
+    def complete(self, index: int, result: BackendResult) -> None:
+        with self.lock:
+            if self.results[index] is not None:
+                return
+            self.results[index] = result
+            self.outstanding -= 1
+            finished = self.outstanding == 0
+            workers = self.active_workers
+        if finished:
+            self._release(workers)
+
+    def requeue(self, index: int) -> None:
+        """A worker died mid-point: retry elsewhere, or give up on it."""
+        with self.lock:
+            if self.results[index] is not None:
+                return
+            self.attempts[index] += 1
+            exhausted = self.attempts[index] > self.max_retries
+        if exhausted:
+            point = self.points[index]
+            self.complete(index, PointFailure(
+                spec=point.spec, point_id=point.point_id,
+                error=f"worker connection lost {self.attempts[index]} times"))
+        else:
+            self.tasks.put(index)
+
+    def worker_exited(self) -> None:
+        with self.lock:
+            self.active_workers -= 1
+            orphaned = self.active_workers == 0 and self.outstanding > 0
+        if orphaned:
+            # Nobody left to execute the remaining points; fail them so the
+            # coordinator reports the loss instead of hanging forever.  The
+            # last completion sets ``done`` via ``_release``.
+            for index, result in enumerate(self.results):
+                if result is None:
+                    point = self.points[index]
+                    self.complete(index, PointFailure(
+                        spec=point.spec, point_id=point.point_id,
+                        error="all workers disconnected before the point ran"))
+
+    def _release(self, workers: int) -> None:
+        for _ in range(max(workers, 1)):
+            self.tasks.put(None)  # wake idle serve threads so they park
+        self.done.set()
+
+
+class DistributedBackend(ExecutionBackend):
+    """TCP coordinator streaming sweep points to remote workers.
+
+    The coordinator listens on ``bind`` (``HOST:PORT``; port ``0`` picks a
+    free port — read it back from :meth:`listen`).  Workers are separate
+    processes, usually on other hosts, started with::
+
+        repro worker --connect HOST:PORT
+
+    Each connected worker executes one point at a time; a worker that
+    disconnects mid-point has its point requeued onto the survivors (up to
+    ``max_retries`` times per point).  Workers stay connected between
+    :meth:`run` calls, so ``repro run all --backend distributed`` reuses
+    the same fleet for every sweep; :meth:`close` sends them ``shutdown``.
+
+    Parameters
+    ----------
+    bind:
+        ``HOST:PORT`` to listen on (default ``127.0.0.1:0``).
+    min_workers:
+        How many workers to wait for before dispatching the first point.
+    start_timeout:
+        Seconds to wait for ``min_workers`` connections before failing.
+    max_retries:
+        Per-point retry budget for worker-loss requeues.
+    """
+
+    name = "distributed"
+
+    def __init__(self, bind: str = "127.0.0.1:0", min_workers: int = 1,
+                 start_timeout: float = 30.0, max_retries: int = 3) -> None:
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        self.bind = bind
+        self.min_workers = min_workers
+        self.start_timeout = start_timeout
+        self.max_retries = max_retries
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._idle: List[socket.socket] = []
+        self._run_state: Optional[_RunState] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def listen(self) -> Tuple[str, int]:
+        """Bind the coordinator socket and start accepting workers.
+
+        Returns the actual ``(host, port)`` — useful with port ``0``.
+        Idempotent: subsequent calls return the existing address.
+        """
+        if self._listener is not None:
+            assert self.address is not None
+            return self.address
+        host, port = parse_address(self.bind)
+        listener = socket.create_server((host, port))
+        self._listener = listener
+        self.address = (host, listener.getsockname()[1])
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True)
+        self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by close()
+            try:
+                # A stalled or non-worker connection must not block the
+                # registration of real workers behind it.
+                conn.settimeout(10.0)
+                hello = recv_frame(conn)
+                conn.settimeout(None)
+                enable_keepalive(conn)
+            except (OSError, ConnectionError, ValueError):
+                conn.close()
+                continue
+            if not hello or hello.get("type") != "hello":
+                conn.close()
+                continue
+            with self._ready:
+                state = self._run_state
+                if state is None:
+                    self._idle.append(conn)
+                    self._ready.notify_all()
+            if state is not None:
+                # A worker joining mid-run (a late start, or a replacement
+                # for one that died) is put to work immediately.
+                self._spawn_serve(conn, state)
+
+    def _wait_for_workers(self) -> List[socket.socket]:
+        with self._ready:
+            if not self._ready.wait_for(
+                    lambda: len(self._idle) >= self.min_workers,
+                    timeout=self.start_timeout):
+                raise HarnessError(
+                    f"distributed backend: only {len(self._idle)} of "
+                    f"{self.min_workers} workers connected to "
+                    f"{self.address[0]}:{self.address[1]} within "
+                    f"{self.start_timeout:.0f}s — start them with "
+                    f"'repro worker --connect HOST:PORT'")
+            workers, self._idle = self._idle, []
+            return workers
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
+        if not points:
+            return []
+        self.listen()
+        workers = self._wait_for_workers()
+        state = _RunState(points, self.max_retries)
+        with self._ready:
+            # From here on, the accept loop routes new connections straight
+            # into this run; also claim any that slipped into the idle pool
+            # between the wait above and this point.
+            self._run_state = state
+            workers += self._idle
+            self._idle = []
+        threads = [self._spawn_serve(conn, state) for conn in workers]
+        try:
+            state.done.wait()
+        finally:
+            with self._ready:
+                self._run_state = None
+        for thread in threads:
+            if thread is not None:
+                thread.join()
+        assert all(result is not None for result in state.results)
+        return list(state.results)  # type: ignore[arg-type]
+
+    def _spawn_serve(self, conn: socket.socket,
+                     state: _RunState) -> Optional[threading.Thread]:
+        """Start a serve thread for ``conn``, or re-idle it if the run drained."""
+        if not state.try_admit():
+            with self._ready:
+                self._idle.append(conn)
+                self._ready.notify_all()
+            return None
+        thread = threading.Thread(target=self._serve, args=(conn, state),
+                                  name="repro-serve", daemon=True)
+        thread.start()
+        return thread
+
+    def _serve(self, conn: socket.socket, state: _RunState) -> None:
+        """Feed one worker connection until the run drains or it dies."""
+        alive = True
+        try:
+            while True:
+                index = state.tasks.get()
+                if index is None:
+                    break  # run drained; park the connection for reuse
+                point = state.points[index]
+                try:
+                    frame = {"type": "point", "task_id": index,
+                             "point": encode_point(point)}
+                except Exception as error:  # noqa: BLE001
+                    # An unpicklable point is the point's fault, not the
+                    # worker's: record the failure so the run still drains.
+                    state.complete(index, _failure(point, error))
+                    continue
+                try:
+                    send_frame(conn, frame)
+                    reply = recv_frame(conn)
+                    if reply is None:
+                        raise ConnectionError("worker closed the connection")
+                except (OSError, ConnectionError, ValueError):
+                    alive = False
+                    state.requeue(index)
+                    conn.close()
+                    return
+                if reply.get("ok"):
+                    try:
+                        result: BackendResult = decode_result(
+                            str(reply.get("result", "")))
+                    except Exception as error:  # noqa: BLE001
+                        result = _failure(point, error)
+                    state.complete(index, result)
+                else:
+                    state.complete(index, PointFailure(
+                        spec=point.spec, point_id=point.point_id,
+                        error=str(reply.get("error", "unknown worker error"))))
+        finally:
+            state.worker_exited()
+            if alive:
+                with self._ready:
+                    closed = self._closed
+                    if not closed:
+                        self._idle.append(conn)
+                        self._ready.notify_all()
+                if closed:
+                    # close() already drained the idle pool; shut this
+                    # worker down directly rather than leaking it.
+                    try:
+                        send_frame(conn, {"type": "shutdown"})
+                    except OSError:
+                        pass
+                    conn.close()
+
+    def close(self) -> None:
+        """Shut down connected workers and stop listening."""
+        with self._ready:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            try:
+                send_frame(conn, {"type": "shutdown"})
+            except OSError:
+                pass
+            conn.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+# --------------------------------------------------------------------------- #
+# Factory
+# --------------------------------------------------------------------------- #
+def default_bind() -> str:
+    """The coordinator address the CLI uses unless told otherwise."""
+    return os.environ.get(BIND_ENV, DEFAULT_BIND)
+
+
+def create_backend(name: str, jobs: int = 1, bind: Optional[str] = None,
+                   min_workers: int = 1,
+                   start_timeout: float = 30.0) -> ExecutionBackend:
+    """Build a backend from CLI-shaped arguments.
+
+    ``name`` is one of ``serial``, ``process`` or ``distributed`` (see
+    ``BACKEND_NAMES``); the CLI defaults it from ``$REPRO_BACKEND``.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(jobs=max(jobs, 1))
+    if name == "distributed":
+        return DistributedBackend(bind=bind or default_bind(),
+                                  min_workers=min_workers,
+                                  start_timeout=start_timeout)
+    known = ", ".join(BACKEND_NAMES)
+    raise HarnessError(f"unknown backend {name!r}; known backends: {known}")

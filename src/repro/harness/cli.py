@@ -5,14 +5,26 @@ Examples::
     python -m repro list
     python -m repro run figure5
     python -m repro run figure5 --full --jobs 4
-    python -m repro run all --jobs 8 --no-cache
+    python -m repro run all --backend process --workers 8 --no-cache
     python -m repro run figure9 --csv --out figure9.csv
 
+    # distributed: one coordinator, any number of workers (any order)
+    python -m repro worker --connect 127.0.0.1:7421 &
+    python -m repro worker --connect 127.0.0.1:7421 &
+    python -m repro run table2 --backend distributed --workers 2
+
+    python -m repro cache info
+    python -m repro cache clear figure5
+
 ``--full`` selects each sweep's larger parameter grid (the same grids the
-``REPRO_FULL_SWEEP=1`` environment variable selects), ``--jobs N`` fans the
-sweep's independent simulation points out over N worker processes, and
-completed points are cached under ``.repro-cache/`` (override with
-``--cache-dir`` or ``REPRO_CACHE_DIR``; disable with ``--no-cache``).
+``REPRO_FULL_SWEEP=1`` environment variable selects).  ``--backend``
+chooses how points execute — ``serial`` (in-process), ``process`` (a local
+as-completed ``multiprocessing`` pool) or ``distributed`` (TCP workers
+started with ``repro worker``); ``REPRO_BACKEND`` sets the default, and
+plain ``--jobs N`` keeps its historical meaning of ``--backend process``.
+Completed points are cached under ``.repro-cache/`` (override with
+``--cache-dir`` or ``REPRO_CACHE_DIR``; disable with ``--no-cache``;
+inspect or prune with ``repro cache``).
 """
 
 from __future__ import annotations
@@ -24,8 +36,20 @@ import time
 from typing import List, Optional
 
 from repro.experiments.report import full_sweep_enabled, rows_to_csv
-from repro.harness.runner import SweepRunner, default_cache_dir
+from repro.harness.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    create_backend,
+    default_bind,
+)
+from repro.harness.runner import (
+    SweepRunner,
+    cache_clear,
+    cache_info,
+    default_cache_dir,
+)
 from repro.harness.spec import HarnessError, get_spec, spec_names
+from repro.harness.worker import run_worker
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,9 +67,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true",
                      help="use the larger sweep grids "
                           "(default honours REPRO_FULL_SWEEP)")
+    run.add_argument("--backend", choices=BACKEND_NAMES,
+                     default=os.environ.get(BACKEND_ENV),
+                     help="execution backend (default: $REPRO_BACKEND, else "
+                          "'process' when --jobs/--workers > 1, else 'serial')")
+    run.add_argument("--workers", "-w", type=int, default=None,
+                     help="process backend: pool size; distributed backend: "
+                          "worker connections to wait for (default: --jobs)")
     run.add_argument("--jobs", "-j", type=int,
                      default=int(os.environ.get("REPRO_JOBS", "1")),
                      help="worker processes per sweep (default: $REPRO_JOBS or 1)")
+    run.add_argument("--bind", default=None,
+                     help=f"distributed backend: HOST:PORT to listen on "
+                          f"(default: $REPRO_BIND or {default_bind()!r})")
+    run.add_argument("--start-timeout", type=float, default=60.0,
+                     help="distributed backend: seconds to wait for workers "
+                          "(default: 60)")
     run.add_argument("--cache-dir", default=None,
                      help=f"per-point result cache directory "
                           f"(default: $REPRO_CACHE_DIR or {default_cache_dir()!r})")
@@ -57,6 +94,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write the output to this file")
     run.add_argument("--stats", action="store_true",
                      help="print the merged stats counters after each sweep")
+
+    worker = sub.add_parser(
+        "worker", help="serve sweep points to a distributed coordinator")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="address of the coordinator "
+                             "('repro run ... --backend distributed')")
+    worker.add_argument("--retry", type=float, default=30.0, metavar="SECONDS",
+                        help="keep retrying the connection this long while "
+                             "the coordinator comes up (default: 30)")
+
+    cache = sub.add_parser("cache", help="inspect or prune the point cache")
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="'info' summarises entries; 'clear' deletes them")
+    cache.add_argument("sweeps", nargs="*",
+                       help="limit the action to these sweeps (default: all)")
+    cache.add_argument("--cache-dir", default=None,
+                       help=f"cache directory (default: $REPRO_CACHE_DIR or "
+                            f"{default_cache_dir()!r})")
     return parser
 
 
@@ -70,34 +125,77 @@ def _emit_csv(result: object) -> str:
     return "\n".join(parts)
 
 
+def _make_backend(args: argparse.Namespace):
+    workers = args.workers if args.workers is not None else args.jobs
+    if workers < 1:
+        raise ValueError(f"--jobs/--workers must be >= 1, got {workers}")
+    name = args.backend or ("process" if workers > 1 else "serial")
+    return create_backend(name, jobs=workers, bind=args.bind,
+                          min_workers=workers,
+                          start_timeout=args.start_timeout), name
+
+
 def _run(args: argparse.Namespace) -> int:
     names = list(args.sweeps)
     if names == ["all"]:
         names = spec_names()
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    runner = SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+    backend, backend_name = _make_backend(args)
     full = args.full or full_sweep_enabled()
 
     outputs: List[str] = []
-    for name in names:
-        spec = get_spec(name)
-        started = time.monotonic()
-        outcome = runner.run_spec(spec, full=full)
-        elapsed = time.monotonic() - started
-        text = _emit_csv(outcome.result) if args.csv else spec.render(outcome.result)
-        outputs.append(text)
-        print(text)
-        fresh = outcome.points_total - outcome.points_from_cache
-        print(f"[{name}] {outcome.points_total} points "
-              f"({fresh} simulated, {outcome.points_from_cache} cached) "
-              f"in {elapsed:.1f}s with jobs={args.jobs}", file=sys.stderr)
-        if args.stats:
-            print(outcome.stats.render())
-        print()
+    with backend:
+        runner = SweepRunner(cache_dir=cache_dir, backend=backend)
+        for name in names:
+            spec = get_spec(name)
+            started = time.monotonic()
+            outcome = runner.run_spec(spec, full=full)
+            elapsed = time.monotonic() - started
+            text = _emit_csv(outcome.result) if args.csv \
+                else spec.render(outcome.result)
+            outputs.append(text)
+            print(text)
+            fresh = outcome.points_total - outcome.points_from_cache
+            print(f"[{name}] {outcome.points_total} points "
+                  f"({fresh} simulated, {outcome.points_from_cache} cached) "
+                  f"in {elapsed:.1f}s on the {backend_name} backend",
+                  file=sys.stderr)
+            if args.stats:
+                print(outcome.stats.render())
+            print()
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or default_cache_dir()
+    infos = cache_info(cache_dir)
+    known = {info.spec for info in infos}
+    missing = [name for name in args.sweeps if name not in known]
+    if missing:
+        print(f"repro: cache {cache_dir} has no entries for: "
+              f"{', '.join(missing)}", file=sys.stderr)
+    if args.sweeps:
+        infos = [info for info in infos if info.spec in args.sweeps]
+    if args.action == "info":
+        if not infos:
+            print(f"cache {cache_dir}: empty")
+            return 0
+        total_entries = sum(info.entries for info in infos)
+        total_bytes = sum(info.bytes for info in infos)
+        width = max(len(info.spec) for info in infos)
+        print(f"cache {cache_dir}:")
+        for info in infos:
+            print(f"  {info.spec:{width}s}  {info.entries:5d} entries  "
+                  f"{info.bytes / 1024:8.1f} KiB")
+        print(f"  {'total':{width}s}  {total_entries:5d} entries  "
+              f"{total_bytes / 1024:8.1f} KiB")
+        return 0
+    removed = cache_clear(cache_dir, specs=args.sweeps or None)
+    print(f"cache {cache_dir}: removed {removed} entries")
     return 0
 
 
@@ -109,10 +207,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:12s}  {get_spec(name).title}")
         return 0
     try:
+        if args.command == "worker":
+            return run_worker(args.connect, retry_seconds=args.retry)
+        if args.command == "cache":
+            return _cache(args)
         return _run(args)
-    except (HarnessError, ValueError) as error:
+    except (HarnessError, ValueError, OSError) as error:
+        # OSError covers ConnectionError plus socket setup failures such as
+        # an already-bound coordinator port.
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

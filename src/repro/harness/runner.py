@@ -1,33 +1,42 @@
-"""Parallel sweep execution with per-point disk caching.
+"""Sweep execution over pluggable backends, with per-point disk caching.
 
 :class:`SweepRunner` executes the :class:`~repro.harness.spec.SweepPoint` s
-of a sweep, optionally fanning them out over a ``multiprocessing`` pool —
-every point is an independent full-chip simulation, so the sweep
-parallelises embarrassingly — and merges the per-point stats into one
-:class:`~repro.sim.stats.StatsRegistry`.  Completed points can be cached to
-disk keyed by a hash of the spec name, point function and its full
-configuration, so re-running a sweep only simulates points whose
-configuration changed.
+of a sweep through an :class:`~repro.harness.backends.ExecutionBackend` —
+in-process, across a ``multiprocessing`` pool, or streamed over TCP to
+``repro worker`` processes on other hosts; every point is an independent
+full-chip simulation, so the sweep parallelises embarrassingly — and merges
+the per-point stats into one :class:`~repro.sim.stats.StatsRegistry`.
+Completed points can be cached to disk keyed by a hash of the spec name,
+point function and its full configuration, so re-running a sweep only
+simulates points whose configuration changed.  Cache reads and writes
+happen here, on the coordinator side, never in backend workers — remote
+workers do not need (or race on) ``.repro-cache/``.
 
 Row order is always the declaration order of the points, independent of
-``jobs``, so parallel runs render byte-identical tables to sequential ones.
+backend or worker count, so parallel and distributed runs render
+byte-identical tables to sequential ones.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.harness.backends import (
+    ExecutionBackend,
+    PointFailure,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.harness.spec import (
+    HarnessError,
     PointResult,
     SweepPoint,
     SweepSpec,
     default_combine,
-    execute_point,
 )
 from repro.sim.stats import StatsRegistry
 
@@ -63,6 +72,61 @@ def point_cache_key(point: SweepPoint) -> str:
 
 
 @dataclass
+class CacheSpecInfo:
+    """Cache usage of one sweep's subdirectory."""
+
+    spec: str
+    entries: int
+    bytes: int
+
+
+def cache_info(cache_dir: str) -> List[CacheSpecInfo]:
+    """Per-sweep entry counts and sizes under ``cache_dir`` (sorted by spec)."""
+    if not os.path.isdir(cache_dir):
+        return []
+    infos = []
+    for spec in sorted(os.listdir(cache_dir)):
+        spec_dir = os.path.join(cache_dir, spec)
+        if not os.path.isdir(spec_dir):
+            continue
+        entries = [name for name in os.listdir(spec_dir)
+                   if name.endswith(".json")]
+        size = sum(os.path.getsize(os.path.join(spec_dir, name))
+                   for name in entries)
+        infos.append(CacheSpecInfo(spec=spec, entries=len(entries), bytes=size))
+    return infos
+
+
+def cache_clear(cache_dir: str, specs: Optional[List[str]] = None) -> int:
+    """Delete cached point entries; returns how many entries were removed.
+
+    With ``specs`` only those sweeps' subdirectories are pruned, otherwise
+    the whole cache is.  Only the harness's own ``<spec>/<hash>.json``
+    layout is touched — anything else in the directory is left alone.
+    """
+    if not os.path.isdir(cache_dir):
+        return 0
+    removed = 0
+    for spec in sorted(os.listdir(cache_dir)):
+        spec_dir = os.path.join(cache_dir, spec)
+        if not os.path.isdir(spec_dir) or (specs and spec not in specs):
+            continue
+        for name in os.listdir(spec_dir):
+            if name.endswith(".json") or name.endswith(".json.tmp"):
+                try:
+                    os.remove(os.path.join(spec_dir, name))
+                except OSError:
+                    continue
+                if name.endswith(".json"):
+                    removed += 1
+        try:
+            os.rmdir(spec_dir)
+        except OSError:
+            pass  # leftover foreign files keep the directory alive
+    return removed
+
+
+@dataclass
 class SweepOutcome:
     """Everything one sweep run produced."""
 
@@ -87,17 +151,28 @@ class SweepRunner:
     ----------
     jobs:
         Worker process count.  ``1`` (default) runs in-process, which is
-        what unit tests want; experiment CLIs pass ``--jobs N``.
+        what unit tests want; experiment CLIs pass ``--jobs N``.  Ignored
+        when an explicit ``backend`` is given.
     cache_dir:
         Directory for per-point result JSON.  ``None`` disables caching
         entirely (again the library/test default; the CLI turns it on).
+    backend:
+        An :class:`~repro.harness.backends.ExecutionBackend` to execute
+        points with.  Defaults to
+        :class:`~repro.harness.backends.SerialBackend` for ``jobs=1`` and
+        :class:`~repro.harness.backends.ProcessPoolBackend` otherwise, so
+        existing ``SweepRunner(jobs=N)`` callers keep their behaviour.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None) -> None:
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache_dir = cache_dir
+        if backend is None:
+            backend = ProcessPoolBackend(jobs) if jobs > 1 else SerialBackend()
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Cache
@@ -115,8 +190,12 @@ class SweepRunner:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            return PointResult(rows=payload["rows"], stats=payload.get("stats", {}))
-        except (OSError, ValueError, KeyError):
+            rows = payload["rows"]
+            stats = payload.get("stats", {})
+            if not isinstance(rows, list) or not isinstance(stats, dict):
+                return None
+            return PointResult(rows=rows, stats=stats)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None  # treat a corrupt entry as a miss and recompute
 
     def _cache_store(self, point: SweepPoint, result: PointResult) -> None:
@@ -124,13 +203,23 @@ class SweepRunner:
         if path is None:
             return
         try:
+            payload = {"point_id": point.point_id, "rows": result.rows,
+                       "stats": result.stats}
+            text = json.dumps(payload)
+            reloaded = json.loads(text)
+            if reloaded["rows"] != result.rows or \
+                    reloaded["stats"] != result.stats:
+                # JSON would distort the result on reload (tuples become
+                # lists, int keys become strings, ...): caching it would
+                # make a warm run render differently from a cold one, so
+                # such points are simply recomputed every run.
+                return
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = path + ".tmp"
             with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump({"point_id": point.point_id, "rows": result.rows,
-                           "stats": result.stats}, handle)
+                handle.write(text)
             os.replace(tmp, path)
-        except (OSError, TypeError):
+        except (OSError, TypeError, ValueError):
             pass  # a point with unserialisable rows simply isn't cached
 
     # ------------------------------------------------------------------ #
@@ -144,13 +233,30 @@ class SweepRunner:
         pending = [(i, p) for i, p in enumerate(points) if results[i] is None]
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                fresh = self._execute_parallel([p for _, p in pending])
-            else:
-                fresh = [execute_point(p) for _, p in pending]
+            fresh = self.backend.run([p for _, p in pending])
+            if len(fresh) != len(pending):
+                raise HarnessError(
+                    f"{self.backend.name} backend returned {len(fresh)} "
+                    f"results for {len(pending)} points")
+            # Cache every completed result before failing the sweep, so a
+            # retry after a partial failure only re-simulates what's missing.
+            failure: Optional[HarnessError] = None
             for (index, point), result in zip(pending, fresh):
+                if isinstance(result, PointFailure):
+                    failure = failure or HarnessError(
+                        f"sweep point {result.spec}:{result.point_id} failed "
+                        f"on the {self.backend.name} backend: {result.error}")
+                    continue
+                if not isinstance(result, PointResult):
+                    failure = failure or HarnessError(
+                        f"{self.backend.name} backend returned "
+                        f"{type(result).__name__} for point "
+                        f"{point.spec}:{point.point_id}; expected PointResult")
+                    continue
                 results[index] = result
                 self._cache_store(point, result)
+            if failure is not None:
+                raise failure
 
         stats = StatsRegistry()
         groups: Dict[str, List[Dict[str, object]]] = {}
@@ -165,14 +271,6 @@ class SweepRunner:
         return SweepOutcome(spec=spec_name, result=default_combine(groups),
                             stats=stats, points_total=len(points),
                             points_from_cache=cached)
-
-    def _execute_parallel(self, points: List[SweepPoint]) -> List[PointResult]:
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None)
-        workers = min(self.jobs, len(points))
-        with context.Pool(processes=workers) as pool:
-            return pool.map(execute_point, points)
 
     def run_spec(self, spec: SweepSpec, full: bool = False,
                  **overrides: object) -> SweepOutcome:

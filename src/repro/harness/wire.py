@@ -1,0 +1,117 @@
+"""Wire protocol shared by the distributed backend and ``repro worker``.
+
+Messages are *length-prefixed JSON frames*: a 4-byte big-endian payload
+length followed by a UTF-8 JSON object.  Framing keeps the protocol
+stream-safe over TCP; JSON keeps it debuggable (``tcpdump`` shows readable
+frames).  Sweep points themselves carry arbitrary picklable kwargs
+(configuration dataclasses, seeds, ...), so a point travels inside the JSON
+frame as a base64-encoded pickle — the same picklability contract the
+``multiprocessing`` backend already imposes.
+
+Frame types:
+
+========== =============================================================
+``hello``   worker -> coordinator greeting (``pid``, ``version``)
+``point``   coordinator -> worker: one sweep point (``task_id``, ``point``)
+``result``  worker -> coordinator: ``ok`` + ``rows``/``stats`` or ``error``
+``shutdown`` coordinator -> worker: drain and exit
+========== =============================================================
+
+The pickle payload means workers must only ever connect to a coordinator
+they trust (and vice versa); the harness binds to localhost by default.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.harness.spec import PointResult, SweepPoint
+
+#: Frames larger than this are rejected as corrupt rather than allocated.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Serialise ``message`` as one length-prefixed JSON frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Read one frame, or ``None`` if the peer closed the connection."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized frame ({length} bytes)")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    message = json.loads(payload.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ConnectionError("malformed frame: expected a JSON object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None  # peer closed between frames
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def encode_point(point: SweepPoint) -> str:
+    """Pack a sweep point for transport inside a JSON frame."""
+    return base64.b64encode(pickle.dumps(point)).decode("ascii")
+
+
+def decode_point(blob: str) -> SweepPoint:
+    """Inverse of :func:`encode_point`."""
+    point = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    if not isinstance(point, SweepPoint):
+        raise ConnectionError(
+            f"frame payload decoded to {type(point).__name__}, not SweepPoint")
+    return point
+
+
+def encode_result(result: PointResult) -> str:
+    """Pack a point result for transport inside a JSON frame.
+
+    Results are pickled like points are, not flattened to JSON, so rows
+    keep their exact Python types (tuples stay tuples) and distributed
+    sweeps stay row-for-row identical to serial ones.
+    """
+    return base64.b64encode(pickle.dumps(result)).decode("ascii")
+
+
+def decode_result(blob: str) -> PointResult:
+    """Inverse of :func:`encode_result`."""
+    result = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    if not isinstance(result, PointResult):
+        raise ConnectionError(
+            f"frame payload decoded to {type(result).__name__}, not PointResult")
+    return result
+
+
+def parse_address(address: str) -> "tuple[str, int]":
+    """Split ``host:port`` (the form both CLI flags use) into its parts."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)

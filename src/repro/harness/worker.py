@@ -1,0 +1,108 @@
+"""The ``repro worker`` process — executes sweep points for a coordinator.
+
+A worker is the remote half of
+:class:`~repro.harness.backends.DistributedBackend`::
+
+    repro worker --connect HOST:PORT
+
+It dials the coordinator (retrying while the coordinator is still coming
+up, so workers and coordinator can be launched in any order), sends a
+``hello`` frame, then serves a simple loop: receive a ``point`` frame,
+execute it in-process, reply with a ``result`` frame.  A point whose
+function raises is reported as ``ok: false`` — the *worker* stays up; only
+a ``shutdown`` frame or a closed connection ends it.
+
+The worker never touches the result cache; caching is coordinator-side.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import time
+import traceback
+from typing import Dict
+
+from repro.harness.spec import execute_point
+from repro.harness.wire import (
+    decode_point,
+    encode_result,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+def _log(message: str) -> None:
+    print(f"repro worker[{os.getpid()}]: {message}", file=sys.stderr, flush=True)
+
+
+def _connect(host: str, port: int, retry_seconds: float) -> socket.socket:
+    """Dial the coordinator, retrying until ``retry_seconds`` elapse."""
+    deadline = time.monotonic() + retry_seconds
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError as error:
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    f"could not reach coordinator at {host}:{port} "
+                    f"within {retry_seconds:.0f}s: {error}") from error
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def _execute(frame: Dict[str, object]) -> Dict[str, object]:
+    """Run one ``point`` frame and build the ``result`` reply.
+
+    A raising point function — or a result that cannot be pickled back,
+    which would equally fail the ``multiprocessing`` backend — becomes an
+    ``ok: false`` reply; the worker itself stays up.
+    """
+    task_id = frame.get("task_id")
+    try:
+        point = decode_point(str(frame["point"]))
+        result = execute_point(point)
+        return {"type": "result", "task_id": task_id, "ok": True,
+                "result": encode_result(result)}
+    except Exception:  # noqa: BLE001 - reported to the coordinator per point
+        return {"type": "result", "task_id": task_id, "ok": False,
+                "error": traceback.format_exc(limit=8)}
+
+
+def run_worker(connect: str, retry_seconds: float = 30.0) -> int:
+    """Serve sweep points from the coordinator at ``connect`` until shutdown.
+
+    Returns a process exit code (0 on an orderly shutdown).
+    """
+    from repro.harness.backends import enable_keepalive
+
+    host, port = parse_address(connect)
+    sock = _connect(host, port, retry_seconds)
+    served = 0
+    try:
+        sock.settimeout(None)
+        # Symmetric with the coordinator: if the coordinator *host* vanishes
+        # without a FIN, keepalive turns the silent hang into an error.
+        enable_keepalive(sock)
+        send_frame(sock, {"type": "hello", "pid": os.getpid(),
+                          "python": sys.version.split()[0]})
+        _log(f"connected to {host}:{port}")
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                _log(f"coordinator closed the connection after {served} points")
+                return 0
+            kind = frame.get("type")
+            if kind == "shutdown":
+                _log(f"shutdown after {served} points")
+                return 0
+            if kind != "point":
+                _log(f"ignoring unexpected {kind!r} frame")
+                continue
+            send_frame(sock, _execute(frame))
+            served += 1
+    finally:
+        sock.close()

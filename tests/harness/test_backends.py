@@ -1,0 +1,359 @@
+"""Tests for the pluggable execution backends (serial / process / distributed).
+
+The distributed tests run real TCP traffic, but keep everything on
+localhost: the coordinator binds an ephemeral port and the workers are
+threads running the same ``run_worker`` loop the ``repro worker``
+subcommand runs.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.harness import (
+    DistributedBackend,
+    HarnessError,
+    PointFailure,
+    PointResult,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepPoint,
+    SweepRunner,
+    create_backend,
+    get_spec,
+    run_worker,
+)
+from repro.harness.backends import ExecutionBackend
+from repro.harness.wire import (
+    decode_point,
+    encode_point,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Module-level point functions (picklable across process boundaries)
+# --------------------------------------------------------------------------- #
+def square_point(value):
+    return PointResult(rows=[{"value": value, "square": value * value}],
+                       stats={"points.computed": 1})
+
+
+def failing_point(value):
+    raise RuntimeError(f"boom at {value}")
+
+
+def tuple_row_point(value):
+    # Tuples don't survive a JSON round trip (they come back as lists), so
+    # this guards the pickle transport of results on the distributed backend.
+    return PointResult(rows=[{"value": value, "pair": (value, value + 1)}])
+
+
+def _points(values, func=square_point):
+    return [SweepPoint(spec="test", point_id=f"value={v}", func=func,
+                       kwargs={"value": v}) for v in values]
+
+
+def _start_worker_thread(host, port):
+    thread = threading.Thread(target=run_worker, args=(f"{host}:{port}",),
+                              kwargs={"retry_seconds": 10.0}, daemon=True)
+    thread.start()
+    return thread
+
+
+def _flaky_worker(host, port):
+    """A worker that dies after receiving (and dropping) one point."""
+    sock = socket.create_connection((host, port), timeout=10.0)
+    send_frame(sock, {"type": "hello", "pid": 0})
+    recv_frame(sock)  # accept one point frame ...
+    sock.close()      # ... and vanish without replying
+
+
+# --------------------------------------------------------------------------- #
+# Wire protocol
+# --------------------------------------------------------------------------- #
+class TestWire:
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "hello", "pid": 1})
+            send_frame(left, {"type": "shutdown"})
+            assert recv_frame(right) == {"type": "hello", "pid": 1}
+            assert recv_frame(right) == {"type": "shutdown"}
+            left.close()
+            assert recv_frame(right) is None  # clean EOF between frames
+        finally:
+            right.close()
+
+    def test_point_survives_encoding(self):
+        (point,) = _points([3])
+        decoded = decode_point(encode_point(point))
+        assert decoded == point
+        assert decoded.func is square_point
+
+    def test_decode_rejects_non_points(self):
+        import base64
+        import pickle
+        blob = base64.b64encode(pickle.dumps("not a point")).decode("ascii")
+        with pytest.raises(ConnectionError):
+            decode_point(blob)
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7421") == ("127.0.0.1", 7421)
+        with pytest.raises(ValueError):
+            parse_address("7421")
+
+
+# --------------------------------------------------------------------------- #
+# Serial and process backends
+# --------------------------------------------------------------------------- #
+class TestLocalBackends:
+    def test_serial_preserves_order(self):
+        results = SerialBackend().run(_points([4, 2, 3]))
+        assert [r.rows[0]["value"] for r in results] == [4, 2, 3]
+
+    def test_process_matches_serial(self):
+        points = _points(list(range(8)))
+        serial = SerialBackend().run(points)
+        pooled = ProcessPoolBackend(jobs=4).run(points)
+        assert [r.rows for r in pooled] == [r.rows for r in serial]
+
+    def test_process_single_point_runs_inline(self):
+        results = ProcessPoolBackend(jobs=4).run(_points([5]))
+        assert results[0].rows == [{"value": 5, "square": 25}]
+
+    def test_failures_become_point_failures(self):
+        for backend in (SerialBackend(), ProcessPoolBackend(jobs=2)):
+            results = backend.run(_points([1, 2], func=failing_point))
+            assert all(isinstance(r, PointFailure) for r in results)
+            assert "boom at 1" in results[0].error
+
+    def test_runner_raises_harness_error_naming_failed_point(self):
+        with pytest.raises(HarnessError, match=r"test:value=1 failed"):
+            SweepRunner().run_points(_points([1], func=failing_point))
+
+    def test_runner_rejects_malformed_backend_results(self):
+        class ShortBackend(ExecutionBackend):
+            name = "short"
+
+            def run(self, points):
+                return []
+
+        class NoneBackend(ExecutionBackend):
+            name = "none"
+
+            def run(self, points):
+                return [None] * len(points)
+
+        with pytest.raises(HarnessError, match="0 results for 1 points"):
+            SweepRunner(backend=ShortBackend()).run_points(_points([1]))
+        with pytest.raises(HarnessError, match="expected PointResult"):
+            SweepRunner(backend=NoneBackend()).run_points(_points([1]))
+
+    def test_partial_failure_still_caches_completed_points(self, tmp_path):
+        class HalfBackend(ExecutionBackend):
+            name = "half"
+
+            def run(self, points):
+                done = SerialBackend().run(points)
+                done[0] = PointFailure(spec=points[0].spec,
+                                       point_id=points[0].point_id,
+                                       error="synthetic loss")
+                return done
+
+        cache = str(tmp_path / "cache")
+        with pytest.raises(HarnessError, match="synthetic loss"):
+            SweepRunner(cache_dir=cache,
+                        backend=HalfBackend()).run_points(_points([1, 2, 3]))
+        # The two completed points were cached before the raise, so the
+        # retry on a healthy backend only recomputes the failed one.
+        outcome = SweepRunner(cache_dir=cache).run_points(_points([1, 2, 3]))
+        assert outcome.points_from_cache == 2
+
+    def test_create_backend(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        assert isinstance(create_backend("process", jobs=3), ProcessPoolBackend)
+        assert isinstance(create_backend("distributed", bind="127.0.0.1:0"),
+                          DistributedBackend)
+        with pytest.raises(HarnessError, match="unknown backend"):
+            create_backend("carrier-pigeon")
+
+
+# --------------------------------------------------------------------------- #
+# Distributed backend
+# --------------------------------------------------------------------------- #
+class TestDistributedBackend:
+    def test_two_workers_match_serial(self):
+        points = _points(list(range(6)))
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        threads = [_start_worker_thread(host, port) for _ in range(2)]
+        with backend:
+            results = backend.run(points)
+        for thread in threads:
+            thread.join(timeout=10)
+        assert [r.rows for r in results] == \
+            [r.rows for r in SerialBackend().run(points)]
+
+    def test_worker_loss_retries_on_survivor(self):
+        points = _points(list(range(6)))
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        flaky = threading.Thread(target=_flaky_worker, args=(host, port),
+                                 daemon=True)
+        flaky.start()
+        survivor = _start_worker_thread(host, port)
+        with backend:
+            results = backend.run(points)
+        flaky.join(timeout=10)
+        survivor.join(timeout=10)
+        assert [r.rows[0]["square"] for r in results] == \
+            [v * v for v in range(6)]
+
+    def test_all_workers_lost_raises_with_point_name(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0, max_retries=2)
+        host, port = backend.listen()
+        flaky = threading.Thread(target=_flaky_worker, args=(host, port),
+                                 daemon=True)
+        flaky.start()
+        with backend, pytest.raises(HarnessError, match=r"test:value="):
+            SweepRunner(backend=backend).run_points(_points([1, 2]))
+        flaky.join(timeout=10)
+
+    def test_point_exception_reported_not_retried(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        thread = _start_worker_thread(host, port)
+        with backend:
+            results = backend.run(_points([7], func=failing_point))
+        thread.join(timeout=10)
+        assert isinstance(results[0], PointFailure)
+        assert "boom at 7" in results[0].error
+
+    def test_no_workers_times_out(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=0.2)
+        with backend, pytest.raises(HarnessError, match="workers connected"):
+            backend.run(_points([1]))
+
+    def test_tuple_rows_survive_transport(self):
+        points = _points([1, 2], func=tuple_row_point)
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        thread = _start_worker_thread(host, port)
+        with backend:
+            results = backend.run(points)
+        thread.join(timeout=10)
+        assert [r.rows for r in results] == \
+            [r.rows for r in SerialBackend().run(points)]
+        assert results[0].rows[0]["pair"] == (1, 2)
+
+    def test_unpicklable_point_fails_without_hanging(self):
+        bad = SweepPoint(spec="test", point_id="bad", func=square_point,
+                         kwargs={"value": lambda: 1})  # lambdas don't pickle
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        thread = _start_worker_thread(host, port)
+        with backend:
+            results = backend.run([bad] + _points([5]))
+        thread.join(timeout=10)
+        assert isinstance(results[0], PointFailure)
+        assert results[1].rows == [{"value": 5, "square": 25}]
+
+    def test_replacement_worker_admitted_mid_run(self):
+        """A worker that connects while a run is in flight gets dispatched,
+        and can absorb the points of a worker that later dies."""
+        got_point = threading.Event()
+        release = threading.Event()
+
+        def holding_flaky(host, port):
+            sock = socket.create_connection((host, port), timeout=10.0)
+            send_frame(sock, {"type": "hello", "pid": 0})
+            recv_frame(sock)            # take one point and sit on it
+            got_point.set()
+            release.wait(timeout=30)
+            sock.close()                # die without ever replying
+
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        flaky = threading.Thread(target=holding_flaky, args=(host, port),
+                                 daemon=True)
+        flaky.start()
+
+        points = _points(list(range(4)))
+        box = {}
+        coordinator = threading.Thread(
+            target=lambda: box.update(results=backend.run(points)),
+            daemon=True)
+        coordinator.start()
+        assert got_point.wait(timeout=20)
+
+        replacement = _start_worker_thread(host, port)
+        # Wait until the replacement, admitted mid-run, has drained every
+        # point except the one the flaky worker is sitting on.
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            state = backend._run_state
+            if state is not None and state.outstanding == 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("replacement worker was never dispatched mid-run")
+
+        release.set()  # flaky dies; its point is requeued to the replacement
+        coordinator.join(timeout=30)
+        backend.close()
+        flaky.join(timeout=10)
+        replacement.join(timeout=10)
+        assert [r.rows[0]["square"] for r in box["results"]] == \
+            [v * v for v in range(4)]
+
+    def test_workers_survive_across_runs(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        threads = [_start_worker_thread(host, port) for _ in range(2)]
+        with backend:
+            first = backend.run(_points([1, 2, 3]))
+            second = backend.run(_points([4, 5, 6]))
+        for thread in threads:
+            thread.join(timeout=10)
+        assert [r.rows[0]["value"] for r in first] == [1, 2, 3]
+        assert [r.rows[0]["value"] for r in second] == [4, 5, 6]
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence on a real experiment
+# --------------------------------------------------------------------------- #
+class TestBackendEquivalence:
+    def test_table2_byte_identical_across_backends(self):
+        spec = get_spec("table2")
+        rendered = {}
+        rendered["serial"] = spec.render(
+            SweepRunner(backend=SerialBackend()).run("table2").result)
+        rendered["process"] = spec.render(
+            SweepRunner(backend=ProcessPoolBackend(jobs=2)).run("table2").result)
+
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        threads = [_start_worker_thread(host, port) for _ in range(2)]
+        with backend:
+            rendered["distributed"] = spec.render(
+                SweepRunner(backend=backend).run("table2").result)
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert rendered["process"] == rendered["serial"]
+        assert rendered["distributed"] == rendered["serial"]

@@ -34,6 +34,10 @@ def dict_point(value):
     return {"value": value}
 
 
+def tuple_row_point(value):
+    return PointResult(rows=[{"value": value, "pair": (value, value + 1)}])
+
+
 def bad_point():
     return 42  # not an accepted result shape
 
@@ -125,17 +129,36 @@ class TestCache:
                              kwargs={"value": 1, "config": None})
         assert point_cache_key(small) != point_cache_key(default)
 
-    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+    @pytest.mark.parametrize("corrupt", [
+        "{not json",                      # undecodable
+        "[1, 2, 3]",                      # JSON, but not an object
+        '{"stats": {}}',                  # object missing "rows"
+        '{"rows": 5}',                    # "rows" of the wrong shape
+        '{"rows": [], "stats": [1, 2]}',  # "stats" of the wrong shape
+    ])
+    def test_corrupt_cache_entry_recomputed(self, tmp_path, corrupt):
         cache = str(tmp_path / "cache")
         runner = SweepRunner(cache_dir=cache)
         runner.run_points(_points([7]))
         (path,) = [os.path.join(root, name)
                    for root, _, names in os.walk(cache) for name in names]
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write("{not json")
+            handle.write(corrupt)
         outcome = runner.run_points(_points([7]))
         assert outcome.points_from_cache == 0
         assert outcome.rows == [{"value": 7, "square": 49}]
+
+    def test_json_lossy_rows_not_cached(self, tmp_path):
+        # A tuple would reload from JSON as a list, making a warm run render
+        # differently from a cold one — so such points must not be cached.
+        cache = str(tmp_path / "cache")
+        runner = SweepRunner(cache_dir=cache)
+        points = _points([4], func=tuple_row_point)
+        first = runner.run_points(points)
+        second = runner.run_points(points)
+        assert second.points_from_cache == 0
+        assert second.rows == first.rows
+        assert second.rows[0]["pair"] == (4, 5)
 
     def test_cache_files_are_json(self, tmp_path):
         cache = str(tmp_path / "cache")
@@ -216,3 +239,88 @@ class TestCLI:
         assert cli_main(["run", "table2", "--cache-dir", cache]) == 0
         err = capsys.readouterr().err
         assert "1 cached" in err
+
+    def test_run_backend_flag_process(self, capsys):
+        code = cli_main(["run", "table2", "--no-cache",
+                         "--backend", "process", "--workers", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert "process backend" in captured.err
+
+    def test_run_backend_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert cli_main(["run", "table2", "--no-cache", "--jobs", "4"]) == 0
+        assert "serial backend" in capsys.readouterr().err
+
+    def test_jobs_flag_still_selects_process_backend(self, capsys):
+        assert cli_main(["run", "table2", "--no-cache", "--jobs", "2"]) == 0
+        assert "process backend" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_rejected(self, capsys):
+        assert cli_main(["run", "table2", "--no-cache", "--jobs", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestCacheCLI:
+    def _populate(self, cache):
+        assert cli_main(["run", "table2", "--cache-dir", cache]) == 0
+
+    def test_info_empty(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert cli_main(["cache", "info", "--cache-dir", cache]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_info_lists_entries_per_sweep(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        capsys.readouterr()
+        assert cli_main(["cache", "info", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "1 entries" in out
+        assert "total" in out
+
+    def test_clear_removes_entries_and_forces_recompute(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        capsys.readouterr()
+        assert cli_main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        self._populate(cache)
+        err = capsys.readouterr().err
+        assert "1 simulated, 0 cached" in err
+
+    def test_clear_selected_sweep_only(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        runner = SweepRunner(cache_dir=cache)
+        runner.run_points(_points([1, 2]), spec_name="adhoc")
+        capsys.readouterr()
+        assert cli_main(["cache", "clear", "test", "--cache-dir", cache]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        from repro.harness import cache_info
+        assert [info.spec for info in cache_info(cache)] == ["table2"]
+
+    def test_info_filters_by_sweep(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        SweepRunner(cache_dir=cache).run_points(_points([1, 2]))
+        capsys.readouterr()
+        assert cli_main(["cache", "info", "test", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out and "table2" not in out
+        assert cli_main(["cache", "info", "figure99", "--cache-dir",
+                         cache]) == 0
+        captured = capsys.readouterr()
+        assert "no entries for: figure99" in captured.err
+        assert "empty" in captured.out
+
+    def test_clear_unknown_sweep_warns(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        capsys.readouterr()
+        assert cli_main(["cache", "clear", "figure99", "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert "no entries for: figure99" in captured.err
+        assert "removed 0 entries" in captured.out
