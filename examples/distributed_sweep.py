@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Multi-host sweep execution: a coordinator plus two worker processes.
+"""Multi-host sweep execution: a coordinator plus two multi-slot workers.
 
 The :class:`~repro.harness.backends.DistributedBackend` streams sweep
 points over TCP to ``repro worker`` processes — here both workers run on
 localhost, but ``--connect HOST:PORT`` works just as well across machines
-sharing the repository.  The coordinator keeps the point cache and the
-declaration-order row merge, so the result is identical to a serial run no
-matter how many workers serve it (this script checks exactly that).
+sharing the repository.  Each worker is started with ``--jobs 2``, so it
+executes two points at once on a local process pool and replies out of
+order as they finish; the coordinator pipelines up to ``slots`` points per
+connection and matches replies back by task id.  The coordinator keeps the
+point cache and the declaration-order row merge, so the result is
+identical to a serial run no matter how many workers (or slots per
+worker) serve it — this script checks exactly that.
 
 Run with::
 
@@ -25,14 +29,15 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SIZES = (6, 8, 12)
 
 
-def spawn_worker(address: str) -> "subprocess.Popen[bytes]":
-    """Start one ``repro worker`` subprocess aimed at ``address``."""
+def spawn_worker(address: str, jobs: int = 2) -> "subprocess.Popen[bytes]":
+    """Start one ``repro worker --jobs N`` subprocess aimed at ``address``."""
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
     return subprocess.Popen(
-        [sys.executable, "-m", "repro", "worker", "--connect", address],
+        [sys.executable, "-m", "repro", "worker", "--connect", address,
+         "--jobs", str(jobs)],
         env=env)
 
 
@@ -46,8 +51,9 @@ def main() -> int:
     backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
                                  start_timeout=60.0)
     host, port = backend.listen()
-    print(f"coordinator listening on {host}:{port}; spawning 2 workers")
-    workers = [spawn_worker(f"{host}:{port}") for _ in range(2)]
+    print(f"coordinator listening on {host}:{port}; "
+          f"spawning 2 workers with 2 slots each")
+    workers = [spawn_worker(f"{host}:{port}", jobs=2) for _ in range(2)]
     try:
         started = time.monotonic()
         with backend:  # close() sends the workers 'shutdown' on exit
@@ -58,8 +64,8 @@ def main() -> int:
         for worker in workers:
             worker.wait(timeout=30)
 
-    print(f"\nfigure5 over 2 workers: {outcome.points_total} points "
-          f"in {elapsed:.1f}s")
+    print(f"\nfigure5 over 2 workers x 2 slots: {outcome.points_total} "
+          f"points in {elapsed:.1f}s")
     for row in outcome.rows:
         print(f"  size={row['size']:3d}  "
               f"ccsvm={row['ccsvm_xthreads_ms']:.3f} ms  "

@@ -14,7 +14,7 @@ setup(
                 "(ISPASS 2013)",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.8",
+    python_requires=">=3.9",
     entry_points={
         "console_scripts": [
             "repro=repro.harness.cli:main",

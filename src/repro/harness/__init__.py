@@ -43,7 +43,7 @@ from repro.harness.spec import (
     register,
     spec_names,
 )
-from repro.harness.worker import run_worker
+from repro.harness.worker import default_worker_jobs, run_worker
 
 __all__ = [
     "DistributedBackend",
@@ -61,6 +61,7 @@ __all__ = [
     "cache_info",
     "create_backend",
     "default_cache_dir",
+    "default_worker_jobs",
     "execute_point",
     "get_spec",
     "load_builtin_specs",

@@ -12,8 +12,12 @@ across backends and worker counts.  Three implementations ship:
   single slow point no longer straggles the whole sweep behind it.
 - :class:`DistributedBackend` — a TCP coordinator that streams points to
   workers started with ``repro worker --connect HOST:PORT`` (possibly on
-  other hosts).  Points lost to a dying worker are retried on the
-  survivors; results are still merged in declaration order.
+  other hosts).  Each worker advertises a *slot* count in its ``hello``
+  frame and the coordinator pipelines up to that many points per
+  connection, matching the (possibly out-of-order) replies back by
+  ``task_id``.  Points lost to a dying worker — all of its in-flight
+  tasks, not just one — are retried on the survivors; results are still
+  merged in declaration order.
 
 A point whose *function* raises does not tear the sweep down from inside a
 worker: every backend returns a :class:`PointFailure` in that point's slot
@@ -30,6 +34,7 @@ import multiprocessing
 import os
 import queue
 import socket
+import sys
 import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
@@ -38,6 +43,7 @@ from repro.harness.spec import HarnessError, PointResult, SweepPoint, execute_po
 from repro.harness.wire import (
     decode_result,
     encode_point,
+    hello_slots,
     parse_address,
     recv_frame,
     send_frame,
@@ -112,6 +118,18 @@ class SerialBackend(ExecutionBackend):
         return results
 
 
+def pool_context() -> "multiprocessing.context.BaseContext":
+    """The ``multiprocessing`` context local point pools run on.
+
+    Shared by :class:`ProcessPoolBackend` and the worker's ``--jobs`` pool
+    so both prefer ``fork`` where the platform offers it (points and their
+    kwargs are already in memory; no re-import needed) and fall back to
+    the platform default elsewhere.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Fan points out over a local ``multiprocessing`` pool.
 
@@ -131,9 +149,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def run(self, points: List[SweepPoint]) -> List[BackendResult]:
         if self.jobs == 1 or len(points) <= 1:
             return SerialBackend().run(points)
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None)
+        context = pool_context()
         workers = min(self.jobs, len(points))
         results: List[Optional[BackendResult]] = [None] * len(points)
         with context.Pool(processes=workers) as pool:
@@ -180,21 +196,47 @@ class _RunState:
         self.lock = threading.Lock()
         self.outstanding = len(points)
         self.active_workers = 0
+        self.sessions: List["_WorkerSession"] = []
         self.done = threading.Event()
         if not points:
             self.done.set()
 
-    def try_admit(self) -> bool:
-        """Register a serve thread, unless the run has already drained.
+    def register(self, session: "_WorkerSession", admitted: bool) -> bool:
+        """Register a worker session, unless the run has already drained.
 
-        Admission and the drain check share one lock, so the sentinel
-        count ``_release`` captures always covers every admitted thread.
+        ``admitted`` marks the initial batch :meth:`admit_batch` already
+        counted; a mid-run joiner (``admitted=False``) is admitted here.
+        Admission, the drain check and the session list share one lock, so
+        the sentinel count ``_release`` captures always covers every
+        admitted session, and :meth:`join_sessions` always sees every
+        session that was admitted before the drain.
         """
         with self.lock:
-            if self.outstanding == 0:
-                return False
-            self.active_workers += 1
+            if not admitted:
+                if self.outstanding == 0:
+                    return False
+                self.active_workers += 1
+            self.sessions.append(session)
             return True
+
+    def admit_batch(self, count: int) -> None:
+        """Count the run's initial workers before any serve thread starts.
+
+        Admitting the whole batch atomically — instead of one-by-one as
+        each serve thread spawns — closes the race where the first worker
+        dies (requeueing its point and decrementing ``active_workers`` to
+        zero) before its siblings were admitted, which made
+        :meth:`worker_exited` declare the run orphaned and fail every
+        remaining point even though a healthy worker was about to start.
+        """
+        with self.lock:
+            self.active_workers += count
+
+    def join_sessions(self) -> None:
+        with self.lock:
+            sessions = list(self.sessions)
+        for session in sessions:
+            session.join()
 
     def complete(self, index: int, result: BackendResult) -> None:
         with self.lock:
@@ -239,8 +281,181 @@ class _RunState:
 
     def _release(self, workers: int) -> None:
         for _ in range(max(workers, 1)):
-            self.tasks.put(None)  # wake idle serve threads so they park
+            self.tasks.put(None)  # wake idle sender threads so they park
         self.done.set()
+
+
+class _WorkerSession:
+    """One worker connection serving one run: a sender/receiver thread pair.
+
+    The sender pulls task indices off the shared queue and writes ``point``
+    frames whenever the connection has a free credit; the receiver reads
+    ``result`` frames (in whatever order the worker finishes them), matches
+    them back by ``task_id`` and returns the credit.  Splitting the two
+    directions onto separate threads is what lets a multi-slot worker hold
+    several points in flight on a single TCP connection.
+
+    Exactly one of two finishes happens, guarded by ``_finished``:
+
+    - *park* — the run drained and every in-flight reply arrived; the
+      connection goes back to the backend's idle pool for the next run.
+    - *fail* — either direction hit a connection error; all in-flight
+      tasks are requeued onto the surviving workers and the socket closed.
+    """
+
+    def __init__(self, backend: "DistributedBackend", conn: socket.socket,
+                 slots: int, state: _RunState) -> None:
+        self.backend = backend
+        self.conn = conn
+        self.slots = slots
+        self.state = state
+        self.cv = threading.Condition()
+        self.credits = slots
+        self.inflight: "set[int]" = set()
+        self.dead = False
+        self.sender_done = False
+        self._finished = False
+        self._sender = threading.Thread(target=self._send_loop,
+                                        name="repro-send", daemon=True)
+        self._receiver = threading.Thread(target=self._recv_loop,
+                                          name="repro-recv", daemon=True)
+
+    def start(self) -> None:
+        self._sender.start()
+        self._receiver.start()
+
+    def join(self) -> None:
+        self._sender.join()
+        self._receiver.join()
+
+    # ------------------------------------------------------------------ #
+    # Sender: tasks -> point frames, gated by credits
+    # ------------------------------------------------------------------ #
+    def _send_loop(self) -> None:
+        state = self.state
+        while True:
+            with self.cv:
+                while self.credits == 0 and not self.dead:
+                    self.cv.wait()
+                if self.dead:
+                    return
+            try:
+                # A short poll rather than a blocking get: a session whose
+                # receiver already failed must not sit here forever (or
+                # steal a task for a dead socket) while the run continues
+                # on the survivors.
+                index = state.tasks.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if index is None:
+                with self.cv:
+                    self.sender_done = True
+                    self.cv.notify_all()
+                return
+            point = state.points[index]
+            try:
+                frame = {"type": "point", "task_id": index,
+                         "point": encode_point(point)}
+            except Exception as error:  # noqa: BLE001
+                # An unpicklable point is the point's fault, not the
+                # worker's: record the failure so the run still drains.
+                state.complete(index, _failure(point, error))
+                continue
+            with self.cv:
+                if self.dead:
+                    # _fail already requeued the in-flight set; this task
+                    # was never dispatched, so hand it back untouched.
+                    state.tasks.put(index)
+                    return
+                self.credits -= 1
+                self.inflight.add(index)
+                self.cv.notify_all()
+            try:
+                send_frame(self.conn, frame)
+            except (OSError, ConnectionError):
+                self._fail()
+                return
+
+    # ------------------------------------------------------------------ #
+    # Receiver: result frames -> completions, returning credits
+    # ------------------------------------------------------------------ #
+    def _recv_loop(self) -> None:
+        state = self.state
+        while True:
+            with self.cv:
+                # Only read the socket while a reply is actually owed:
+                # recv on an idle connection would block past the end of
+                # the run and pin a parked worker to a finished sweep.
+                while not self.inflight and not self.sender_done \
+                        and not self.dead:
+                    self.cv.wait()
+                if self.dead:
+                    return
+                if not self.inflight and self.sender_done:
+                    break  # run drained for this worker
+            try:
+                reply = recv_frame(self.conn)
+                if reply is None:
+                    raise ConnectionError("worker closed the connection")
+            except (OSError, ConnectionError, ValueError):
+                self._fail()
+                return
+            if reply.get("type") != "result":
+                continue  # stray frame; the reply we are owed is still due
+            task_id = reply.get("task_id")
+            if not isinstance(task_id, int) or isinstance(task_id, bool):
+                continue  # malformed reply; the owed result is still due
+            with self.cv:
+                known = task_id in self.inflight
+                if known:
+                    self.inflight.discard(task_id)
+                    self.credits += 1
+                    self.cv.notify_all()
+            if not known:
+                continue  # duplicate or stale task_id; drop it
+            point = state.points[task_id]
+            if reply.get("ok"):
+                try:
+                    result: BackendResult = decode_result(
+                        str(reply.get("result", "")))
+                except Exception as error:  # noqa: BLE001
+                    result = _failure(point, error)
+                state.complete(task_id, result)
+            else:
+                state.complete(task_id, PointFailure(
+                    spec=point.spec, point_id=point.point_id,
+                    error=str(reply.get("error", "unknown worker error"))))
+        self._park()
+
+    # ------------------------------------------------------------------ #
+    # Finishes
+    # ------------------------------------------------------------------ #
+    def _fail(self) -> None:
+        """The connection died: requeue every in-flight task, once."""
+        with self.cv:
+            if self._finished:
+                return
+            self._finished = True
+            self.dead = True
+            pending = sorted(self.inflight)
+            self.inflight.clear()
+            self.cv.notify_all()
+        try:
+            self.conn.close()  # unblocks whichever thread is still in I/O
+        except OSError:
+            pass
+        for index in pending:
+            self.state.requeue(index)
+        self.state.worker_exited()
+
+    def _park(self) -> None:
+        """The run drained with the connection healthy: re-idle it."""
+        with self.cv:
+            if self._finished:
+                return
+            self._finished = True
+        self.backend._park(self.conn, self.slots)
+        self.state.worker_exited()
 
 
 class DistributedBackend(ExecutionBackend):
@@ -250,13 +465,17 @@ class DistributedBackend(ExecutionBackend):
     free port — read it back from :meth:`listen`).  Workers are separate
     processes, usually on other hosts, started with::
 
-        repro worker --connect HOST:PORT
+        repro worker --connect HOST:PORT --jobs N
 
-    Each connected worker executes one point at a time; a worker that
-    disconnects mid-point has its point requeued onto the survivors (up to
-    ``max_retries`` times per point).  Workers stay connected between
-    :meth:`run` calls, so ``repro run all --backend distributed`` reuses
-    the same fleet for every sweep; :meth:`close` sends them ``shutdown``.
+    Each worker advertises ``N`` execution slots in its ``hello`` frame;
+    the coordinator pipelines up to that many points per connection
+    (credit-based: a new point is sent only when a result frees a slot)
+    and matches the out-of-order replies back by ``task_id``.  A worker
+    that disconnects has *all* of its in-flight points requeued onto the
+    survivors (up to ``max_retries`` times per point).  Workers stay
+    connected between :meth:`run` calls, so ``repro run all --backend
+    distributed`` reuses the same fleet for every sweep; :meth:`close`
+    sends them ``shutdown``.
 
     Parameters
     ----------
@@ -285,7 +504,7 @@ class DistributedBackend(ExecutionBackend):
         self._closed = False
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
-        self._idle: List[socket.socket] = []
+        self._idle: List[Tuple[socket.socket, int]] = []  # (conn, slots)
         self._run_state: Optional[_RunState] = None
         self.address: Optional[Tuple[str, int]] = None
 
@@ -315,8 +534,17 @@ class DistributedBackend(ExecutionBackend):
         while not self._closed:
             try:
                 conn, _ = self._listener.accept()
-            except OSError:
+            except OSError as error:
+                if not self._closed:
+                    print(f"repro coordinator: accept loop exiting "
+                          f"unexpectedly ({type(error).__name__}: {error})",
+                          file=sys.stderr, flush=True)
                 return  # listener closed by close()
+            if self._closed:
+                # close() is waking this thread (possibly via its loopback
+                # self-connect); drop the connection and let close() reap us.
+                conn.close()
+                return
             try:
                 # A stalled or non-worker connection must not block the
                 # registration of real workers behind it.
@@ -324,23 +552,35 @@ class DistributedBackend(ExecutionBackend):
                 hello = recv_frame(conn)
                 conn.settimeout(None)
                 enable_keepalive(conn)
-            except (OSError, ConnectionError, ValueError):
+            except (OSError, ConnectionError, ValueError) as error:
+                print(f"repro coordinator: rejecting connection "
+                      f"({type(error).__name__}: {error})",
+                      file=sys.stderr, flush=True)
                 conn.close()
                 continue
             if not hello or hello.get("type") != "hello":
+                print(f"repro coordinator: rejecting connection "
+                      f"(first frame was not a hello: {hello!r})",
+                      file=sys.stderr, flush=True)
                 conn.close()
                 continue
+            slots = hello_slots(hello)
             with self._ready:
+                if self._closed:
+                    # close() ran while this hello was being read; don't
+                    # strand the worker on a backend that will never serve.
+                    conn.close()
+                    return
                 state = self._run_state
                 if state is None:
-                    self._idle.append(conn)
+                    self._idle.append((conn, slots))
                     self._ready.notify_all()
             if state is not None:
                 # A worker joining mid-run (a late start, or a replacement
                 # for one that died) is put to work immediately.
-                self._spawn_serve(conn, state)
+                self._start_session(conn, slots, state, admitted=False)
 
-    def _wait_for_workers(self) -> List[socket.socket]:
+    def _wait_for_workers(self) -> List[Tuple[socket.socket, int]]:
         with self._ready:
             if not self._ready.wait_for(
                     lambda: len(self._idle) >= self.min_workers,
@@ -370,100 +610,89 @@ class DistributedBackend(ExecutionBackend):
             self._run_state = state
             workers += self._idle
             self._idle = []
-        threads = [self._spawn_serve(conn, state) for conn in workers]
+        # Admit the whole initial batch before any session thread runs, so
+        # one worker dying instantly cannot orphan the run while the rest
+        # still await admission (see _RunState.admit_batch).
+        state.admit_batch(len(workers))
+        for conn, slots in workers:
+            self._start_session(conn, slots, state, admitted=True)
         try:
             state.done.wait()
         finally:
             with self._ready:
                 self._run_state = None
-        for thread in threads:
-            if thread is not None:
-                thread.join()
+        state.join_sessions()
         assert all(result is not None for result in state.results)
         return list(state.results)  # type: ignore[arg-type]
 
-    def _spawn_serve(self, conn: socket.socket,
-                     state: _RunState) -> Optional[threading.Thread]:
-        """Start a serve thread for ``conn``, or re-idle it if the run drained."""
-        if not state.try_admit():
-            with self._ready:
-                self._idle.append(conn)
-                self._ready.notify_all()
+    def _start_session(self, conn: socket.socket, slots: int,
+                       state: _RunState,
+                       admitted: bool) -> Optional[_WorkerSession]:
+        """Serve ``conn`` within the run, or re-idle it if the run drained."""
+        session = _WorkerSession(self, conn, slots, state)
+        if not state.register(session, admitted=admitted):
+            self._park(conn, slots)
             return None
-        thread = threading.Thread(target=self._serve, args=(conn, state),
-                                  name="repro-serve", daemon=True)
-        thread.start()
-        return thread
+        session.start()
+        return session
 
-    def _serve(self, conn: socket.socket, state: _RunState) -> None:
-        """Feed one worker connection until the run drains or it dies."""
-        alive = True
-        try:
-            while True:
-                index = state.tasks.get()
-                if index is None:
-                    break  # run drained; park the connection for reuse
-                point = state.points[index]
-                try:
-                    frame = {"type": "point", "task_id": index,
-                             "point": encode_point(point)}
-                except Exception as error:  # noqa: BLE001
-                    # An unpicklable point is the point's fault, not the
-                    # worker's: record the failure so the run still drains.
-                    state.complete(index, _failure(point, error))
-                    continue
-                try:
-                    send_frame(conn, frame)
-                    reply = recv_frame(conn)
-                    if reply is None:
-                        raise ConnectionError("worker closed the connection")
-                except (OSError, ConnectionError, ValueError):
-                    alive = False
-                    state.requeue(index)
-                    conn.close()
-                    return
-                if reply.get("ok"):
-                    try:
-                        result: BackendResult = decode_result(
-                            str(reply.get("result", "")))
-                    except Exception as error:  # noqa: BLE001
-                        result = _failure(point, error)
-                    state.complete(index, result)
-                else:
-                    state.complete(index, PointFailure(
-                        spec=point.spec, point_id=point.point_id,
-                        error=str(reply.get("error", "unknown worker error"))))
-        finally:
-            state.worker_exited()
-            if alive:
-                with self._ready:
-                    closed = self._closed
-                    if not closed:
-                        self._idle.append(conn)
-                        self._ready.notify_all()
-                if closed:
-                    # close() already drained the idle pool; shut this
-                    # worker down directly rather than leaking it.
-                    try:
-                        send_frame(conn, {"type": "shutdown"})
-                    except OSError:
-                        pass
-                    conn.close()
+    def _park(self, conn: socket.socket, slots: int) -> None:
+        """Return a healthy connection to the idle pool for the next run."""
+        with self._ready:
+            closed = self._closed
+            if not closed:
+                self._idle.append((conn, slots))
+                self._ready.notify_all()
+        if closed:
+            # close() already drained the idle pool; shut this worker down
+            # directly rather than leaking it.
+            try:
+                send_frame(conn, {"type": "shutdown"})
+            except OSError:
+                pass
+            conn.close()
 
     def close(self) -> None:
-        """Shut down connected workers and stop listening."""
+        """Shut down connected workers and stop listening.
+
+        The accept thread is reaped *before* the listener's file
+        descriptor is released: ``close()`` on a listening socket does not
+        wake a thread blocked in ``accept()`` on it, so without the
+        ``shutdown()``+``join`` below the thread would stay parked on the
+        stale descriptor number — and once the OS reuses that number for a
+        later backend's listener, the zombie thread would steal the new
+        backend's worker connections (consuming their ``hello`` and
+        parking them on this closed backend, where they are never served).
+        """
         with self._ready:
             self._closed = True
             idle, self._idle = self._idle, []
-        for conn in idle:
+        for conn, _slots in idle:
             try:
                 send_frame(conn, {"type": "shutdown"})
             except OSError:
                 pass
             conn.close()
         if self._listener is not None:
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)  # wakes accept()
+            except OSError:
+                pass  # BSD/macOS refuse shutdown() on a listening socket
+            if self.address is not None:
+                # Portable wake-up for platforms where the shutdown() above
+                # did not interrupt a blocked accept(): a loopback
+                # self-connect makes accept() return, and the loop exits on
+                # the _closed flag.
+                try:
+                    socket.create_connection(self.address, timeout=1.0).close()
+                except OSError:
+                    pass
+            if self._accept_thread is not None and \
+                    self._accept_thread is not threading.current_thread():
+                self._accept_thread.join(timeout=5.0)
             self._listener.close()
             self._listener = None
+            self._accept_thread = None
 
 
 # --------------------------------------------------------------------------- #
@@ -481,11 +710,17 @@ def create_backend(name: str, jobs: int = 1, bind: Optional[str] = None,
 
     ``name`` is one of ``serial``, ``process`` or ``distributed`` (see
     ``BACKEND_NAMES``); the CLI defaults it from ``$REPRO_BACKEND``.
+
+    ``jobs`` is validated here with the same ``ValueError`` the backend
+    constructors raise, rather than silently clamped, so a bad ``--jobs``
+    surfaces identically no matter which entry point it came through.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     if name == "serial":
         return SerialBackend()
     if name == "process":
-        return ProcessPoolBackend(jobs=max(jobs, 1))
+        return ProcessPoolBackend(jobs=jobs)
     if name == "distributed":
         return DistributedBackend(bind=bind or default_bind(),
                                   min_workers=min_workers,

@@ -8,9 +8,10 @@ Examples::
     python -m repro run all --backend process --workers 8 --no-cache
     python -m repro run figure9 --csv --out figure9.csv
 
-    # distributed: one coordinator, any number of workers (any order)
-    python -m repro worker --connect 127.0.0.1:7421 &
-    python -m repro worker --connect 127.0.0.1:7421 &
+    # distributed: one coordinator, any number of workers (any order);
+    # each worker runs up to --jobs points at once on a local process pool
+    python -m repro worker --connect 127.0.0.1:7421 --jobs 8 &
+    python -m repro worker --connect 127.0.0.1:7421 --jobs 8 &
     python -m repro run table2 --backend distributed --workers 2
 
     python -m repro cache info
@@ -103,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--retry", type=float, default=30.0, metavar="SECONDS",
                         help="keep retrying the connection this long while "
                              "the coordinator comes up (default: 30)")
+    worker.add_argument("--jobs", "-j", type=int, default=None,
+                        help="points this worker executes concurrently "
+                             "(default: $REPRO_WORKER_JOBS, else the CPU "
+                             "count); >1 runs points on a local process pool")
 
     cache = sub.add_parser("cache", help="inspect or prune the point cache")
     cache.add_argument("action", choices=("info", "clear"),
@@ -208,7 +213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     try:
         if args.command == "worker":
-            return run_worker(args.connect, retry_seconds=args.retry)
+            return run_worker(args.connect, retry_seconds=args.retry,
+                              jobs=args.jobs)
         if args.command == "cache":
             return _cache(args)
         return _run(args)

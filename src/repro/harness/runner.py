@@ -19,6 +19,7 @@ byte-identical tables to sequential ones.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -50,13 +51,48 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
 
 
+def canonical_repr(value: object) -> str:
+    """A content-based serialization that is stable across processes.
+
+    ``repr`` alone is not canonical for every configuration value: sets
+    iterate in hash order (which ``PYTHONHASHSEED`` perturbs between
+    processes for strings) and dicts iterate in insertion order, so two
+    equal configurations could serialize differently and miss each other's
+    cache entries.  Sets are therefore emitted in sorted element order,
+    dict items in sorted key order, and dataclasses are recursed into so
+    the same rules apply to nested fields.  Distinct container types keep
+    distinct markers so ``[1, 2]``, ``(1, 2)`` and ``{1, 2}`` never
+    collide.
+    """
+    if isinstance(value, dict):
+        items = sorted(((canonical_repr(k), canonical_repr(v))
+                        for k, v in value.items()), key=lambda kv: kv[0])
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, frozenset):
+        return "frozenset{" + ",".join(sorted(map(canonical_repr, value))) + "}"
+    if isinstance(value, set):
+        return "set{" + ",".join(sorted(map(canonical_repr, value))) + "}"
+    if isinstance(value, list):
+        return "[" + ",".join(map(canonical_repr, value)) + "]"
+    if isinstance(value, tuple):
+        return "(" + ",".join(map(canonical_repr, value)) + ")"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{field.name}={canonical_repr(getattr(value, field.name))}"
+            for field in dataclasses.fields(value))
+        return f"{type(value).__qualname__}({fields})"
+    return repr(value)
+
+
 def point_cache_key(point: SweepPoint) -> str:
     """A stable hash of everything that determines a point's result.
 
     The key covers the spec name, the point function's identity and the
-    ``repr`` of its keyword arguments — configuration dataclasses have
-    deterministic reprs, so any parameter change (sizes, cache geometry,
-    seeds, ...) changes the key.
+    :func:`canonical_repr` of its keyword arguments, so any parameter
+    change (sizes, cache geometry, seeds, ...) changes the key while equal
+    configurations hash identically in every process — even for kwargs
+    containing sets or dicts, whose plain ``repr`` depends on hash seed or
+    insertion order.
     """
     from repro import __version__
 
@@ -66,7 +102,7 @@ def point_cache_key(point: SweepPoint) -> str:
         point.spec,
         point.point_id,
         f"{func.__module__}.{getattr(func, '__qualname__', func.__name__)}",
-        repr(sorted(point.kwargs.items())),
+        canonical_repr(point.kwargs),
     ))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -11,11 +11,20 @@ frame as a base64-encoded pickle — the same picklability contract the
 Frame types:
 
 ========== =============================================================
-``hello``   worker -> coordinator greeting (``pid``, ``version``)
+``hello``   worker -> coordinator greeting (``pid``, ``proto``, ``slots``)
 ``point``   coordinator -> worker: one sweep point (``task_id``, ``point``)
-``result``  worker -> coordinator: ``ok`` + ``rows``/``stats`` or ``error``
+``result``  worker -> coordinator: ``task_id`` + ``ok`` +
+            ``result``/``error``
 ``shutdown`` coordinator -> worker: drain and exit
 ========== =============================================================
+
+Protocol version 2 adds *credit-based pipelining*: the ``hello`` frame
+advertises ``slots`` — how many points the worker can execute
+concurrently — and the coordinator keeps at most that many ``point``
+frames outstanding per connection.  ``result`` frames may arrive in any
+order; the echoed ``task_id`` matches them back to their points.  A
+version-1 peer is still understood: a ``hello`` without ``slots`` means
+one slot, which degrades exactly to the old one-point-at-a-time lockstep.
 
 The pickle payload means workers must only ever connect to a coordinator
 they trust (and vice versa); the harness binds to localhost by default.
@@ -31,6 +40,10 @@ import struct
 from typing import Dict, Optional
 
 from repro.harness.spec import PointResult, SweepPoint
+
+#: Wire protocol version, carried in ``hello`` frames.  Version 2 added
+#: multi-slot workers and out-of-order ``result`` frames.
+PROTOCOL_VERSION = 2
 
 #: Frames larger than this are rejected as corrupt rather than allocated.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -107,6 +120,19 @@ def decode_result(blob: str) -> PointResult:
         raise ConnectionError(
             f"frame payload decoded to {type(result).__name__}, not PointResult")
     return result
+
+
+def hello_slots(hello: Dict[str, object]) -> int:
+    """Execution slots a ``hello`` frame advertises.
+
+    A version-1 peer (or a malformed advert) counts as one slot, so old
+    workers interoperate with a version-2 coordinator as plain serial
+    executors.
+    """
+    slots = hello.get("slots", 1)
+    if not isinstance(slots, int) or isinstance(slots, bool) or slots < 1:
+        return 1
+    return slots
 
 
 def parse_address(address: str) -> "tuple[str, int]":

@@ -83,10 +83,20 @@ class TLB:
     # Coherence operations
     # ------------------------------------------------------------------ #
     def invalidate(self, vaddr: int) -> bool:
-        """Drop the translation for ``vaddr``'s page; return True if present."""
+        """Drop the translation for ``vaddr``'s page; return True if present.
+
+        Only an actual drop counts as ``<name>.invalidations`` — a
+        shootdown reaching a TLB that never cached the page records
+        ``<name>.invalidation_misses`` instead, so shootdown accounting
+        reflects entries really lost rather than pages merely signalled.
+        """
         vpn = vaddr // self.page_size
-        self.stats.add(f"{self.name}.invalidations")
-        return self._entries.pop(vpn, None) is not None
+        present = self._entries.pop(vpn, None) is not None
+        if present:
+            self.stats.add(f"{self.name}.invalidations")
+        else:
+            self.stats.add(f"{self.name}.invalidation_misses")
+        return present
 
     def flush(self) -> int:
         """Drop every translation; return how many were dropped."""

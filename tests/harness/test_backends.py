@@ -25,14 +25,17 @@ from repro.harness import (
     get_spec,
     run_worker,
 )
-from repro.harness.backends import ExecutionBackend
+from repro.harness.backends import ExecutionBackend, _RunState
 from repro.harness.wire import (
+    PROTOCOL_VERSION,
     decode_point,
     encode_point,
+    hello_slots,
     parse_address,
     recv_frame,
     send_frame,
 )
+from repro.harness.worker import default_worker_jobs, execute_task
 
 
 # --------------------------------------------------------------------------- #
@@ -53,14 +56,20 @@ def tuple_row_point(value):
     return PointResult(rows=[{"value": value, "pair": (value, value + 1)}])
 
 
+def hard_exit_point(value):
+    import os
+    os._exit(17)  # simulates a pool child killed outright (OOM, segfault)
+
+
 def _points(values, func=square_point):
     return [SweepPoint(spec="test", point_id=f"value={v}", func=func,
                        kwargs={"value": v}) for v in values]
 
 
-def _start_worker_thread(host, port):
+def _start_worker_thread(host, port, jobs=1):
     thread = threading.Thread(target=run_worker, args=(f"{host}:{port}",),
-                              kwargs={"retry_seconds": 10.0}, daemon=True)
+                              kwargs={"retry_seconds": 10.0, "jobs": jobs},
+                              daemon=True)
     thread.start()
     return thread
 
@@ -106,6 +115,15 @@ class TestWire:
         assert parse_address("127.0.0.1:7421") == ("127.0.0.1", 7421)
         with pytest.raises(ValueError):
             parse_address("7421")
+
+    def test_hello_slots_parsing(self):
+        assert hello_slots({"type": "hello", "slots": 4}) == 4
+        # A v1 hello (no slots) and malformed adverts degrade to one slot.
+        assert hello_slots({"type": "hello"}) == 1
+        assert hello_slots({"slots": 0}) == 1
+        assert hello_slots({"slots": -3}) == 1
+        assert hello_slots({"slots": "8"}) == 1
+        assert hello_slots({"slots": True}) == 1
 
 
 # --------------------------------------------------------------------------- #
@@ -181,6 +199,15 @@ class TestLocalBackends:
                           DistributedBackend)
         with pytest.raises(HarnessError, match="unknown backend"):
             create_backend("carrier-pigeon")
+
+    def test_create_backend_rejects_bad_jobs_like_constructors_do(self):
+        # The factory must not silently clamp what ProcessPoolBackend's
+        # constructor rejects: both entry points raise the same ValueError.
+        for name in ("serial", "process", "distributed"):
+            with pytest.raises(ValueError, match="jobs must be >= 1"):
+                create_backend(name, jobs=0)
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            ProcessPoolBackend(jobs=0)
 
 
 # --------------------------------------------------------------------------- #
@@ -319,6 +346,20 @@ class TestDistributedBackend:
         assert [r.rows[0]["square"] for r in box["results"]] == \
             [v * v for v in range(4)]
 
+    def test_close_reaps_the_accept_thread(self):
+        """Regression: close() must wake and join the accept thread, not
+        just close the listener — a close()d fd does not interrupt a
+        blocked accept(), and a thread left parked on the stale fd number
+        steals connections from whichever backend the OS hands that fd to
+        next (the root cause of cross-test connection theft)."""
+        backend = DistributedBackend(bind="127.0.0.1:0")
+        backend.listen()
+        thread = backend._accept_thread
+        assert thread is not None and thread.is_alive()
+        backend.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
     def test_workers_survive_across_runs(self):
         backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
                                      start_timeout=20.0)
@@ -334,6 +375,273 @@ class TestDistributedBackend:
 
 
 # --------------------------------------------------------------------------- #
+# Multi-slot workers and credit-based pipelining (protocol v2)
+# --------------------------------------------------------------------------- #
+def _connect_fake_worker(host, port, slots=None):
+    """Open a coordinator connection the test drives by hand."""
+    sock = socket.create_connection((host, port), timeout=10.0)
+    hello = {"type": "hello", "pid": 0}
+    if slots is not None:
+        hello["proto"] = PROTOCOL_VERSION
+        hello["slots"] = slots
+    send_frame(sock, hello)
+    sock.settimeout(10.0)
+    return sock
+
+
+def _reply(sock, frame):
+    """Execute a received ``point`` frame and send back its result."""
+    send_frame(sock, execute_task(frame["task_id"], str(frame["point"])))
+
+
+def _run_in_thread(backend, points):
+    """Drive ``backend.run`` from a thread; returns (thread, result box)."""
+    box = {}
+    thread = threading.Thread(
+        target=lambda: box.update(results=backend.run(points)), daemon=True)
+    thread.start()
+    return thread, box
+
+
+class TestMultiSlotProtocol:
+    def test_worker_hello_advertises_slots(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()
+        thread = threading.Thread(target=run_worker, args=(f"{host}:{port}",),
+                                  kwargs={"retry_seconds": 10.0, "jobs": 2},
+                                  daemon=True)
+        thread.start()
+        try:
+            conn, _ = listener.accept()
+            conn.settimeout(10.0)
+            hello = recv_frame(conn)
+            assert hello["type"] == "hello"
+            assert hello["proto"] == PROTOCOL_VERSION
+            assert hello["slots"] == 2
+            send_frame(conn, {"type": "shutdown"})
+            thread.join(timeout=15)
+            assert not thread.is_alive()
+            conn.close()
+        finally:
+            listener.close()
+
+    def test_payload_less_point_frame_gets_error_reply_worker_stays_up(self):
+        # A point frame missing its payload must come back ok:false like
+        # any other per-point failure; only shutdown or a closed
+        # connection ends a worker.
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()
+        thread = threading.Thread(target=run_worker, args=(f"{host}:{port}",),
+                                  kwargs={"retry_seconds": 10.0, "jobs": 1},
+                                  daemon=True)
+        thread.start()
+        try:
+            conn, _ = listener.accept()
+            conn.settimeout(10.0)
+            recv_frame(conn)  # hello
+            send_frame(conn, {"type": "point", "task_id": 9})
+            reply = recv_frame(conn)
+            assert reply["task_id"] == 9
+            assert reply["ok"] is False
+            (point,) = _points([6])
+            send_frame(conn, {"type": "point", "task_id": 10,
+                              "point": encode_point(point)})
+            reply = recv_frame(conn)
+            assert reply["task_id"] == 10
+            assert reply["ok"] is True
+            send_frame(conn, {"type": "shutdown"})
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            conn.close()
+        finally:
+            listener.close()
+
+    def test_out_of_order_replies_merge_in_declaration_order(self):
+        points = _points([3, 1, 2])
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        runner, box = _run_in_thread(backend, points)
+        sock = _connect_fake_worker(host, port, slots=2)
+        try:
+            first = recv_frame(sock)
+            second = recv_frame(sock)
+            _reply(sock, second)          # answer the later point first
+            _reply(sock, first)
+            _reply(sock, recv_frame(sock))
+            runner.join(timeout=20)
+            assert not runner.is_alive()
+        finally:
+            backend.close()
+            sock.close()
+        assert [r.rows[0]["value"] for r in box["results"]] == [3, 1, 2]
+
+    def test_credit_exhaustion_applies_backpressure(self):
+        points = _points(list(range(5)))
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        runner, box = _run_in_thread(backend, points)
+        sock = _connect_fake_worker(host, port, slots=2)
+        try:
+            outstanding = [recv_frame(sock), recv_frame(sock)]
+            # Both credits are spent: the coordinator must not send a third
+            # point until a result hands one back.
+            sock.settimeout(0.3)
+            with pytest.raises(socket.timeout):
+                recv_frame(sock)
+            sock.settimeout(10.0)
+            replied = 0
+            while replied < len(points):
+                _reply(sock, outstanding.pop(0))
+                replied += 1
+                if replied <= len(points) - 2:
+                    outstanding.append(recv_frame(sock))  # freed credit
+            runner.join(timeout=20)
+            assert not runner.is_alive()
+        finally:
+            backend.close()
+            sock.close()
+        assert [r.rows[0]["square"] for r in box["results"]] == \
+            [v * v for v in range(5)]
+
+    def test_worker_death_with_multiple_inflight_retried_on_survivor(self):
+        points = _points(list(range(6)))
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        runner, box = _run_in_thread(backend, points)
+        sock = _connect_fake_worker(host, port, slots=3)
+        try:
+            # Take three points and sit on them while a healthy worker joins
+            # mid-run and drains the other three.
+            frames = [recv_frame(sock) for _ in range(3)]
+            assert len({f["task_id"] for f in frames}) == 3
+            survivor = _start_worker_thread(host, port)
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                state = backend._run_state
+                if state is not None and state.outstanding == 3:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("survivor never drained the free points")
+        finally:
+            sock.close()  # die with all three points still in flight
+        runner.join(timeout=30)
+        assert not runner.is_alive()
+        backend.close()
+        survivor.join(timeout=10)
+        assert [r.rows[0]["square"] for r in box["results"]] == \
+            [v * v for v in range(6)]
+
+    def test_mixed_slot_workers_match_serial(self):
+        points = _points(list(range(10)))
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        threads = [_start_worker_thread(host, port, jobs=1),
+                   _start_worker_thread(host, port, jobs=4)]
+        with backend:
+            results = backend.run(points)
+        for thread in threads:
+            thread.join(timeout=15)
+        assert [r.rows for r in results] == \
+            [r.rows for r in SerialBackend().run(points)]
+
+    def test_pooled_worker_executes_and_reports_failures(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        thread = _start_worker_thread(host, port, jobs=2)
+        with backend:
+            results = backend.run(_points([1, 2, 3]) +
+                                  _points([4], func=failing_point))
+        thread.join(timeout=15)
+        assert [r.rows[0]["square"] for r in results[:3]] == [1, 4, 9]
+        assert isinstance(results[3], PointFailure)
+        assert "boom at 4" in results[3].error
+
+    def test_pool_child_killed_hard_does_not_hang_the_sweep(self):
+        # A point whose pool child dies outright never produces a result
+        # frame; the worker must drop the connection (so the coordinator's
+        # requeue/orphan handling runs) rather than strand the task_id's
+        # credit and hang the run forever.
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0, max_retries=1)
+        host, port = backend.listen()
+
+        def quiet_worker():
+            try:
+                run_worker(f"{host}:{port}", retry_seconds=10.0, jobs=2)
+            except (ConnectionError, OSError):
+                pass  # the deliberate broken-pool abort
+
+        thread = threading.Thread(target=quiet_worker, daemon=True)
+        thread.start()
+        with backend:
+            results = backend.run(_points([1], func=hard_exit_point))
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert isinstance(results[0], PointFailure)
+
+    def test_protocol_v1_worker_interops(self):
+        # A v1 worker (hello without slots, in-order replies) still serves
+        # a v2 coordinator as a one-slot executor.
+        points = _points([5, 6])
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=20.0)
+        host, port = backend.listen()
+        runner, box = _run_in_thread(backend, points)
+        sock = _connect_fake_worker(host, port, slots=None)
+        try:
+            for _ in points:
+                _reply(sock, recv_frame(sock))
+            runner.join(timeout=20)
+            assert not runner.is_alive()
+        finally:
+            backend.close()
+            sock.close()
+        assert [r.rows[0]["value"] for r in box["results"]] == [5, 6]
+
+
+class TestWorkerJobs:
+    def test_default_worker_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_JOBS", "5")
+        assert default_worker_jobs() == 5
+        monkeypatch.delenv("REPRO_WORKER_JOBS")
+        assert default_worker_jobs() >= 1
+
+    def test_default_worker_jobs_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_JOBS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKER_JOBS"):
+            default_worker_jobs()
+        monkeypatch.setenv("REPRO_WORKER_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKER_JOBS"):
+            default_worker_jobs()
+
+    def test_run_worker_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            run_worker("127.0.0.1:1", jobs=0)
+
+
+class TestRunStateAdmission:
+    def test_instant_worker_death_does_not_orphan_admitted_batch(self):
+        """Regression for the test_worker_loss_retries_on_survivor flake:
+        the whole initial worker batch is admitted atomically, so a worker
+        dying before its siblings' serve threads spawn leaves
+        active_workers > 0 and the run keeps going on the survivor instead
+        of failing every point as orphaned."""
+        state = _RunState(_points([1, 2]), max_retries=3)
+        state.admit_batch(2)
+        state.requeue(0)        # the flaky worker dies holding point 0 ...
+        state.worker_exited()   # ... before the survivor's threads started
+        assert not state.done.is_set()
+        assert state.results == [None, None]
+        assert state.active_workers == 1
+
+
+# --------------------------------------------------------------------------- #
 # Backend equivalence on a real experiment
 # --------------------------------------------------------------------------- #
 class TestBackendEquivalence:
@@ -345,10 +653,12 @@ class TestBackendEquivalence:
         rendered["process"] = spec.render(
             SweepRunner(backend=ProcessPoolBackend(jobs=2)).run("table2").result)
 
+        # Two workers with two slots each: four points in flight at once,
+        # replies racing out of order — the rendered bytes must not move.
         backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2,
                                      start_timeout=20.0)
         host, port = backend.listen()
-        threads = [_start_worker_thread(host, port) for _ in range(2)]
+        threads = [_start_worker_thread(host, port, jobs=2) for _ in range(2)]
         with backend:
             rendered["distributed"] = spec.render(
                 SweepRunner(backend=backend).run("table2").result)

@@ -129,6 +129,59 @@ class TestCache:
                              kwargs={"value": 1, "config": None})
         assert point_cache_key(small) != point_cache_key(default)
 
+    def _key_for(self, **kwargs):
+        return point_cache_key(SweepPoint(spec="t", point_id="p",
+                                          func=square_point, kwargs=kwargs))
+
+    def test_cache_key_canonical_for_sets_and_dicts(self):
+        # Equal configurations must hash identically no matter how their
+        # containers were built: dict insertion order and set iteration
+        # order are not part of the configuration.
+        assert self._key_for(cfg={"a": 1, "b": 2}) == \
+            self._key_for(cfg={"b": 2, "a": 1})
+        assert self._key_for(tags={"alpha", "beta", "gamma"}) == \
+            self._key_for(tags={"gamma", "beta", "alpha"})
+        assert self._key_for(tags=frozenset(["x", "y"])) == \
+            self._key_for(tags=frozenset(["y", "x"]))
+        # ... while genuinely different values still differ.
+        assert self._key_for(cfg={"a": 1}) != self._key_for(cfg={"a": 2})
+        assert self._key_for(tags={"alpha"}) != self._key_for(tags={"beta"})
+
+    def test_cache_key_distinguishes_container_types(self):
+        assert len({self._key_for(v=[1, 2]), self._key_for(v=(1, 2)),
+                    self._key_for(v={1, 2}), self._key_for(v=frozenset([1, 2]))
+                    }) == 4
+
+    def test_cache_key_stable_across_hash_seeds(self):
+        """Regression: set-bearing kwargs must hash the same in every
+        process.  repr() iterates sets in hash order, which
+        PYTHONHASHSEED perturbs for strings between processes, so the old
+        repr-based key could miss the cache across coordinator restarts."""
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.harness.runner import point_cache_key\n"
+            "from repro.harness.spec import SweepPoint\n"
+            "from tests.harness.test_harness import square_point\n"
+            "point = SweepPoint(spec='t', point_id='p', func=square_point,\n"
+            "                   kwargs={'tags': {'alpha', 'beta', 'gamma',\n"
+            "                                    'delta'},\n"
+            "                           'cfg': {'b': 2, 'a': 1}})\n"
+            "print(point_cache_key(point))\n")
+        keys = set()
+        for seed in ("0", "1", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            root = os.path.join(os.path.dirname(__file__), "..", "..")
+            env["PYTHONPATH"] = os.pathsep.join(
+                (os.path.abspath(src), os.path.abspath(root)))
+            output = subprocess.run(
+                [sys.executable, "-c", program], env=env, check=True,
+                capture_output=True, text=True).stdout.strip()
+            keys.add(output)
+        assert len(keys) == 1
+
     @pytest.mark.parametrize("corrupt", [
         "{not json",                      # undecodable
         "[1, 2, 3]",                      # JSON, but not an object

@@ -66,6 +66,28 @@ class TestShootdown:
         assert result.entries_dropped == 2 + 3 * 8
         assert stats["shootdown.entries_dropped"] == result.entries_dropped
 
+    def test_invalidation_stats_count_only_actual_drops(self):
+        controller, cpu, mttop, _ = self._build(ShootdownPolicy.SELECTIVE)
+        # Page 3 is warm in every TLB; the first shootdown drops it
+        # everywhere, the second finds it nowhere.
+        controller.shootdown([3 * PAGE_SIZE], initiator_tlb=cpu[0])
+        controller.shootdown([3 * PAGE_SIZE], initiator_tlb=cpu[0])
+        for i, tlb in enumerate(cpu):
+            assert tlb.stats[f"cpu{i}.invalidations"] == 1
+            assert tlb.stats[f"cpu{i}.invalidation_misses"] == 1
+        for i, tlb in enumerate(mttop):
+            assert tlb.stats[f"mttop{i}.invalidations"] == 1
+            assert tlb.stats[f"mttop{i}.invalidation_misses"] == 1
+
+    def test_cold_page_shootdown_drops_nothing(self):
+        controller, cpu, mttop, stats = self._build(ShootdownPolicy.SELECTIVE)
+        result = controller.shootdown([99 * PAGE_SIZE], initiator_tlb=cpu[0])
+        assert result.entries_dropped == 0
+        assert stats["shootdown.entries_dropped"] == 0
+        for i, tlb in enumerate(cpu):
+            assert tlb.stats[f"cpu{i}.invalidations"] == 0
+            assert tlb.stats[f"cpu{i}.invalidation_misses"] == 1
+
     def test_multiple_pages(self):
         controller, cpu, mttop, _ = self._build(ShootdownPolicy.SELECTIVE)
         result = controller.shootdown([PAGE_SIZE, 2 * PAGE_SIZE],

@@ -70,13 +70,22 @@ class TestReplacement:
 
 class TestCoherenceOperations:
     def test_invalidate_present(self):
-        tlb = TLB()
+        stats = StatsRegistry()
+        tlb = TLB(stats=stats, name="t")
         tlb.insert(1, PAGE_SIZE, True)
         assert tlb.invalidate(PAGE_SIZE) is True
         assert (PAGE_SIZE) not in tlb
+        assert stats["t.invalidations"] == 1
+        assert stats["t.invalidation_misses"] == 0
 
-    def test_invalidate_absent(self):
-        assert TLB().invalidate(PAGE_SIZE) is False
+    def test_invalidate_absent_not_counted_as_drop(self):
+        stats = StatsRegistry()
+        tlb = TLB(stats=stats, name="t")
+        assert tlb.invalidate(PAGE_SIZE) is False
+        # A page that was never cached must not inflate the shootdown
+        # accounting; it lands in the dedicated miss counter instead.
+        assert stats["t.invalidations"] == 0
+        assert stats["t.invalidation_misses"] == 1
 
     def test_flush_drops_everything(self):
         stats = StatsRegistry()
