@@ -32,18 +32,21 @@ from repro.config import (
     small_ccsvm_system,
     tiny_caches_ccsvm_system,
 )
+from repro.api import ResultSet, Scenario
 from repro.core.chip import CCSVMChip, RunResult
 from repro.errors import ReproError
 from repro.harness import SweepPoint, SweepRunner, SweepSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "APUSystemConfig",
     "CCSVMChip",
     "CCSVMSystemConfig",
     "ReproError",
+    "ResultSet",
     "RunResult",
+    "Scenario",
     "SweepPoint",
     "SweepRunner",
     "SweepSpec",

@@ -18,7 +18,9 @@ fewer cores and smaller caches so unit tests run quickly.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
+from typing import Mapping  # noqa: F401 - used in quoted annotations
 
 from repro.errors import ConfigurationError
 
@@ -289,3 +291,156 @@ def tiny_caches_ccsvm_system() -> CCSVMSystemConfig:
         mttop=replace(base.mttop, l1_size_bytes=1 * KB),
         l2=replace(base.l2, total_size_bytes=8 * KB, banks=2),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Dotted-path overrides
+# --------------------------------------------------------------------------- #
+class OverrideError(ConfigurationError):
+    """A dotted-path configuration override could not be applied."""
+
+
+_SIZE_SUFFIXES = {
+    "kib": 1024, "mib": 1024 ** 2, "gib": 1024 ** 3,
+    "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3,
+    "kb": 1000, "mb": 1000 ** 2, "gb": 1000 ** 3,
+}
+
+_TRUE_WORDS = ("1", "true", "yes", "on")
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"8MiB"``-style sizes (also ``KiB``/``GiB``, ``K``/``M``/``G``,
+    and decimal ``KB``/``MB``/``GB``) into a byte count."""
+    stripped = text.strip()
+    lowered = stripped.lower()
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if lowered.endswith(suffix):
+            number = stripped[: -len(suffix)].strip()
+            try:
+                return int(round(float(number) * _SIZE_SUFFIXES[suffix]))
+            except ValueError:
+                break
+    return int(stripped)
+
+
+def _coerce_override(value: object, current: object, path: str) -> object:
+    """Coerce ``value`` (possibly a CLI string) to ``current``'s type."""
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in _TRUE_WORDS:
+                return True
+            if lowered in _FALSE_WORDS:
+                return False
+        raise OverrideError(
+            f"override {path}: expected a boolean "
+            f"({'/'.join(_TRUE_WORDS)} or {'/'.join(_FALSE_WORDS)}), "
+            f"got {value!r}")
+    if isinstance(current, int):
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            try:
+                return parse_size(value)
+            except ValueError:
+                pass
+        raise OverrideError(
+            f"override {path}: expected an integer "
+            f"(sizes may use KiB/MiB/GiB suffixes), got {value!r}")
+    if isinstance(current, float):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        raise OverrideError(f"override {path}: expected a number, got {value!r}")
+    if isinstance(current, str):
+        if isinstance(value, str):
+            return value
+        raise OverrideError(f"override {path}: expected a string, got {value!r}")
+    raise OverrideError(
+        f"override {path}: field of type {type(current).__name__} "
+        "cannot be overridden from a dotted path")
+
+
+def _replace_path(config: object, segments: "list[str]", value: object,
+                  path: str):
+    head, rest = segments[0], segments[1:]
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise OverrideError(
+            f"override {path}: {type(config).__name__} is not a "
+            "configuration dataclass")
+    names = [f.name for f in dataclasses.fields(config)]
+    if head not in names:
+        raise OverrideError(
+            f"override {path}: {type(config).__name__} has no field "
+            f"{head!r}; available fields: {', '.join(names)}")
+    current = getattr(config, head)
+    if rest:
+        if not dataclasses.is_dataclass(current) or isinstance(current, type):
+            raise OverrideError(
+                f"override {path}: {head!r} is a plain "
+                f"{type(current).__name__} value, not a nested section")
+        new = _replace_path(current, rest, value, path)
+    elif dataclasses.is_dataclass(current) and not isinstance(current, type):
+        if type(value) is not type(current):
+            raise OverrideError(
+                f"override {path}: {head!r} is a nested "
+                f"{type(current).__name__} section; override one of its "
+                "fields (e.g. "
+                f"{path}.{dataclasses.fields(current)[0].name}) or supply a "
+                f"{type(current).__name__} instance")
+        new = value
+    else:
+        new = _coerce_override(value, current, path)
+    return replace(config, **{head: new})
+
+
+def apply_overrides(config, overrides: "Mapping[str, object]"):
+    """Rebuild a frozen configuration dataclass with dotted-path overrides.
+
+    ``overrides`` maps dotted paths to new values, e.g.
+    ``{"mttop.count": 20, "l2.total_size_bytes": "8MiB"}`` on a
+    :class:`CCSVMSystemConfig`.  String values are coerced to the field's
+    current type (integers understand ``KiB``/``MiB``/``GiB`` suffixes),
+    and the dataclasses' own ``__post_init__`` validation still runs, so an
+    override that produces an inconsistent system fails loudly.  Unknown
+    paths and type mismatches raise :class:`OverrideError` naming the path
+    and the valid alternatives.
+    """
+    for path in sorted(overrides):
+        segments = [part for part in path.split(".") if part]
+        if not segments:
+            raise OverrideError(f"override path {path!r} is empty")
+        config = _replace_path(config, segments, overrides[path], path)
+    return config
+
+
+def override_applies(config, path: str) -> bool:
+    """True when the *whole* dotted ``path`` resolves on ``config``.
+
+    Every intermediate segment must name a nested-dataclass field and the
+    leaf must name a field of its section.  Used to decide which of a
+    scenario's overrides apply to which system: ``mttop.count`` applies to
+    the CCSVM chip but not to the APU baseline, and ``cpu.l1_hit_cycles``
+    applies to the CCSVM chip but not to the APU — whose ``cpu`` section
+    exists but has differently-named timing fields.
+    """
+    segments = [part for part in path.split(".") if part]
+    if not segments:
+        return False
+    node = config
+    for segment in segments[:-1]:
+        if not dataclasses.is_dataclass(node) or isinstance(node, type) or \
+                segment not in {f.name for f in dataclasses.fields(node)}:
+            return False
+        node = getattr(node, segment)
+    if not dataclasses.is_dataclass(node) or isinstance(node, type):
+        return False
+    return segments[-1] in {f.name for f in dataclasses.fields(node)}

@@ -182,20 +182,24 @@ def build_points(full: bool = False, launch_threads: int = 32,
     """Expand the ablation grid (optionally restricted to some ablations)."""
     thread_counts = tuple(dict.fromkeys((8, launch_threads, 64))) if full \
         else (launch_threads,)
+    here = "repro.experiments.ablations"
     grid: List[SweepPoint] = []
     grid.extend(SweepPoint(spec="ablations", point_id=f"launch_ccsvm_{threads}",
-                           func=ccsvm_launch_point, kwargs={"threads": threads})
+                           func=f"{here}:ccsvm_launch_point",
+                           kwargs={"threads": threads})
                 for threads in thread_counts)
     grid.append(SweepPoint(spec="ablations", point_id="launch_opencl",
-                           func=opencl_launch_point, kwargs={}))
+                           func=f"{here}:opencl_launch_point", kwargs={}))
     grid.extend(SweepPoint(spec="ablations", point_id=f"shootdown_{policy.value}",
-                           func=shootdown_point, kwargs={"policy": policy.value})
+                           func=f"{here}:shootdown_point",
+                           kwargs={"policy": policy.value})
                 for policy in ShootdownPolicy)
     grid.extend(SweepPoint(spec="ablations", point_id=f"atomics_at_l1={at_l1}",
-                           func=atomics_point, kwargs={"at_l1": at_l1})
+                           func=f"{here}:atomics_point", kwargs={"at_l1": at_l1})
                 for at_l1 in (True, False))
     grid.extend(SweepPoint(spec="ablations", point_id=f"gpu_cached={cached}",
-                           func=gpu_caching_point, kwargs={"cached": cached})
+                           func=f"{here}:gpu_caching_point",
+                           kwargs={"cached": cached})
                 for cached in (False, True))
     if ablations is not None:
         wanted = set(ablations)

@@ -7,6 +7,11 @@ single AMD CPU core — as a function of matrix size.  The expected shape:
 the APU is orders of magnitude slower than everything at small sizes
 (launch/compile overhead), and approaches or overtakes CCSVM only as the
 matrix grows; CCSVM profits from offloading even small matrices.
+
+The sweep is one comparison :class:`~repro.api.Scenario`: the ``matmul``
+workload on the ``cpu`` / ``apu`` / ``ccsvm`` system presets across a
+matrix-size grid, with :func:`derive_row` folding each size's three runs
+into one table row.
 """
 
 from __future__ import annotations
@@ -15,12 +20,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.harness.runner import SweepRunner
+    from repro.workloads.base import WorkloadResult
 
+from repro.api import Scenario
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
-from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
-from repro.workloads import matmul
-from repro.workloads.base import require_verified
+from repro.harness.spec import SweepPoint, SweepSpec, register
 
 #: Matrix sizes used by default (kept simulator-tractable; the paper sweeps
 #: up to 1024 on real hardware).
@@ -39,17 +44,13 @@ COLUMNS = (
 )
 
 
-def _point(size: int, seed: int,
-           ccsvm_config: Optional[CCSVMSystemConfig],
-           apu_config: Optional[APUSystemConfig]) -> PointResult:
-    """Simulate all three systems at one matrix size and build its row."""
-    cpu = require_verified(matmul.run_cpu(size, seed=seed, config=apu_config))
-    apu = require_verified(matmul.run_opencl(size, seed=seed, config=apu_config))
-    ccsvm = require_verified(matmul.run_ccsvm(size, seed=seed,
-                                              config=ccsvm_config))
+def derive_row(results: "Dict[str, WorkloadResult]",
+               params: Dict[str, object]) -> Dict[str, object]:
+    """Fold one size's three system runs into its Figure 5 row."""
+    cpu, apu, ccsvm = results["cpu"], results["apu"], results["ccsvm"]
     apu_nosetup_ps = apu.time_without_setup_ps or apu.time_ps
-    row = {
-        "size": size,
+    return {
+        "size": params["size"],
         "cpu_ms": cpu.time_ms,
         "apu_opencl_ms": apu.time_ms,
         "apu_opencl_nosetup_ms": apu_nosetup_ps / 1e9,
@@ -58,7 +59,17 @@ def _point(size: int, seed: int,
         "rel_apu_nosetup": apu_nosetup_ps / cpu.time_ps,
         "rel_ccsvm": ccsvm.time_ps / cpu.time_ps,
     }
-    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+SCENARIO = Scenario(
+    name="figure5",
+    workload="matmul",
+    systems=("cpu", "apu", "ccsvm"),
+    grid={"size": DEFAULT_SIZES},
+    full_grid={"size": FULL_SWEEP_SIZES},
+    seed=7,
+    derive="repro.experiments.figure5:derive_row",
+)
 
 
 def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
@@ -66,13 +77,10 @@ def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
                  apu_config: Optional[APUSystemConfig] = None,
                  seed: int = 7) -> List[SweepPoint]:
     """Expand the Figure 5 sweep into one point per matrix size."""
-    if sizes is None:
-        sizes = FULL_SWEEP_SIZES if full else DEFAULT_SIZES
-    return [SweepPoint(spec="figure5", point_id=f"size={size}", func=_point,
-                       kwargs={"size": size, "seed": seed,
-                               "ccsvm_config": ccsvm_config,
-                               "apu_config": apu_config})
-            for size in sizes]
+    return SCENARIO.points(
+        full=full, seed=seed,
+        grid=None if sizes is None else {"size": tuple(sizes)},
+        configs={"ccsvm": ccsvm_config, "apu": apu_config, "cpu": apu_config})
 
 
 def run(sizes: Optional[Sequence[int]] = None,

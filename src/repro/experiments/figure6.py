@@ -6,6 +6,9 @@ CPU core; under CCSVM/xthreads the threads are launched once and each
 barrier is a handful of coherent memory operations, so the chip outperforms
 the APU by roughly two orders of magnitude even after discounting
 compilation and initialisation (Section 5.2).
+
+One comparison :class:`~repro.api.Scenario`: ``apsp`` on ``cpu`` / ``apu``
+/ ``ccsvm`` across a graph-size grid.
 """
 
 from __future__ import annotations
@@ -14,12 +17,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.harness.runner import SweepRunner
+    from repro.workloads.base import WorkloadResult
 
+from repro.api import Scenario
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
-from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
-from repro.workloads import apsp
-from repro.workloads.base import require_verified
+from repro.harness.spec import SweepPoint, SweepSpec, register
 
 DEFAULT_SIZES = (8, 12, 16, 24)
 FULL_SWEEP_SIZES = (8, 12, 16, 24, 32, 48)
@@ -36,16 +39,13 @@ COLUMNS = (
 )
 
 
-def _point(size: int, seed: int,
-           ccsvm_config: Optional[CCSVMSystemConfig],
-           apu_config: Optional[APUSystemConfig]) -> PointResult:
-    """Simulate all three systems at one graph size and build its row."""
-    cpu = require_verified(apsp.run_cpu(size, seed=seed, config=apu_config))
-    apu = require_verified(apsp.run_opencl(size, seed=seed, config=apu_config))
-    ccsvm = require_verified(apsp.run_ccsvm(size, seed=seed, config=ccsvm_config))
+def derive_row(results: "Dict[str, WorkloadResult]",
+               params: Dict[str, object]) -> Dict[str, object]:
+    """Fold one graph size's three system runs into its Figure 6 row."""
+    cpu, apu, ccsvm = results["cpu"], results["apu"], results["ccsvm"]
     apu_nosetup_ps = apu.time_without_setup_ps or apu.time_ps
-    row = {
-        "size": size,
+    return {
+        "size": params["size"],
         "cpu_ms": cpu.time_ms,
         "apu_opencl_ms": apu.time_ms,
         "apu_opencl_nosetup_ms": apu_nosetup_ps / 1e9,
@@ -54,7 +54,17 @@ def _point(size: int, seed: int,
         "rel_apu_nosetup": apu_nosetup_ps / cpu.time_ps,
         "rel_ccsvm": ccsvm.time_ps / cpu.time_ps,
     }
-    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+SCENARIO = Scenario(
+    name="figure6",
+    workload="apsp",
+    systems=("cpu", "apu", "ccsvm"),
+    grid={"size": DEFAULT_SIZES},
+    full_grid={"size": FULL_SWEEP_SIZES},
+    seed=11,
+    derive="repro.experiments.figure6:derive_row",
+)
 
 
 def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
@@ -62,13 +72,10 @@ def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
                  apu_config: Optional[APUSystemConfig] = None,
                  seed: int = 11) -> List[SweepPoint]:
     """Expand the Figure 6 sweep into one point per graph size."""
-    if sizes is None:
-        sizes = FULL_SWEEP_SIZES if full else DEFAULT_SIZES
-    return [SweepPoint(spec="figure6", point_id=f"size={size}", func=_point,
-                       kwargs={"size": size, "seed": seed,
-                               "ccsvm_config": ccsvm_config,
-                               "apu_config": apu_config})
-            for size in sizes]
+    return SCENARIO.points(
+        full=full, seed=seed,
+        grid=None if sizes is None else {"size": tuple(sizes)},
+        configs={"ccsvm": ccsvm_config, "apu": apu_config, "cpu": apu_config})
 
 
 def run(sizes: Optional[Sequence[int]] = None,

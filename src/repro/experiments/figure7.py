@@ -5,6 +5,10 @@ and against the 4-thread pthreads version on the APU's CPU cores (there is
 no OpenCL version).  The point being demonstrated is that pointer-chasing,
 recursive code with frequent sequential/parallel phase toggling becomes
 profitable to offload once CPU-MTTOP communication is cheap.
+
+One comparison :class:`~repro.api.Scenario`: ``barnes_hut`` on ``cpu`` /
+``pthreads`` / ``ccsvm`` across a body-count grid with a fixed timestep
+count.
 """
 
 from __future__ import annotations
@@ -13,12 +17,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.harness.runner import SweepRunner
+    from repro.workloads.base import WorkloadResult
 
+from repro.api import Scenario
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
-from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
-from repro.workloads import barnes_hut
-from repro.workloads.base import require_verified
+from repro.harness.spec import SweepPoint, SweepSpec, register
 
 DEFAULT_BODY_COUNTS = (16, 32, 64)
 FULL_SWEEP_BODY_COUNTS = (16, 32, 64, 128, 256)
@@ -33,26 +37,31 @@ COLUMNS = (
 )
 
 
-def _point(bodies: int, timesteps: int, seed: int,
-           ccsvm_config: Optional[CCSVMSystemConfig],
-           apu_config: Optional[APUSystemConfig]) -> PointResult:
-    """Simulate all three systems at one body count and build its row."""
-    cpu = require_verified(barnes_hut.run_cpu(bodies, timesteps, seed=seed,
-                                              config=apu_config))
-    pthreads = require_verified(barnes_hut.run_pthreads(bodies, timesteps,
-                                                        seed=seed,
-                                                        config=apu_config))
-    ccsvm = require_verified(barnes_hut.run_ccsvm(bodies, timesteps, seed=seed,
-                                                  config=ccsvm_config))
-    row = {
-        "bodies": bodies,
+def derive_row(results: "Dict[str, WorkloadResult]",
+               params: Dict[str, object]) -> Dict[str, object]:
+    """Fold one body count's three system runs into its Figure 7 row."""
+    cpu, pthreads, ccsvm = (results["cpu"], results["pthreads"],
+                            results["ccsvm"])
+    return {
+        "bodies": params["bodies"],
         "cpu_ms": cpu.time_ms,
         "pthreads_ms": pthreads.time_ms,
         "ccsvm_xthreads_ms": ccsvm.time_ms,
         "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
         "speedup_vs_pthreads": pthreads.time_ps / ccsvm.time_ps,
     }
-    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+SCENARIO = Scenario(
+    name="figure7",
+    workload="barnes_hut",
+    systems=("cpu", "pthreads", "ccsvm"),
+    grid={"bodies": DEFAULT_BODY_COUNTS},
+    full_grid={"bodies": FULL_SWEEP_BODY_COUNTS},
+    params={"timesteps": 2},
+    seed=5,
+    derive="repro.experiments.figure7:derive_row",
+)
 
 
 def build_points(full: bool = False,
@@ -62,13 +71,11 @@ def build_points(full: bool = False,
                  apu_config: Optional[APUSystemConfig] = None,
                  seed: int = 5) -> List[SweepPoint]:
     """Expand the Figure 7 sweep into one point per body count."""
-    if body_counts is None:
-        body_counts = FULL_SWEEP_BODY_COUNTS if full else DEFAULT_BODY_COUNTS
-    return [SweepPoint(spec="figure7", point_id=f"bodies={bodies}", func=_point,
-                       kwargs={"bodies": bodies, "timesteps": timesteps,
-                               "seed": seed, "ccsvm_config": ccsvm_config,
-                               "apu_config": apu_config})
-            for bodies in body_counts]
+    return SCENARIO.points(
+        full=full, seed=seed, params={"timesteps": timesteps},
+        grid=None if body_counts is None else {"bodies": tuple(body_counts)},
+        configs={"ccsvm": ccsvm_config, "cpu": apu_config,
+                 "pthreads": apu_config})
 
 
 def run(body_counts: Optional[Sequence[int]] = None, timesteps: int = 2,

@@ -8,6 +8,10 @@ matrices get denser — so speedup falls with density.  At simulator-tractable
 sizes the absolute speedups are smaller than the paper's hardware-scale runs
 (see EXPERIMENTS.md), but both trends are reproduced: speedup grows with
 size at fixed density and falls as density rises at fixed size.
+
+Each panel is its own comparison :class:`~repro.api.Scenario` (same
+workload, same derive, different grid and output group); registering both
+under the one ``figure8`` sweep keeps the two-panel rendering.
 """
 
 from __future__ import annotations
@@ -16,12 +20,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.harness.runner import SweepRunner
+    from repro.workloads.base import WorkloadResult
 
+from repro.api import Scenario
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
-from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
-from repro.workloads import sparse_matmul
-from repro.workloads.base import require_verified
+from repro.harness.spec import SweepPoint, SweepSpec, register
 
 DEFAULT_SIZES = (16, 32, 48)
 FULL_SWEEP_SIZES = (16, 32, 48, 64, 96)
@@ -38,45 +42,41 @@ DENSITY_COLUMNS = ("density", "size", "cpu_ms", "ccsvm_xthreads_ms",
                    "mttop_mallocs", "speedup_vs_cpu")
 
 
-def _point(size: int, density: float, seed: int,
-           ccsvm_config: Optional[CCSVMSystemConfig],
-           apu_config: Optional[APUSystemConfig]) -> PointResult:
-    """Simulate one (size, density) cell on the CPU core and the CCSVM chip."""
-    cpu = require_verified(sparse_matmul.run_cpu(size, density, seed=seed,
-                                                 config=apu_config))
-    ccsvm = require_verified(sparse_matmul.run_ccsvm(size, density, seed=seed,
-                                                     config=ccsvm_config))
-    row = {
-        "size": size,
-        "density": density,
+def derive_row(results: "Dict[str, WorkloadResult]",
+               params: Dict[str, object]) -> Dict[str, object]:
+    """Fold one (size, density) cell's two system runs into its row."""
+    cpu, ccsvm = results["cpu"], results["ccsvm"]
+    return {
+        "size": params["size"],
+        "density": params["density"],
         "cpu_ms": cpu.time_ms,
         "ccsvm_xthreads_ms": ccsvm.time_ms,
         "mttop_mallocs": ccsvm.extra.get("mttop_mallocs", 0),
         "speedup_vs_cpu": cpu.time_ps / ccsvm.time_ps,
     }
-    return PointResult(rows=[row], stats=dict(ccsvm.counters))
 
 
-def _size_points(sizes: Sequence[int], density: float, seed: int,
-                 ccsvm_config: Optional[CCSVMSystemConfig],
-                 apu_config: Optional[APUSystemConfig]) -> List[SweepPoint]:
-    return [SweepPoint(spec="figure8", point_id=f"size={size},density={density}",
-                       func=_point, group="by_size",
-                       kwargs={"size": size, "density": density, "seed": seed,
-                               "ccsvm_config": ccsvm_config,
-                               "apu_config": apu_config})
-            for size in sizes]
+SIZE_SCENARIO = Scenario(
+    name="figure8",
+    workload="sparse_matmul",
+    systems=("cpu", "ccsvm"),
+    grid={"size": DEFAULT_SIZES, "density": (LEFT_PANEL_DENSITY,)},
+    full_grid={"size": FULL_SWEEP_SIZES},
+    seed=23,
+    derive="repro.experiments.figure8:derive_row",
+    group="by_size",
+)
 
-
-def _density_points(densities: Sequence[float], size: int, seed: int,
-                    ccsvm_config: Optional[CCSVMSystemConfig],
-                    apu_config: Optional[APUSystemConfig]) -> List[SweepPoint]:
-    return [SweepPoint(spec="figure8", point_id=f"density={density},size={size}",
-                       func=_point, group="by_density",
-                       kwargs={"size": size, "density": density, "seed": seed,
-                               "ccsvm_config": ccsvm_config,
-                               "apu_config": apu_config})
-            for density in densities]
+DENSITY_SCENARIO = Scenario(
+    name="figure8",
+    workload="sparse_matmul",
+    systems=("cpu", "ccsvm"),
+    grid={"density": DEFAULT_DENSITIES, "size": (RIGHT_PANEL_SIZE,)},
+    full_grid={"density": FULL_SWEEP_DENSITIES},
+    seed=23,
+    derive="repro.experiments.figure8:derive_row",
+    group="by_density",
+)
 
 
 def build_points(full: bool = False,
@@ -86,13 +86,14 @@ def build_points(full: bool = False,
                  apu_config: Optional[APUSystemConfig] = None,
                  seed: int = 23) -> List[SweepPoint]:
     """Expand both Figure 8 panels into one point per (size, density) cell."""
-    if sizes is None:
-        sizes = FULL_SWEEP_SIZES if full else DEFAULT_SIZES
-    if densities is None:
-        densities = FULL_SWEEP_DENSITIES if full else DEFAULT_DENSITIES
-    return (_size_points(sizes, LEFT_PANEL_DENSITY, seed, ccsvm_config, apu_config)
-            + _density_points(densities, RIGHT_PANEL_SIZE, seed,
-                              ccsvm_config, apu_config))
+    configs = {"ccsvm": ccsvm_config, "cpu": apu_config}
+    return (SIZE_SCENARIO.points(
+                full=full, seed=seed, configs=configs,
+                grid=None if sizes is None else {"size": tuple(sizes)})
+            + DENSITY_SCENARIO.points(
+                full=full, seed=seed, configs=configs,
+                grid=None if densities is None
+                else {"density": tuple(densities)}))
 
 
 def run_size_sweep(sizes: Optional[Sequence[int]] = None,
@@ -107,7 +108,9 @@ def run_size_sweep(sizes: Optional[Sequence[int]] = None,
     if sizes is None:
         sizes = FULL_SWEEP_SIZES if full_sweep_enabled() else DEFAULT_SIZES
     runner = runner if runner is not None else SweepRunner()
-    points = _size_points(sizes, density, seed, ccsvm_config, apu_config)
+    points = SIZE_SCENARIO.points(
+        seed=seed, grid={"size": tuple(sizes), "density": (density,)},
+        configs={"ccsvm": ccsvm_config, "cpu": apu_config})
     return runner.run_points(points, spec_name="figure8").result["by_size"]
 
 
@@ -123,7 +126,9 @@ def run_density_sweep(densities: Optional[Sequence[float]] = None,
     if densities is None:
         densities = FULL_SWEEP_DENSITIES if full_sweep_enabled() else DEFAULT_DENSITIES
     runner = runner if runner is not None else SweepRunner()
-    points = _density_points(densities, size, seed, ccsvm_config, apu_config)
+    points = DENSITY_SCENARIO.points(
+        seed=seed, grid={"density": tuple(densities), "size": (size,)},
+        configs={"ccsvm": ccsvm_config, "cpu": apu_config})
     return runner.run_points(points, spec_name="figure8").result["by_density"]
 
 

@@ -7,6 +7,9 @@ performs orders of magnitude more DRAM accesses than the CCSVM chip, whose
 communication stays on chip.  The AMD CPU core's accesses also grow quickly
 once the working set outgrows its caches.  The ratio between the APU and
 CCSVM stays roughly constant across sizes.
+
+The same comparison :class:`~repro.api.Scenario` shape as Figure 5, with a
+derive function reading the DRAM counters instead of the runtimes.
 """
 
 from __future__ import annotations
@@ -15,12 +18,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.harness.runner import SweepRunner
+    from repro.workloads.base import WorkloadResult
 
+from repro.api import Scenario
 from repro.config import APUSystemConfig, CCSVMSystemConfig
 from repro.experiments.report import full_sweep_enabled, render_table
-from repro.harness.spec import PointResult, SweepPoint, SweepSpec, register
-from repro.workloads import matmul
-from repro.workloads.base import require_verified
+from repro.harness.spec import SweepPoint, SweepSpec, register
 
 DEFAULT_SIZES = (8, 12, 16, 24, 32)
 FULL_SWEEP_SIZES = (8, 12, 16, 24, 32, 48, 64)
@@ -34,24 +37,30 @@ COLUMNS = (
 )
 
 
-def _point(size: int, seed: int,
-           ccsvm_config: Optional[CCSVMSystemConfig],
-           apu_config: Optional[APUSystemConfig]) -> PointResult:
-    """Simulate all three systems at one matrix size and count DRAM traffic."""
-    cpu = require_verified(matmul.run_cpu(size, seed=seed, config=apu_config))
-    apu = require_verified(matmul.run_opencl(size, seed=seed, config=apu_config))
-    ccsvm = require_verified(matmul.run_ccsvm(size, seed=seed,
-                                              config=ccsvm_config))
+def derive_row(results: "Dict[str, WorkloadResult]",
+               params: Dict[str, object]) -> Dict[str, object]:
+    """Fold one size's three system runs into its Figure 9 row."""
+    cpu, apu, ccsvm = results["cpu"], results["apu"], results["ccsvm"]
     ratio = (apu.dram_accesses / ccsvm.dram_accesses
              if ccsvm.dram_accesses else float("inf"))
-    row = {
-        "size": size,
+    return {
+        "size": params["size"],
         "cpu_dram_accesses": cpu.dram_accesses,
         "apu_opencl_dram_accesses": apu.dram_accesses,
         "ccsvm_xthreads_dram_accesses": ccsvm.dram_accesses,
         "apu_over_ccsvm": ratio,
     }
-    return PointResult(rows=[row], stats=dict(ccsvm.counters))
+
+
+SCENARIO = Scenario(
+    name="figure9",
+    workload="matmul",
+    systems=("cpu", "apu", "ccsvm"),
+    grid={"size": DEFAULT_SIZES},
+    full_grid={"size": FULL_SWEEP_SIZES},
+    seed=7,
+    derive="repro.experiments.figure9:derive_row",
+)
 
 
 def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
@@ -59,13 +68,10 @@ def build_points(full: bool = False, sizes: Optional[Sequence[int]] = None,
                  apu_config: Optional[APUSystemConfig] = None,
                  seed: int = 7) -> List[SweepPoint]:
     """Expand the Figure 9 sweep into one point per matrix size."""
-    if sizes is None:
-        sizes = FULL_SWEEP_SIZES if full else DEFAULT_SIZES
-    return [SweepPoint(spec="figure9", point_id=f"size={size}", func=_point,
-                       kwargs={"size": size, "seed": seed,
-                               "ccsvm_config": ccsvm_config,
-                               "apu_config": apu_config})
-            for size in sizes]
+    return SCENARIO.points(
+        full=full, seed=seed,
+        grid=None if sizes is None else {"size": tuple(sizes)},
+        configs={"ccsvm": ccsvm_config, "apu": apu_config, "cpu": apu_config})
 
 
 def run(sizes: Optional[Sequence[int]] = None,

@@ -81,7 +81,8 @@ def build_points(full: bool = False,
                  ccsvm: Optional[CCSVMSystemConfig] = None,
                  apu: Optional[APUSystemConfig] = None) -> List[SweepPoint]:
     """Table 2 is a single 'point' that emits every parameter row."""
-    return [SweepPoint(spec="table2", point_id="configs", func=rows,
+    return [SweepPoint(spec="table2", point_id="configs",
+                       func="repro.experiments.table2:rows",
                        kwargs={"ccsvm": ccsvm, "apu": apu})]
 
 

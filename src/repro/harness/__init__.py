@@ -23,6 +23,7 @@ from repro.harness.backends import (
     PointFailure,
     ProcessPoolBackend,
     SerialBackend,
+    WorkerRunStats,
     create_backend,
 )
 from repro.harness.runner import (
@@ -40,7 +41,9 @@ from repro.harness.spec import (
     execute_point,
     get_spec,
     load_builtin_specs,
+    point_func_ref,
     register,
+    resolve_point_func,
     spec_names,
 )
 from repro.harness.worker import default_worker_jobs, run_worker
@@ -57,6 +60,7 @@ __all__ = [
     "SweepPoint",
     "SweepRunner",
     "SweepSpec",
+    "WorkerRunStats",
     "cache_clear",
     "cache_info",
     "create_backend",
@@ -65,7 +69,9 @@ __all__ = [
     "execute_point",
     "get_spec",
     "load_builtin_specs",
+    "point_func_ref",
     "register",
+    "resolve_point_func",
     "run_worker",
     "spec_names",
 ]

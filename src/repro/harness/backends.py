@@ -36,6 +36,7 @@ import queue
 import socket
 import sys
 import threading
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
@@ -74,6 +75,30 @@ class PointFailure:
 
 
 BackendResult = Union[PointResult, PointFailure]
+
+
+@dataclass
+class WorkerRunStats:
+    """Coordinator-side throughput record of one worker connection's run.
+
+    ``busy_s`` sums the dispatch-to-result duration of every point the
+    connection completed (a multi-slot worker can accumulate more busy
+    task-seconds than wall-seconds); ``wall_s`` is how long the connection
+    served the run.  Exposed per run as
+    :attr:`DistributedBackend.last_run_worker_stats` and printed by the
+    CLI under ``--stats``.
+    """
+
+    worker: str
+    slots: int
+    points: int
+    busy_s: float
+    wall_s: float
+
+    @property
+    def points_per_s(self) -> float:
+        """Completed points per wall-clock second of connection service."""
+        return self.points / self.wall_s if self.wall_s > 0 else 0.0
 
 
 class ExecutionBackend:
@@ -180,6 +205,24 @@ def enable_keepalive(conn: socket.socket) -> None:
                           ("TCP_KEEPCNT", 3)):
         if hasattr(socket, option):  # platform-dependent
             conn.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+
+
+def _worker_label(conn: socket.socket, hello: "dict") -> str:
+    """A human-readable identity for one worker connection.
+
+    Combines the TCP peer address with the pid the worker's ``hello``
+    advertised, so two workers on the same host are distinguishable in the
+    ``--stats`` per-worker summary.
+    """
+    try:
+        host, port = conn.getpeername()[:2]
+        peer = f"{host}:{port}"
+    except OSError:
+        peer = "worker"
+    pid = hello.get("pid")
+    if isinstance(pid, int) and not isinstance(pid, bool):
+        return f"{peer} pid={pid}"
+    return peer
 
 
 class _RunState:
@@ -304,17 +347,24 @@ class _WorkerSession:
     """
 
     def __init__(self, backend: "DistributedBackend", conn: socket.socket,
-                 slots: int, state: _RunState) -> None:
+                 slots: int, state: _RunState, label: str = "worker") -> None:
         self.backend = backend
         self.conn = conn
         self.slots = slots
         self.state = state
+        self.label = label
         self.cv = threading.Condition()
         self.credits = slots
         self.inflight: "set[int]" = set()
         self.dead = False
         self.sender_done = False
         self._finished = False
+        # Throughput bookkeeping (guarded by cv): dispatch timestamps of
+        # in-flight tasks, completed-point count and summed task durations.
+        self._dispatched_at: "dict[int, float]" = {}
+        self._points_done = 0
+        self._busy_s = 0.0
+        self._started_at = time.monotonic()
         self._sender = threading.Thread(target=self._send_loop,
                                         name="repro-send", daemon=True)
         self._receiver = threading.Thread(target=self._recv_loop,
@@ -369,6 +419,7 @@ class _WorkerSession:
                     return
                 self.credits -= 1
                 self.inflight.add(index)
+                self._dispatched_at[index] = time.monotonic()
                 self.cv.notify_all()
             try:
                 send_frame(self.conn, frame)
@@ -410,6 +461,10 @@ class _WorkerSession:
                 if known:
                     self.inflight.discard(task_id)
                     self.credits += 1
+                    dispatched = self._dispatched_at.pop(task_id, None)
+                    if dispatched is not None:
+                        self._busy_s += time.monotonic() - dispatched
+                    self._points_done += 1
                     self.cv.notify_all()
             if not known:
                 continue  # duplicate or stale task_id; drop it
@@ -446,6 +501,7 @@ class _WorkerSession:
             pass
         for index in pending:
             self.state.requeue(index)
+        self.backend._record_worker_stats(self._snapshot_stats())
         self.state.worker_exited()
 
     def _park(self) -> None:
@@ -454,8 +510,16 @@ class _WorkerSession:
             if self._finished:
                 return
             self._finished = True
-        self.backend._park(self.conn, self.slots)
+        self.backend._record_worker_stats(self._snapshot_stats())
+        self.backend._park(self.conn, self.slots, self.label)
         self.state.worker_exited()
+
+    def _snapshot_stats(self) -> WorkerRunStats:
+        with self.cv:
+            return WorkerRunStats(
+                worker=self.label, slots=self.slots,
+                points=self._points_done, busy_s=self._busy_s,
+                wall_s=time.monotonic() - self._started_at)
 
 
 class DistributedBackend(ExecutionBackend):
@@ -504,9 +568,14 @@ class DistributedBackend(ExecutionBackend):
         self._closed = False
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
-        self._idle: List[Tuple[socket.socket, int]] = []  # (conn, slots)
+        # Idle pool entries: (conn, slots, label).
+        self._idle: List[Tuple[socket.socket, int, str]] = []
         self._run_state: Optional[_RunState] = None
         self.address: Optional[Tuple[str, int]] = None
+        self._worker_stats: List[WorkerRunStats] = []
+        #: Per-worker throughput of the most recent :meth:`run`, in
+        #: connection-finish order (see :class:`WorkerRunStats`).
+        self.last_run_worker_stats: List[WorkerRunStats] = []
 
     # ------------------------------------------------------------------ #
     # Connection management
@@ -565,6 +634,7 @@ class DistributedBackend(ExecutionBackend):
                 conn.close()
                 continue
             slots = hello_slots(hello)
+            label = _worker_label(conn, hello)
             with self._ready:
                 if self._closed:
                     # close() ran while this hello was being read; don't
@@ -573,14 +643,15 @@ class DistributedBackend(ExecutionBackend):
                     return
                 state = self._run_state
                 if state is None:
-                    self._idle.append((conn, slots))
+                    self._idle.append((conn, slots, label))
                     self._ready.notify_all()
             if state is not None:
                 # A worker joining mid-run (a late start, or a replacement
                 # for one that died) is put to work immediately.
-                self._start_session(conn, slots, state, admitted=False)
+                self._start_session(conn, slots, state, admitted=False,
+                                    label=label)
 
-    def _wait_for_workers(self) -> List[Tuple[socket.socket, int]]:
+    def _wait_for_workers(self) -> List[Tuple[socket.socket, int, str]]:
         with self._ready:
             if not self._ready.wait_for(
                     lambda: len(self._idle) >= self.min_workers,
@@ -610,38 +681,46 @@ class DistributedBackend(ExecutionBackend):
             self._run_state = state
             workers += self._idle
             self._idle = []
+            self._worker_stats = []
         # Admit the whole initial batch before any session thread runs, so
         # one worker dying instantly cannot orphan the run while the rest
         # still await admission (see _RunState.admit_batch).
         state.admit_batch(len(workers))
-        for conn, slots in workers:
-            self._start_session(conn, slots, state, admitted=True)
+        for conn, slots, label in workers:
+            self._start_session(conn, slots, state, admitted=True, label=label)
         try:
             state.done.wait()
         finally:
             with self._ready:
                 self._run_state = None
         state.join_sessions()
+        with self._ready:
+            self.last_run_worker_stats = list(self._worker_stats)
         assert all(result is not None for result in state.results)
         return list(state.results)  # type: ignore[arg-type]
 
     def _start_session(self, conn: socket.socket, slots: int,
-                       state: _RunState,
-                       admitted: bool) -> Optional[_WorkerSession]:
+                       state: _RunState, admitted: bool,
+                       label: str = "worker") -> Optional[_WorkerSession]:
         """Serve ``conn`` within the run, or re-idle it if the run drained."""
-        session = _WorkerSession(self, conn, slots, state)
+        session = _WorkerSession(self, conn, slots, state, label=label)
         if not state.register(session, admitted=admitted):
-            self._park(conn, slots)
+            self._park(conn, slots, label)
             return None
         session.start()
         return session
 
-    def _park(self, conn: socket.socket, slots: int) -> None:
+    def _record_worker_stats(self, stats: WorkerRunStats) -> None:
+        with self._ready:
+            self._worker_stats.append(stats)
+
+    def _park(self, conn: socket.socket, slots: int,
+              label: str = "worker") -> None:
         """Return a healthy connection to the idle pool for the next run."""
         with self._ready:
             closed = self._closed
             if not closed:
-                self._idle.append((conn, slots))
+                self._idle.append((conn, slots, label))
                 self._ready.notify_all()
         if closed:
             # close() already drained the idle pool; shut this worker down
@@ -667,7 +746,7 @@ class DistributedBackend(ExecutionBackend):
         with self._ready:
             self._closed = True
             idle, self._idle = self._idle, []
-        for conn, _slots in idle:
+        for conn, _slots, _label in idle:
             try:
                 send_frame(conn, {"type": "shutdown"})
             except OSError:

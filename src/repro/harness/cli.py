@@ -1,12 +1,22 @@
-"""``python -m repro`` — run the paper's sweeps from the command line.
+"""``python -m repro`` — run the paper's sweeps (and your own) from the shell.
 
 Examples::
 
     python -m repro list
+    python -m repro list --json
     python -m repro run figure5
     python -m repro run figure5 --full --jobs 4
     python -m repro run all --backend process --workers 8 --no-cache
     python -m repro run figure9 --csv --out figure9.csv
+
+    # ad-hoc scenarios, no source edits: any registered workload x any
+    # system presets x any parameter grid, with dotted-path config
+    # overrides — executed through the same cache and backends
+    python -m repro sweep matmul --system cpu,ccsvm --grid size=8,16
+    python -m repro sweep matmul --system cpu,ccsvm --grid size=8,16 \
+        --set mttop.count=4 --backend process --workers 4
+    python -m repro sweep barnes_hut --system ccsvm --grid bodies=16,32 \
+        --param timesteps=1 --set "l2.total_size_bytes=8MiB"
 
     # distributed: one coordinator, any number of workers (any order);
     # each worker runs up to --jobs points at once on a local process pool
@@ -31,12 +41,14 @@ inspect or prune with ``repro cache``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.report import full_sweep_enabled, rows_to_csv
+from repro.errors import ReproError
+from repro.experiments.report import full_sweep_enabled
 from repro.harness.backends import (
     BACKEND_ENV,
     BACKEND_NAMES,
@@ -53,48 +65,111 @@ from repro.harness.spec import HarnessError, get_spec, spec_names
 from repro.harness.worker import run_worker
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker/job counts: an integer >= 1.
+
+    Validating at parse time gives bad values a clean usage error *before*
+    any backend is constructed, matching the ``ValueError`` the backend
+    constructors and :func:`~repro.harness.backends.create_backend` raise
+    for programmatic misuse.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """Backend/cache/output options shared by ``run`` and ``sweep``."""
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default=os.environ.get(BACKEND_ENV),
+                        help="execution backend (default: $REPRO_BACKEND, else "
+                             "'process' when --jobs/--workers > 1, else "
+                             "'serial')")
+    parser.add_argument("--workers", "-w", type=_positive_int, default=None,
+                        help="process backend: pool size; distributed backend: "
+                             "worker connections to wait for (default: --jobs)")
+    parser.add_argument("--jobs", "-j", type=_positive_int,
+                        default=int(os.environ.get("REPRO_JOBS", "1")),
+                        help="worker processes per sweep "
+                             "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--bind", default=None,
+                        help=f"distributed backend: HOST:PORT to listen on "
+                             f"(default: $REPRO_BIND or {default_bind()!r})")
+    parser.add_argument("--start-timeout", type=float, default=60.0,
+                        help="distributed backend: seconds to wait for workers "
+                             "(default: 60)")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"per-point result cache directory "
+                             f"(default: $REPRO_CACHE_DIR or "
+                             f"{default_cache_dir()!r})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point; do not read or write "
+                             "the cache")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of the rendered table")
+    parser.add_argument("--out", default=None,
+                        help="also write the output to this file")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the merged stats counters (and, on the "
+                             "distributed backend, a per-worker throughput "
+                             "summary) after each sweep")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the figures and tables of Hechtman & Sorin "
-                    "(ISPASS 2013) via the parallel sweep harness.")
+                    "(ISPASS 2013) via the parallel sweep harness, or run "
+                    "ad-hoc workload x system scenarios with 'repro sweep'.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the registered sweeps")
+    listing = sub.add_parser(
+        "list", help="list the registered sweeps, workloads and systems")
+    listing.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON object instead "
+                              "of the plain text listing")
 
-    run = sub.add_parser("run", help="run one or more sweeps")
+    run = sub.add_parser("run", help="run one or more registered sweeps")
     run.add_argument("sweeps", nargs="+",
                      help="sweep names (see 'repro list'), or 'all'")
     run.add_argument("--full", action="store_true",
                      help="use the larger sweep grids "
                           "(default honours REPRO_FULL_SWEEP)")
-    run.add_argument("--backend", choices=BACKEND_NAMES,
-                     default=os.environ.get(BACKEND_ENV),
-                     help="execution backend (default: $REPRO_BACKEND, else "
-                          "'process' when --jobs/--workers > 1, else 'serial')")
-    run.add_argument("--workers", "-w", type=int, default=None,
-                     help="process backend: pool size; distributed backend: "
-                          "worker connections to wait for (default: --jobs)")
-    run.add_argument("--jobs", "-j", type=int,
-                     default=int(os.environ.get("REPRO_JOBS", "1")),
-                     help="worker processes per sweep (default: $REPRO_JOBS or 1)")
-    run.add_argument("--bind", default=None,
-                     help=f"distributed backend: HOST:PORT to listen on "
-                          f"(default: $REPRO_BIND or {default_bind()!r})")
-    run.add_argument("--start-timeout", type=float, default=60.0,
-                     help="distributed backend: seconds to wait for workers "
-                          "(default: 60)")
-    run.add_argument("--cache-dir", default=None,
-                     help=f"per-point result cache directory "
-                          f"(default: $REPRO_CACHE_DIR or {default_cache_dir()!r})")
-    run.add_argument("--no-cache", action="store_true",
-                     help="recompute every point; do not read or write the cache")
-    run.add_argument("--csv", action="store_true",
-                     help="emit CSV instead of the rendered table")
-    run.add_argument("--out", default=None,
-                     help="also write the output to this file")
-    run.add_argument("--stats", action="store_true",
-                     help="print the merged stats counters after each sweep")
+    _add_execution_options(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ad-hoc workload x system x grid scenario")
+    sweep.add_argument("workload",
+                       help="registered workload name (see 'repro list')")
+    sweep.add_argument("--system", "-s", default="cpu",
+                       help="comma-separated system presets "
+                            "(default: cpu; see 'repro list')")
+    sweep.add_argument("--grid", "-g", action="append", default=[],
+                       metavar="PARAM=V1,V2,...",
+                       help="sweep axis; repeatable, swept as a cartesian "
+                            "product in the given order")
+    sweep.add_argument("--param", "-p", action="append", default=[],
+                       metavar="PARAM=VALUE",
+                       help="fixed workload parameter applied to every point; "
+                            "repeatable")
+    sweep.add_argument("--set", action="append", default=[], dest="overrides",
+                       metavar="PATH=VALUE",
+                       help="dotted-path configuration override, e.g. "
+                            "mttop.count=4 or l2.total_size_bytes=8MiB; "
+                            "repeatable, applied to every system whose "
+                            "configuration has the path")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="workload input seed (default: each workload's "
+                            "own default)")
+    sweep.add_argument("--name", default=None,
+                       help="scenario name, used for the cache subdirectory "
+                            "(default: sweep-<workload>)")
+    _add_execution_options(sweep)
 
     worker = sub.add_parser(
         "worker", help="serve sweep points to a distributed coordinator")
@@ -104,7 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--retry", type=float, default=30.0, metavar="SECONDS",
                         help="keep retrying the connection this long while "
                              "the coordinator comes up (default: 30)")
-    worker.add_argument("--jobs", "-j", type=int, default=None,
+    worker.add_argument("--jobs", "-j", type=_positive_int, default=None,
                         help="points this worker executes concurrently "
                              "(default: $REPRO_WORKER_JOBS, else the CPU "
                              "count); >1 runs points on a local process pool")
@@ -120,16 +195,57 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _emit_csv(result: object) -> str:
-    if isinstance(result, list):
-        return rows_to_csv(result)
-    parts = []
-    for group, rows in result.items():
-        parts.append(f"# {group}")
-        parts.append(rows_to_csv(rows))
-    return "\n".join(parts)
+# --------------------------------------------------------------------------- #
+# list
+# --------------------------------------------------------------------------- #
+def _spec_point_counts(name: str) -> "tuple[int, int]":
+    spec = get_spec(name)
+    return len(spec.build_points(full=False)), len(spec.build_points(full=True))
 
 
+def _list(args: argparse.Namespace) -> int:
+    from repro.systems import get_system, system_names
+    from repro.workloads.registry import variants_for, workload_names
+
+    names = spec_names()
+    if args.json:
+        counts = {name: _spec_point_counts(name) for name in names}
+        payload = {
+            "sweeps": [
+                {"name": name, "title": get_spec(name).title,
+                 "points": counts[name][0],
+                 "points_full": counts[name][1]}
+                for name in names],
+            "workloads": [
+                {"name": workload,
+                 "systems": sorted(variants_for(workload))}
+                for workload in workload_names()],
+            "systems": [
+                {"name": name, "variant": get_system(name).variant,
+                 "description": get_system(name).description}
+                for name in system_names()],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("sweeps:")
+    for name in names:
+        points, points_full = _spec_point_counts(name)
+        print(f"  {name:12s}  {points:3d} points ({points_full} with --full)  "
+              f"{get_spec(name).title}")
+    print("workloads (for 'repro sweep'):")
+    for workload in workload_names():
+        print(f"  {workload:14s}  systems: "
+              f"{', '.join(sorted(variants_for(workload)))}")
+    print("systems:")
+    for name in system_names():
+        preset = get_system(name)
+        print(f"  {name:12s}  {preset.description}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# run / sweep
+# --------------------------------------------------------------------------- #
 def _make_backend(args: argparse.Namespace):
     workers = args.workers if args.workers is not None else args.jobs
     if workers < 1:
@@ -140,7 +256,47 @@ def _make_backend(args: argparse.Namespace):
                           start_timeout=args.start_timeout), name
 
 
+def _reset_worker_stats(backend) -> None:
+    """Clear a distributed backend's per-worker stats before a sweep.
+
+    A sweep served entirely from the disk cache never calls
+    ``backend.run()``, which is what reassigns ``last_run_worker_stats`` —
+    without this reset, ``--stats`` would attribute the *previous* sweep's
+    worker throughput to the cached one.
+    """
+    if hasattr(backend, "last_run_worker_stats"):
+        backend.last_run_worker_stats = []
+
+
+def _print_run_stats(outcome, backend) -> None:
+    print(outcome.stats.render())
+    worker_stats = getattr(backend, "last_run_worker_stats", None)
+    if worker_stats:
+        print("per-worker throughput:")
+        for entry in worker_stats:
+            print(f"  {entry.worker} ({entry.slots} slot(s)): "
+                  f"{entry.points} points in {entry.wall_s:.1f}s wall "
+                  f"({entry.points_per_s:.2f} points/s, "
+                  f"{entry.busy_s:.1f}s busy)")
+
+
+def _emit(args: argparse.Namespace, results, render) -> str:
+    """Render one sweep's ResultSet as a table or CSV, per the flags."""
+    if args.csv:
+        return results.to_csv(formatted=True)
+    return render()
+
+
+def _finish_outputs(args: argparse.Namespace, outputs: List[str]) -> int:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
 def _run(args: argparse.Namespace) -> int:
+    from repro.api import ResultSet
+
     names = list(args.sweeps)
     if names == ["all"]:
         names = spec_names()
@@ -154,10 +310,11 @@ def _run(args: argparse.Namespace) -> int:
         for name in names:
             spec = get_spec(name)
             started = time.monotonic()
+            _reset_worker_stats(backend)
             outcome = runner.run_spec(spec, full=full)
             elapsed = time.monotonic() - started
-            text = _emit_csv(outcome.result) if args.csv \
-                else spec.render(outcome.result)
+            results = ResultSet.from_outcome(outcome)
+            text = _emit(args, results, lambda: spec.render(outcome.result))
             outputs.append(text)
             print(text)
             fresh = outcome.points_total - outcome.points_from_cache
@@ -166,15 +323,80 @@ def _run(args: argparse.Namespace) -> int:
                   f"in {elapsed:.1f}s on the {backend_name} backend",
                   file=sys.stderr)
             if args.stats:
-                print(outcome.stats.render())
+                _print_run_stats(outcome, backend)
             print()
 
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write("\n\n".join(outputs) + "\n")
-    return 0
+    return _finish_outputs(args, outputs)
 
 
+def _parse_pairs(pairs: List[str], flag: str, *,
+                 split_values: bool) -> Dict[str, object]:
+    # The same scalar rules ResultSet.from_csv uses, so a value typed on
+    # the command line and one round-tripped through CSV parse identically.
+    from repro.api import parse_scalar
+
+    parsed: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise HarnessError(
+                f"{flag} expects KEY=VALUE, got {pair!r}")
+        if split_values:
+            parsed[key] = tuple(parse_scalar(part)
+                                for part in value.split(",") if part != "")
+        else:
+            parsed[key] = parse_scalar(value)
+    return parsed
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.api import ResultSet, Scenario
+
+    systems = tuple(name for name in args.system.split(",") if name)
+    grid = _parse_pairs(args.grid, "--grid", split_values=True)
+    params = _parse_pairs(args.param, "--param", split_values=False)
+    # Override values stay as strings; apply_overrides coerces them to the
+    # target field's type (so 8MiB, 0.5, true all work).
+    overrides: Dict[str, object] = {}
+    for pair in args.overrides:
+        path, sep, value = pair.partition("=")
+        if not sep or not path:
+            raise HarnessError(f"--set expects PATH=VALUE, got {pair!r}")
+        overrides[path] = value
+
+    scenario = Scenario(workload=args.workload, systems=systems, grid=grid,
+                        params=params, overrides=overrides, seed=args.seed,
+                        name=args.name)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    backend, backend_name = _make_backend(args)
+
+    with backend:
+        runner = SweepRunner(cache_dir=cache_dir, backend=backend)
+        started = time.monotonic()
+        _reset_worker_stats(backend)
+        outcome = runner.run_points(scenario.points(),
+                                    spec_name=scenario.name)
+        elapsed = time.monotonic() - started
+        results = ResultSet.from_outcome(outcome)
+        title = (f"{args.workload} on {', '.join(systems)}"
+                 + (f" [{', '.join(f'{k}={v}' for k, v in overrides.items())}]"
+                    if overrides else ""))
+        text = _emit(args, results, lambda: results.render(title=title))
+        print(text)
+        fresh = outcome.points_total - outcome.points_from_cache
+        print(f"[{scenario.name}] {outcome.points_total} points "
+              f"({fresh} simulated, {outcome.points_from_cache} cached) "
+              f"in {elapsed:.1f}s on the {backend_name} backend",
+              file=sys.stderr)
+        if args.stats:
+            _print_run_stats(outcome, backend)
+
+    return _finish_outputs(args, [text])
+
+
+# --------------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------------- #
 def _cache(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or default_cache_dir()
     infos = cache_info(cache_dir)
@@ -206,21 +428,29 @@ def _cache(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``repro`` console script)."""
-    args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        for name in spec_names():
-            print(f"{name:12s}  {get_spec(name).title}")
-        return 0
     try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exit_request:
+        # argparse already printed the usage error (or help); fold its exit
+        # code into the return-code contract this function has with tests
+        # and the console script.
+        code = exit_request.code
+        return code if isinstance(code, int) else 2
+    try:
+        if args.command == "list":
+            return _list(args)
         if args.command == "worker":
             return run_worker(args.connect, retry_seconds=args.retry,
                               jobs=args.jobs)
         if args.command == "cache":
             return _cache(args)
+        if args.command == "sweep":
+            return _sweep(args)
         return _run(args)
-    except (HarnessError, ValueError, OSError) as error:
+    except (ReproError, ValueError, OSError) as error:
         # OSError covers ConnectionError plus socket setup failures such as
-        # an already-bound coordinator port.
+        # an already-bound coordinator port; ReproError covers the harness
+        # plus the scenario / registry / override errors of repro.api.
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

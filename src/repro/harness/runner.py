@@ -38,6 +38,7 @@ from repro.harness.spec import (
     SweepPoint,
     SweepSpec,
     default_combine,
+    point_func_ref,
 )
 from repro.sim.stats import StatsRegistry
 
@@ -87,7 +88,9 @@ def canonical_repr(value: object) -> str:
 def point_cache_key(point: SweepPoint) -> str:
     """A stable hash of everything that determines a point's result.
 
-    The key covers the spec name, the point function's identity and the
+    The key covers the spec name, the point function's ``module:qualname``
+    *reference* (:func:`~repro.harness.spec.point_func_ref` — identical
+    whether the point carries the name or the callable) and the
     :func:`canonical_repr` of its keyword arguments, so any parameter
     change (sizes, cache geometry, seeds, ...) changes the key while equal
     configurations hash identically in every process — even for kwargs
@@ -96,12 +99,11 @@ def point_cache_key(point: SweepPoint) -> str:
     """
     from repro import __version__
 
-    func = point.func
     payload = "\x1f".join((
         __version__,
         point.spec,
         point.point_id,
-        f"{func.__module__}.{getattr(func, '__qualname__', func.__name__)}",
+        point_func_ref(point),
         canonical_repr(point.kwargs),
     ))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -224,7 +226,7 @@ class SweepRunner:
         if path is None or not os.path.exists(path):
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
             rows = payload["rows"]
             stats = payload.get("stats", {})

@@ -24,8 +24,9 @@ Registering a new experiment is ~10 lines::
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import ReproError
 
@@ -51,17 +52,58 @@ class PointResult:
 class SweepPoint:
     """One independent unit of work within a sweep.
 
-    ``func`` must be a module-level callable (so it pickles across process
-    boundaries) and ``kwargs`` must be picklable.  ``group`` names the output
-    panel the point's rows belong to; single-table sweeps leave it at
-    ``"rows"``.
+    ``func`` is either a ``"module:qualname"`` *reference string* naming a
+    module-level callable — the preferred form: the point then contains no
+    function object at all, so it travels over the distributed wire
+    protocol as plain data and its cache key cannot be perturbed by
+    function identity — or the callable itself (which must still be
+    module-level so it pickles across process boundaries).  ``kwargs``
+    must be picklable.  ``group`` names the output panel the point's rows
+    belong to; single-table sweeps leave it at ``"rows"``.
     """
 
     spec: str
     point_id: str
-    func: Callable[..., object]
+    func: Union[str, Callable[..., object]]
     kwargs: Dict[str, object]
     group: str = "rows"
+
+
+def point_func_ref(point: SweepPoint) -> str:
+    """The stable ``module:qualname`` reference of a point's function.
+
+    This string — not the function object — is what cache keys and error
+    messages use, so a by-name point and a by-callable point referring to
+    the same function are interchangeable.
+    """
+    func = point.func
+    if isinstance(func, str):
+        return func
+    return f"{func.__module__}:{getattr(func, '__qualname__', func.__name__)}"
+
+
+def resolve_point_func(func: Union[str, Callable[..., object]]
+                       ) -> Callable[..., object]:
+    """Turn a point's ``func`` into a callable, importing by reference."""
+    if not isinstance(func, str):
+        return func
+    module_name, sep, qualname = func.partition(":")
+    if not sep or not module_name or not qualname:
+        raise HarnessError(
+            f"point function reference {func!r} is not of the form "
+            "'module:qualname'")
+    try:
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError) as error:
+        raise HarnessError(
+            f"cannot resolve point function {func!r}: {error}") from error
+    if not callable(target):
+        raise HarnessError(
+            f"point function reference {func!r} resolved to a "
+            f"non-callable {type(target).__name__}")
+    return target
 
 
 @dataclass(frozen=True)
@@ -82,7 +124,7 @@ class SweepSpec:
 
 def execute_point(point: SweepPoint) -> PointResult:
     """Run one sweep point in the current process and normalise its result."""
-    produced = point.func(**point.kwargs)
+    produced = resolve_point_func(point.func)(**point.kwargs)
     if isinstance(produced, PointResult):
         return produced
     if isinstance(produced, dict):

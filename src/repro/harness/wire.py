@@ -4,9 +4,14 @@ Messages are *length-prefixed JSON frames*: a 4-byte big-endian payload
 length followed by a UTF-8 JSON object.  Framing keeps the protocol
 stream-safe over TCP; JSON keeps it debuggable (``tcpdump`` shows readable
 frames).  Sweep points themselves carry arbitrary picklable kwargs
-(configuration dataclasses, seeds, ...), so a point travels inside the JSON
-frame as a base64-encoded pickle — the same picklability contract the
-``multiprocessing`` backend already imposes.
+(seeds, parameter dicts, ...), so a point travels inside the JSON frame as
+a base64-encoded pickle — the same picklability contract the
+``multiprocessing`` backend already imposes.  Since the ``repro.api``
+port, every built-in sweep's points reference their function by
+``"module:qualname"`` string and name systems/workloads by registry key,
+so the pickled payload is plain data: no function objects (and, unless a
+test passes an explicit config, no configuration dataclasses) cross the
+wire, and workers resolve the names by import on their side.
 
 Frame types:
 

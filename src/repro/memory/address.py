@@ -84,8 +84,7 @@ def lines_in_range(start: int, length: int, line_size: int = CACHE_LINE_SIZE) ->
         return
     first = line_address(start, line_size)
     last = line_address(start + length - 1, line_size)
-    for base in range(first, last + 1, line_size):
-        yield base
+    yield from range(first, last + 1, line_size)
 
 
 def words_in_range(start: int, length: int, word_size: int = WORD_SIZE) -> Iterator[int]:
@@ -94,5 +93,4 @@ def words_in_range(start: int, length: int, word_size: int = WORD_SIZE) -> Itera
         return
     first = align_down(start, word_size)
     last = align_down(start + length - 1, word_size)
-    for base in range(first, last + 1, word_size):
-        yield base
+    yield from range(first, last + 1, word_size)

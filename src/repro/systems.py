@@ -1,0 +1,132 @@
+"""Named system presets for the scenario API.
+
+A *system preset* bundles everything a sweep point needs to run a workload
+on one of the paper's systems: a name (`ccsvm`, `apu`, `cpu`, ...), the
+workload-variant key it selects in :mod:`repro.workloads.registry`, and a
+factory for the configuration dataclass.  Presets make systems addressable
+by picklable strings, so scenario points travel over the distributed wire
+protocol as names, and dotted-path overrides
+(:func:`repro.config.apply_overrides`) can rescale any preset without a
+new function: ``system_config("ccsvm", {"mttop.count": 20})``.
+
+Built-in presets:
+
+============== ========== ==================================================
+``cpu``         ``cpu``      one AMD APU CPU core, sequential (the paper's
+                             normalisation baseline)
+``pthreads``    ``pthreads`` the APU's four CPU cores under pthreads
+``apu``         ``apu``      the APU's GPU through the OpenCL runtime model
+``ccsvm``       ``ccsvm``    the simulated CCSVM chip of Table 2
+``ccsvm-small`` ``ccsvm``    the scaled-down CCSVM chip unit tests use
+``ccsvm-tiny``  ``ccsvm``    CCSVM with deliberately tiny caches
+============== ========== ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.config import (
+    amd_apu_system,
+    apply_overrides,
+    ccsvm_system,
+    override_applies,
+    small_ccsvm_system,
+    tiny_caches_ccsvm_system,
+)
+from repro.errors import ReproError
+
+
+class SystemRegistryError(ReproError):
+    """A system preset lookup or registration was invalid."""
+
+
+@dataclass(frozen=True)
+class SystemPreset:
+    """One named system configuration.
+
+    ``variant`` is the workload-variant key the preset selects
+    (``cpu`` / ``apu`` / ``ccsvm`` / ``pthreads``); ``factory`` builds the
+    configuration dataclass the variant receives.
+    """
+
+    name: str
+    variant: str
+    factory: Callable[[], object]
+    description: str = ""
+
+
+_SYSTEMS: Dict[str, SystemPreset] = {}
+
+
+def register_system(preset: SystemPreset) -> SystemPreset:
+    """Add ``preset`` to the registry (idempotent per name) and return it."""
+    existing = _SYSTEMS.get(preset.name)
+    if existing is not None and existing != preset:
+        raise SystemRegistryError(
+            f"system preset {preset.name!r} registered twice")
+    _SYSTEMS[preset.name] = preset
+    return preset
+
+
+def get_system(name: str) -> SystemPreset:
+    """Look up a system preset by name."""
+    try:
+        return _SYSTEMS[name]
+    except KeyError:
+        known = ", ".join(system_names()) or "(none)"
+        raise SystemRegistryError(
+            f"no system preset named {name!r}; known systems: {known}"
+        ) from None
+
+
+def system_names() -> List[str]:
+    """Names of every registered system preset, sorted."""
+    return sorted(_SYSTEMS)
+
+
+def system_config(name: str, overrides: Optional[Mapping[str, object]] = None):
+    """Build the preset's configuration, with the *applicable* overrides.
+
+    Scenario overrides are shared across heterogeneous systems, so a path
+    that does not fully resolve on this preset's configuration (e.g.
+    ``mttop.count`` on the APU, or ``cpu.l1_hit_cycles`` on the APU whose
+    ``cpu`` section has different timing fields) is skipped here;
+    :mod:`repro.api` verifies that every override applies to at least one
+    selected system.
+    """
+    config = get_system(name).factory()
+    if overrides:
+        applicable = {path: value for path, value in overrides.items()
+                      if override_applies(config, path)}
+        if applicable:
+            config = apply_overrides(config, applicable)
+    return config
+
+
+def overrides_applicable(name: str,
+                         overrides: Mapping[str, object]) -> List[str]:
+    """The override paths that fully resolve on preset ``name``'s config."""
+    config = get_system(name).factory()
+    return [path for path in overrides if override_applies(config, path)]
+
+
+register_system(SystemPreset(
+    name="cpu", variant="cpu", factory=amd_apu_system,
+    description="one AMD APU CPU core, sequential (normalisation baseline)"))
+register_system(SystemPreset(
+    name="pthreads", variant="pthreads", factory=amd_apu_system,
+    description="the APU's four CPU cores under pthreads"))
+register_system(SystemPreset(
+    name="apu", variant="apu", factory=amd_apu_system,
+    description="the APU's Radeon GPU through the OpenCL runtime model"))
+register_system(SystemPreset(
+    name="ccsvm", variant="ccsvm", factory=ccsvm_system,
+    description="the simulated CCSVM chip exactly as in Table 2"))
+register_system(SystemPreset(
+    name="ccsvm-small", variant="ccsvm", factory=small_ccsvm_system,
+    description="scaled-down CCSVM chip (fast; the unit-test preset)"))
+register_system(SystemPreset(
+    name="ccsvm-tiny", variant="ccsvm", factory=tiny_caches_ccsvm_system,
+    description="CCSVM with deliberately tiny caches (forces evictions)"))

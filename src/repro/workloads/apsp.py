@@ -31,6 +31,7 @@ from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import weighted_digraph
+from repro.workloads.registry import register_variant
 
 WORKLOAD = "apsp"
 
@@ -173,3 +174,27 @@ def run_cpu(size: int = 16, seed: int = 11,
                           time_ps=run.time_ps,
                           dram_accesses=apu.dram_accesses,
                           verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Registry variants — uniform signature run(config, *, seed, **params)
+# --------------------------------------------------------------------------- #
+@register_variant(WORKLOAD, "cpu",
+                  description="sequential Floyd-Warshall on one APU CPU core")
+def cpu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 11,
+                size: int = 16) -> WorkloadResult:
+    return run_cpu(size=size, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "apu",
+                  description="one OpenCL launch per pivot iteration")
+def apu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 11,
+                size: int = 16) -> WorkloadResult:
+    return run_opencl(size=size, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "ccsvm",
+                  description="resident xthreads with coherent-memory barriers")
+def ccsvm_variant(config: Optional[CCSVMSystemConfig] = None, *, seed: int = 11,
+                  size: int = 16) -> WorkloadResult:
+    return run_ccsvm(size=size, seed=seed, config=config)

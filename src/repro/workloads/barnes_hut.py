@@ -30,6 +30,7 @@ from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
 from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import Body, nbody_bodies
+from repro.workloads.registry import register_variant
 
 WORKLOAD = "barnes_hut"
 
@@ -452,3 +453,32 @@ def run_pthreads(bodies_count: int = 64, timesteps: int = 2, seed: int = 5,
                           time_ps=machine.total_time_ps,
                           dram_accesses=apu.dram_accesses,
                           verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Registry variants — uniform signature run(config, *, seed, **params)
+# --------------------------------------------------------------------------- #
+@register_variant(WORKLOAD, "cpu",
+                  description="sequential tree build + force phase on one "
+                              "APU CPU core")
+def cpu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 5,
+                bodies: int = 64, timesteps: int = 2) -> WorkloadResult:
+    return run_cpu(bodies_count=bodies, timesteps=timesteps, seed=seed,
+                   config=config)
+
+
+@register_variant(WORKLOAD, "pthreads",
+                  description="force phase across the APU's four CPU cores")
+def pthreads_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 5,
+                     bodies: int = 64, timesteps: int = 2) -> WorkloadResult:
+    return run_pthreads(bodies_count=bodies, timesteps=timesteps, seed=seed,
+                        config=config)
+
+
+@register_variant(WORKLOAD, "ccsvm",
+                  description="xthreads force phase on the CCSVM chip "
+                              "(no OpenCL version, as in the paper)")
+def ccsvm_variant(config: Optional[CCSVMSystemConfig] = None, *, seed: int = 5,
+                  bodies: int = 64, timesteps: int = 2) -> WorkloadResult:
+    return run_ccsvm(bodies_count=bodies, timesteps=timesteps, seed=seed,
+                     config=config)

@@ -28,6 +28,7 @@ from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import dense_matrix
+from repro.workloads.registry import register_variant
 
 WORKLOAD = "matmul"
 
@@ -170,3 +171,30 @@ def run_cpu(size: int = 16, seed: int = 7,
                           time_ps=run.time_ps,
                           dram_accesses=apu.dram_accesses,
                           verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Registry variants — uniform signature run(config, *, seed, **params)
+# --------------------------------------------------------------------------- #
+@register_variant(WORKLOAD, "cpu",
+                  description="sequential triple loop on one APU CPU core")
+def cpu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 7,
+                size: int = 16) -> WorkloadResult:
+    return run_cpu(size=size, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "apu",
+                  description="OpenCL kernel on the APU GPU, one work item "
+                              "per output element")
+def apu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 7,
+                size: int = 16) -> WorkloadResult:
+    return run_opencl(size=size, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "ccsvm",
+                  description="xthreads on the CCSVM chip, cyclic element "
+                              "distribution")
+def ccsvm_variant(config: Optional[CCSVMSystemConfig] = None, *, seed: int = 7,
+                  size: int = 16,
+                  threads: Optional[int] = None) -> WorkloadResult:
+    return run_ccsvm(size=size, seed=seed, config=config, threads=threads)

@@ -1,0 +1,127 @@
+"""Registry of workload variants, keyed ``(workload, system)``.
+
+Historically every workload module exposed its systems through an implicit
+naming convention — ``run_cpu`` / ``run_opencl`` / ``run_ccsvm`` — and each
+experiment hand-wired calls to those functions.  The registry replaces the
+convention with an explicit contract: each workload registers one
+*variant* per system it can run on, and every variant shares the uniform
+signature::
+
+    run(config, *, seed, **params) -> WorkloadResult
+
+``config`` is the system configuration dataclass (``None`` selects the
+system's registered preset), ``seed`` feeds the workload's input
+generators, and ``params`` are the workload's own knobs (``size``,
+``density``, ``bodies``, ...).  Because a variant is addressed by two
+plain strings, sweep points can reference work by name — picklable,
+diffable, and stable across refactors — instead of by function object.
+
+Variant *system* keys name the execution model, matching the paper's
+three columns plus the pthreads baseline:
+
+========== =============================================================
+``cpu``      sequential run on one AMD APU CPU core
+``apu``      the APU's GPU through the OpenCL runtime model
+``ccsvm``    the simulated CCSVM chip running xthreads
+``pthreads`` the APU's four CPU cores under pthreads (Barnes-Hut only)
+========== =============================================================
+
+System *presets* (named configurations such as ``ccsvm-small``) live in
+:mod:`repro.systems`; they map onto these variant keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.workloads.base import WorkloadResult
+
+
+class WorkloadRegistryError(ReproError):
+    """A workload variant lookup or registration was invalid."""
+
+
+@dataclass(frozen=True)
+class WorkloadVariant:
+    """One registered ``(workload, system)`` entry.
+
+    ``func`` has the uniform signature ``run(config, *, seed, **params)``
+    and returns a :class:`~repro.workloads.base.WorkloadResult`.
+    """
+
+    workload: str
+    system: str
+    func: Callable[..., WorkloadResult]
+    description: str = ""
+
+    @property
+    def ref(self) -> str:
+        """The stable ``module:qualname`` reference of the variant function."""
+        return f"{self.func.__module__}:{self.func.__qualname__}"
+
+
+_VARIANTS: Dict[Tuple[str, str], WorkloadVariant] = {}
+
+
+def register_variant(workload: str, system: str, *, description: str = ""):
+    """Decorator registering ``func`` as the ``(workload, system)`` variant.
+
+    Registration is idempotent per function (so module re-imports are
+    safe) but a *different* function under an already-taken key is a bug
+    and raises.
+    """
+
+    def decorate(func: Callable[..., WorkloadResult]):
+        key = (workload, system)
+        existing = _VARIANTS.get(key)
+        if existing is not None and existing.func is not func:
+            raise WorkloadRegistryError(
+                f"workload variant {workload}/{system} registered twice")
+        _VARIANTS[key] = WorkloadVariant(workload=workload, system=system,
+                                         func=func, description=description)
+        return func
+
+    return decorate
+
+
+def get_variant(workload: str, system: str) -> WorkloadVariant:
+    """Look up the registered variant for ``(workload, system)``."""
+    load_builtin_workloads()
+    try:
+        return _VARIANTS[(workload, system)]
+    except KeyError:
+        if not any(key[0] == workload for key in _VARIANTS):
+            known = ", ".join(workload_names()) or "(none)"
+            raise WorkloadRegistryError(
+                f"no workload named {workload!r}; known workloads: {known}"
+            ) from None
+        systems = ", ".join(sorted(variants_for(workload)))
+        raise WorkloadRegistryError(
+            f"workload {workload!r} has no {system!r} variant; "
+            f"it runs on: {systems}") from None
+
+
+def workload_names() -> List[str]:
+    """Names of every workload with at least one registered variant, sorted."""
+    load_builtin_workloads()
+    return sorted({workload for workload, _ in _VARIANTS})
+
+
+def variants_for(workload: str) -> Dict[str, WorkloadVariant]:
+    """Map ``system -> variant`` for one workload (sorted by system)."""
+    load_builtin_workloads()
+    found = {system: variant for (name, system), variant in _VARIANTS.items()
+             if name == workload}
+    if not found:
+        known = ", ".join(workload_names()) or "(none)"
+        raise WorkloadRegistryError(
+            f"no workload named {workload!r}; known workloads: {known}")
+    return dict(sorted(found.items()))
+
+
+def load_builtin_workloads() -> None:
+    """Import the workload modules so their variants self-register."""
+    from repro.workloads import (  # noqa: F401
+        apsp, barnes_hut, matmul, sparse_matmul, vector_add)

@@ -33,6 +33,7 @@ from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import sparse_matrix
+from repro.workloads.registry import register_variant
 
 WORKLOAD = "sparse_matmul"
 
@@ -211,3 +212,21 @@ def run_cpu(size: int = 32, density: float = 0.05, seed: int = 23,
                           time_ps=run.time_ps,
                           dram_accesses=apu.dram_accesses,
                           verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Registry variants — uniform signature run(config, *, seed, **params)
+# --------------------------------------------------------------------------- #
+@register_variant(WORKLOAD, "cpu",
+                  description="sequential sparse multiply on one APU CPU core")
+def cpu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 23,
+                size: int = 32, density: float = 0.05) -> WorkloadResult:
+    return run_cpu(size=size, density=density, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "ccsvm",
+                  description="xthreads with per-non-zero mttop_malloc "
+                              "(no OpenCL version, as in the paper)")
+def ccsvm_variant(config: Optional[CCSVMSystemConfig] = None, *, seed: int = 23,
+                  size: int = 32, density: float = 0.05) -> WorkloadResult:
+    return run_ccsvm(size=size, density=density, seed=seed, config=config)

@@ -17,6 +17,7 @@ from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import vector
+from repro.workloads.registry import register_variant
 
 WORKLOAD = "vector_add"
 
@@ -144,3 +145,27 @@ def run_cpu(size: int = 256, seed: int = 1,
                           time_ps=run.time_ps,
                           dram_accesses=apu.dram_accesses,
                           verified=produced == expected)
+
+
+# --------------------------------------------------------------------------- #
+# Registry variants — uniform signature run(config, *, seed, **params)
+# --------------------------------------------------------------------------- #
+@register_variant(WORKLOAD, "cpu",
+                  description="sequential loop on one APU CPU core")
+def cpu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 1,
+                size: int = 256) -> WorkloadResult:
+    return run_cpu(size=size, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "apu",
+                  description="OpenCL kernel on the APU GPU (Figure 3)")
+def apu_variant(config: Optional[APUSystemConfig] = None, *, seed: int = 1,
+                size: int = 256) -> WorkloadResult:
+    return run_opencl(size=size, seed=seed, config=config)
+
+
+@register_variant(WORKLOAD, "ccsvm",
+                  description="xthreads on the CCSVM chip (Figure 4)")
+def ccsvm_variant(config: Optional[CCSVMSystemConfig] = None, *, seed: int = 1,
+                  size: int = 256) -> WorkloadResult:
+    return run_ccsvm(size=size, seed=seed, config=config)

@@ -1,0 +1,319 @@
+"""Tests for the ``repro.api`` scenario builder and ResultSet."""
+
+import pickle
+
+import pytest
+
+from repro.api import ResultSet, Scenario, ScenarioError
+from repro.config import small_ccsvm_system
+from repro.harness import SweepRunner, get_spec, spec_names
+from repro.harness.spec import point_func_ref, resolve_point_func
+from repro.systems import SystemRegistryError
+from repro.workloads.registry import (
+    WorkloadRegistryError,
+    get_variant,
+    variants_for,
+    workload_names,
+)
+
+SMALL = small_ccsvm_system()
+
+
+class TestWorkloadRegistry:
+    def test_all_five_workloads_registered(self):
+        assert workload_names() == ["apsp", "barnes_hut", "matmul",
+                                    "sparse_matmul", "vector_add"]
+
+    def test_variant_systems_match_the_paper(self):
+        assert sorted(variants_for("matmul")) == ["apu", "ccsvm", "cpu"]
+        # Barnes-Hut and sparse MM have no OpenCL version, as in the paper.
+        assert sorted(variants_for("barnes_hut")) == ["ccsvm", "cpu",
+                                                      "pthreads"]
+        assert sorted(variants_for("sparse_matmul")) == ["ccsvm", "cpu"]
+
+    def test_unknown_lookups_name_alternatives(self):
+        with pytest.raises(WorkloadRegistryError, match="known workloads"):
+            get_variant("quicksort", "cpu")
+        with pytest.raises(WorkloadRegistryError, match="it runs on"):
+            get_variant("barnes_hut", "apu")
+
+    def test_uniform_signature(self):
+        variant = get_variant("matmul", "ccsvm")
+        result = variant.func(SMALL, seed=3, size=6)
+        assert result.verified and result.workload == "matmul"
+        assert ":" in variant.ref and "(" not in variant.ref
+
+
+class TestScenarioExpansion:
+    def test_per_system_points_cross_product_in_order(self):
+        scenario = Scenario(workload="matmul", systems=("cpu", "ccsvm"),
+                            grid={"size": (8, 16)})
+        points = scenario.points()
+        assert [point.point_id for point in points] == [
+            "system=cpu,size=8", "system=ccsvm,size=8",
+            "system=cpu,size=16", "system=ccsvm,size=16"]
+        assert all(point.spec == "sweep-matmul" for point in points)
+
+    def test_points_carry_only_registry_names(self):
+        scenario = Scenario(workload="matmul", systems=("cpu", "ccsvm"),
+                            grid={"size": (8,)},
+                            overrides={"mttop.count": 4})
+        for point in scenario.points():
+            assert isinstance(point.func, str)
+            # The whole point pickles without any function/config object:
+            # its payload is strings, numbers and dicts thereof.
+            assert b"repro.workloads" not in pickle.dumps(point)
+            assert not any(callable(value) for value in point.kwargs.values())
+
+    def test_scalar_grid_values_are_single_axes(self):
+        scenario = Scenario(workload="matmul", systems=("cpu",),
+                            grid={"size": 8})
+        (point,) = scenario.points()
+        assert point.kwargs["params"] == {"size": 8}
+
+    def test_multi_axis_product_rightmost_fastest(self):
+        scenario = Scenario(workload="sparse_matmul", systems=("ccsvm",),
+                            grid={"size": (16, 32), "density": (0.1, 0.2)})
+        ids = [point.point_id for point in scenario.points()]
+        assert ids == ["system=ccsvm,size=16,density=0.1",
+                       "system=ccsvm,size=16,density=0.2",
+                       "system=ccsvm,size=32,density=0.1",
+                       "system=ccsvm,size=32,density=0.2"]
+
+    def test_full_grid_swaps_axis_values(self):
+        scenario = Scenario(workload="matmul", systems=("cpu",),
+                            grid={"size": (8,)}, full_grid={"size": (8, 64)})
+        assert len(scenario.points()) == 1
+        assert len(scenario.points(full=True)) == 2
+
+    def test_unknown_system_and_workload_rejected(self):
+        with pytest.raises(SystemRegistryError):
+            Scenario(workload="matmul", systems=("gpu9000",)).points()
+        with pytest.raises(WorkloadRegistryError):
+            Scenario(workload="quicksort", systems=("cpu",)).points()
+        with pytest.raises(WorkloadRegistryError):
+            # Registered workload, but no such variant for the preset.
+            Scenario(workload="sparse_matmul", systems=("apu",)).points()
+
+    def test_override_must_apply_to_some_system(self):
+        with pytest.raises(ScenarioError, match="applies to none"):
+            Scenario(workload="matmul", systems=("cpu",),
+                     overrides={"mttop.count": 4}).points()
+        # ... fine as soon as one selected system has the path.
+        Scenario(workload="matmul", systems=("cpu", "ccsvm"),
+                 overrides={"mttop.count": 4}).points()
+
+    def test_override_shared_root_applies_where_the_leaf_exists(self):
+        from repro.config import OverrideError
+
+        # Both system families have a 'cpu' section; l1_hit_cycles exists
+        # only on CCSVM.  The override must apply there and be skipped on
+        # the APU-config systems — not fail the sweep mid-run.
+        scenario = Scenario(workload="matmul", systems=("cpu", "ccsvm"),
+                            grid={"size": (6,)},
+                            overrides={"cpu.l1_hit_cycles": 3})
+        results = scenario.run()
+        assert all(row["verified"] for row in results.rows)
+        # A leaf that exists nowhere is rejected *upfront* with the
+        # precise field error, not per point at execution time.
+        with pytest.raises(OverrideError, match="available fields"):
+            Scenario(workload="matmul", systems=("cpu", "ccsvm"),
+                     overrides={"cpu.bogus": 1}).points()
+        # ... and so is an unparseable value for a resolvable path.
+        with pytest.raises(OverrideError, match="expected an integer"):
+            Scenario(workload="matmul", systems=("ccsvm",),
+                     overrides={"mttop.count": "abc"}).points()
+
+    def test_inapplicable_overrides_stay_out_of_per_system_cache_keys(self):
+        from repro.harness.runner import point_cache_key
+
+        def keys(overrides):
+            scenario = Scenario(workload="matmul", systems=("cpu", "ccsvm"),
+                                grid={"size": (8,)}, overrides=overrides)
+            return {point.kwargs["system"]: point_cache_key(point)
+                    for point in scenario.points()}
+
+        four, eight = keys({"mttop.count": 4}), keys({"mttop.count": 8})
+        # mttop.count never applies to the APU config, so the cpu points
+        # must keep their cache identity while the ccsvm points change.
+        assert four["cpu"] == eight["cpu"]
+        assert four["ccsvm"] != eight["ccsvm"]
+
+    def test_empty_axis_and_empty_systems_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario(workload="matmul", systems=())
+        with pytest.raises(ScenarioError):
+            Scenario(workload="matmul", systems=("cpu",),
+                     grid={"size": ()}).points()
+
+    def test_comparison_mode_one_point_per_cell(self):
+        points = get_spec("figure5").build_points(full=False)
+        assert [point.point_id for point in points] == \
+            ["size=8", "size=12", "size=16", "size=24", "size=32"]
+        assert all(point.kwargs["systems"] == ("cpu", "apu", "ccsvm")
+                   for point in points)
+
+    def test_explicit_configs_ride_in_kwargs(self):
+        scenario = Scenario(workload="matmul", systems=("ccsvm",),
+                            grid={"size": (6,)})
+        (point,) = scenario.points(configs={"ccsvm": SMALL})
+        assert point.kwargs["config"] == SMALL
+        with pytest.raises(ScenarioError, match="unselected systems"):
+            scenario.points(configs={"apu": SMALL})
+
+
+class TestScenarioRun:
+    def test_run_produces_resultset_rows(self):
+        results = Scenario(workload="matmul",
+                           systems=("cpu", "ccsvm-small"),
+                           grid={"size": (6,)}, seed=3).run()
+        assert len(results) == 2
+        assert results.column("system") == ["cpu", "ccsvm-small"]
+        assert all(row["verified"] for row in results.rows)
+        assert results.stats.get("harness.points") == 2
+
+    def test_overrides_change_the_simulated_chip(self):
+        base = Scenario(workload="vector_add", systems=("ccsvm-small",),
+                        grid={"size": (32,)}, seed=3).run()
+        shrunk = Scenario(workload="vector_add", systems=("ccsvm-small",),
+                          grid={"size": (32,)}, seed=3,
+                          overrides={"mttop.count": 1}).run()
+        assert shrunk.rows[0]["time_ms"] != base.rows[0]["time_ms"]
+
+    def test_points_execute_identically_through_any_entry(self):
+        scenario = Scenario(workload="matmul", systems=("ccsvm-small",),
+                            grid={"size": (6,)}, seed=3)
+        direct = scenario.run()
+        via_runner = SweepRunner().run_points(scenario.points(),
+                                              spec_name=scenario.name)
+        assert direct.rows == via_runner.result
+
+
+class TestScenarioSpec:
+    def test_spec_wraps_scenario_for_registration(self):
+        scenario = Scenario(workload="matmul", systems=("cpu",),
+                            grid={"size": (6,)}, seed=3,
+                            name="spec-wrap-test")
+        spec = scenario.spec(title="spec() smoke test")
+        assert spec.name == "spec-wrap-test"
+        points = spec.build_points(full=False)
+        assert [point.point_id for point in points] == ["system=cpu,size=6"]
+        outcome = SweepRunner().run_spec(spec)
+        # The default render goes through ResultSet.from_result.
+        rendered = spec.render(outcome.result)
+        assert "matmul" in rendered and "time_ms" in rendered
+
+    def test_spec_custom_render_receives_legacy_shape(self):
+        scenario = Scenario(workload="matmul", systems=("cpu",),
+                            grid={"size": (6,)}, seed=3, name="spec-render")
+        spec = scenario.spec(title="t", render=lambda rows: f"{len(rows)} rows")
+        outcome = SweepRunner().run_spec(spec)
+        assert spec.render(outcome.result) == "1 rows"
+
+
+class TestSevenExperimentsPorted:
+    def test_every_spec_expands_to_name_only_points(self):
+        for name in spec_names():
+            for point in get_spec(name).build_points(full=False):
+                assert isinstance(point.func, str), (name, point.point_id)
+                resolve_point_func(point.func)  # resolvable by import
+                assert point_func_ref(point) == point.func
+
+
+class TestResultSet:
+    def _multi(self):
+        return ResultSet(groups={
+            "by_size": [{"size": 16, "speedup": 0.136},
+                        {"size": 32, "speedup": 0.141}],
+            "by_density": [{"density": 0.05, "speedup": 0.141}],
+        }, stats={"harness.points": 3})
+
+    def test_rows_concatenate_groups_in_order(self):
+        results = self._multi()
+        assert len(results) == 3
+        assert [row.get("size") for row in results.rows] == [16, 32, None]
+
+    def test_filter_and_columns_preserve_groups(self):
+        filtered = self._multi().filter(speedup=0.141)
+        assert len(filtered.groups["by_size"]) == 1
+        assert len(filtered.groups["by_density"]) == 1
+        projected = self._multi().columns("speedup")
+        assert projected.groups["by_size"] == [{"speedup": 0.136},
+                                               {"speedup": 0.141}]
+
+    def test_filter_predicate(self):
+        results = self._multi().filter(lambda row: row.get("size") == 16)
+        assert results.rows == [{"size": 16, "speedup": 0.136}]
+
+    def test_csv_round_trip_single_group(self):
+        original = ResultSet(groups={"rows": [
+            {"size": 8, "time_ms": 0.136, "verified": True, "tag": "x,y"},
+            {"size": 16, "time_ms": 2.5, "verified": False, "tag": "plain"},
+        ]})
+        reloaded = ResultSet.from_csv(original.to_csv())
+        assert reloaded.groups == original.groups
+
+    def test_csv_round_trip_preserves_panel_labels(self):
+        original = self._multi()
+        reloaded = ResultSet.from_csv(original.to_csv())
+        assert list(reloaded.groups) == ["by_size", "by_density"]
+        assert reloaded.groups == original.groups
+
+    def test_csv_round_trip_preserves_embedded_newlines(self):
+        original = ResultSet(groups={
+            "rows": [{"note": "line one\nline two", "x": 1}]})
+        reloaded = ResultSet.from_csv(original.to_csv())
+        assert reloaded.groups == original.groups
+
+    def test_csv_cell_starting_with_hash_is_not_a_group_header(self):
+        original = ResultSet(groups={
+            "by_size": [{"note": "prefix\n# by_density\nsuffix", "x": 2}]})
+        reloaded = ResultSet.from_csv(original.to_csv())
+        assert list(reloaded.groups) == ["by_size"]
+        assert reloaded.groups == original.groups
+
+    def test_parse_scalar_rules(self):
+        from repro.api import parse_scalar
+
+        assert parse_scalar("8") == 8
+        assert parse_scalar("0.5") == 0.5
+        assert parse_scalar("true") is True
+        assert parse_scalar("False") is False
+        assert parse_scalar("1") == 1  # numbers win over booleans
+        assert parse_scalar("ccsvm") == "ccsvm"
+
+    def test_csv_round_trip_keeps_emptied_panels(self):
+        # A filter() can drain one panel of a multi-panel set; its label
+        # must still survive the round trip.
+        filtered = self._multi().filter(size=16)
+        assert filtered.groups["by_density"] == []
+        reloaded = ResultSet.from_csv(filtered.to_csv())
+        assert reloaded.groups == filtered.groups
+
+    def test_json_round_trip(self):
+        original = self._multi()
+        reloaded = ResultSet.from_json(original.to_json())
+        assert reloaded.groups == original.groups
+        assert reloaded.stats == original.stats
+
+    def test_formatted_csv_matches_report_style(self):
+        results = ResultSet(groups={"rows": [{"ok": True, "value": 0.0001}]})
+        assert results.to_csv(formatted=True) == "ok,value\nyes,1.000e-04"
+
+    def test_render_labels_panels(self):
+        text = self._multi().render(title="sparse")
+        assert "sparse — by_size" in text and "sparse — by_density" in text
+
+    def test_from_outcome_single_panel(self):
+        outcome = SweepRunner().run("table2")
+        results = ResultSet.from_outcome(outcome)
+        assert list(results.groups) == ["rows"]
+        assert results.stats.get("harness.points") == 1
+
+    def test_from_result_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ResultSet.from_result(42)
+
+    def test_from_json_rejects_missing_groups(self):
+        with pytest.raises(ValueError):
+            ResultSet.from_json("[1, 2]")

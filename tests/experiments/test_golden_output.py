@@ -1,0 +1,28 @@
+"""Byte-identity of every paper sweep against pre-port golden output.
+
+``tests/experiments/golden/all_sweeps_default.txt`` was captured from
+``repro run all --no-cache --backend serial`` *before* the experiments were
+ported onto the ``repro.api`` scenario registry (PR 4).  The port must not
+change a single rendered byte: the scenario machinery re-derives exactly
+the rows the hand-wired ``_point`` functions used to build.
+"""
+
+import os
+
+from repro.harness import SweepRunner, get_spec, spec_names
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "all_sweeps_default.txt")
+
+
+def test_all_sweeps_render_byte_identical_to_pre_port_golden():
+    runner = SweepRunner()  # serial, no cache — same as the capture run
+    rendered = []
+    for name in spec_names():
+        spec = get_spec(name)
+        outcome = runner.run_spec(spec, full=False)
+        rendered.append(spec.render(outcome.result))
+    produced = "\n\n".join(rendered) + "\n"
+    with open(GOLDEN, encoding="utf-8") as handle:
+        golden = handle.read()
+    assert produced == golden

@@ -218,7 +218,7 @@ class TestCache:
         SweepRunner(cache_dir=cache).run_points(_points([9]))
         (path,) = [os.path.join(root, name)
                    for root, _, names in os.walk(cache) for name in names]
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
         assert payload["rows"] == [{"value": 9, "square": 81}]
 
@@ -228,9 +228,13 @@ class TestExperimentSpecs:
 
     def test_figure5_points_have_picklable_kwargs(self):
         points = get_spec("figure5").build_points(full=False)
-        assert [point.kwargs["size"] for point in points] == [8, 12, 16, 24, 32]
-        assert all(point.func.__module__ == "repro.experiments.figure5"
-                   for point in points)
+        assert [point.kwargs["params"]["size"] for point in points] == \
+            [8, 12, 16, 24, 32]
+        # Points carry registry names, never function objects: func is a
+        # "module:qualname" reference and the derive hook is one too.
+        assert all(isinstance(point.func, str) for point in points)
+        assert all(point.kwargs["derive"] ==
+                   "repro.experiments.figure5:derive_row" for point in points)
 
     def test_full_flag_selects_larger_grids(self):
         spec = get_spec("figure9")
@@ -275,7 +279,7 @@ class TestCLI:
         assert code == 0
         captured = capsys.readouterr()
         assert "Table 2" in captured.out
-        with open(out_file, "r", encoding="utf-8") as handle:
+        with open(out_file, encoding="utf-8") as handle:
             assert "Table 2" in handle.read()
 
     def test_run_table2_csv_escapes_commas(self, capsys):

@@ -1,0 +1,158 @@
+"""Tests for the system preset registry and dotted-path config overrides."""
+
+import pytest
+
+from repro.config import (
+    CCSVMSystemConfig,
+    MTTOPCoreConfig,
+    OverrideError,
+    amd_apu_system,
+    apply_overrides,
+    ccsvm_system,
+    override_applies,
+    parse_size,
+)
+from repro.errors import ConfigurationError
+from repro.systems import (
+    SystemRegistryError,
+    get_system,
+    overrides_applicable,
+    system_config,
+    system_names,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("64", 64),
+        ("8MiB", 8 * 1024 * 1024),
+        ("16 KiB", 16 * 1024),
+        ("1GiB", 1 << 30),
+        ("2k", 2048),
+        ("1.5MiB", 3 * 512 * 1024),
+        ("4MB", 4_000_000),
+    ])
+    def test_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+
+class TestApplyOverrides:
+    def test_nested_field_replaced_rest_untouched(self):
+        base = ccsvm_system()
+        rebuilt = apply_overrides(base, {"mttop.count": 20})
+        assert rebuilt.mttop.count == 20
+        # Everything else — including siblings of the replaced field and
+        # the untouched sections — carries over.
+        assert rebuilt.mttop.simd_width == base.mttop.simd_width
+        assert rebuilt.cpu == base.cpu
+        assert rebuilt.l2 == base.l2
+        assert isinstance(rebuilt, CCSVMSystemConfig)
+        assert base.mttop.count == 10  # original frozen config untouched
+
+    def test_multiple_overrides_and_string_coercion(self):
+        rebuilt = apply_overrides(ccsvm_system(), {
+            "mttop.count": "20",
+            "l2.total_size_bytes": "8MiB",
+            "cpu.max_ipc": "2",
+            "mttop.write_through": "true",
+        })
+        assert rebuilt.mttop.count == 20
+        assert rebuilt.l2.total_size_bytes == 8 * 1024 * 1024
+        assert rebuilt.cpu.max_ipc == 2.0
+        assert rebuilt.mttop.write_through is True
+
+    def test_top_level_scalar_field(self):
+        rebuilt = apply_overrides(ccsvm_system(), {"spin_poll_ns": 500})
+        assert rebuilt.spin_poll_ns == 500.0
+
+    def test_unknown_path_lists_fields(self):
+        with pytest.raises(OverrideError, match="available fields"):
+            apply_overrides(ccsvm_system(), {"mttop.bogus": 1})
+        with pytest.raises(OverrideError, match="has no field"):
+            apply_overrides(ccsvm_system(), {"nope.count": 1})
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(OverrideError, match="expected an integer"):
+            apply_overrides(ccsvm_system(), {"mttop.count": "many"})
+        with pytest.raises(OverrideError, match="expected a number"):
+            apply_overrides(ccsvm_system(), {"cpu.max_ipc": "fast"})
+        with pytest.raises(OverrideError, match="expected a boolean"):
+            apply_overrides(ccsvm_system(), {"mttop.write_through": "maybe"})
+        with pytest.raises(OverrideError, match="expected an integer"):
+            apply_overrides(ccsvm_system(), {"mttop.count": 2.5})
+
+    def test_section_needs_field_or_instance(self):
+        with pytest.raises(OverrideError, match="nested .* section"):
+            apply_overrides(ccsvm_system(), {"mttop": 5})
+        # ... but a whole replacement dataclass of the right type works.
+        rebuilt = apply_overrides(ccsvm_system(),
+                                  {"mttop": MTTOPCoreConfig(count=2)})
+        assert rebuilt.mttop.count == 2
+
+    def test_path_through_scalar_rejected(self):
+        with pytest.raises(OverrideError, match="not a nested section"):
+            apply_overrides(ccsvm_system(), {"mttop.count.extra": 1})
+
+    def test_dataclass_validation_still_runs(self):
+        # 4 MiB does not divide across 3 banks: the section's own
+        # __post_init__ must still veto the rebuilt config.
+        with pytest.raises(ConfigurationError):
+            apply_overrides(ccsvm_system(), {"l2.banks": 3})
+
+    def test_override_applies(self):
+        assert override_applies(ccsvm_system(), "mttop.count")
+        assert not override_applies(amd_apu_system(), "mttop.count")
+        assert override_applies(amd_apu_system(), "gpu.simd_units")
+
+    def test_override_applies_walks_the_whole_path(self):
+        # Both configs have a 'cpu' section, but only the CCSVM one has
+        # l1_hit_cycles — a root-only check would wrongly claim the
+        # override applies to the APU and fail the sweep mid-run.
+        assert override_applies(ccsvm_system(), "cpu.l1_hit_cycles")
+        assert not override_applies(amd_apu_system(), "cpu.l1_hit_cycles")
+        assert not override_applies(ccsvm_system(), "mttop.bogus")
+        assert not override_applies(ccsvm_system(), "mttop.count.extra")
+        # Replacing a whole section with a dataclass instance resolves too.
+        assert override_applies(ccsvm_system(), "mttop")
+
+
+class TestSystemRegistry:
+    def test_builtin_presets_registered(self):
+        assert {"cpu", "apu", "ccsvm", "ccsvm-small", "pthreads"} <= \
+            set(system_names())
+
+    def test_presets_map_to_variants(self):
+        assert get_system("ccsvm-small").variant == "ccsvm"
+        assert get_system("apu").variant == "apu"
+        assert get_system("cpu").variant == "cpu"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemRegistryError, match="known systems"):
+            get_system("gpu9000")
+
+    def test_system_config_applies_applicable_overrides_only(self):
+        overrides = {"mttop.count": 4, "cpu.max_ipc": 1.0}
+        ccsvm = system_config("ccsvm", overrides)
+        assert ccsvm.mttop.count == 4 and ccsvm.cpu.max_ipc == 1.0
+        # The APU config has no mttop section; the shared override set is
+        # filtered down to the paths that exist on it.
+        apu = system_config("apu", overrides)
+        assert apu.cpu.max_ipc == 1.0
+        assert overrides_applicable("apu", overrides) == ["cpu.max_ipc"]
+
+    def test_system_config_skips_same_root_different_leaf(self):
+        # 'cpu' exists on both system families, but l1_hit_cycles is a
+        # CCSVM-only field: the APU presets must skip it, not crash.
+        overrides = {"cpu.l1_hit_cycles": 3}
+        assert system_config("ccsvm", overrides).cpu.l1_hit_cycles == 3
+        apu = system_config("cpu", overrides)  # APU-config preset
+        assert apu == system_config("cpu")
+        assert overrides_applicable("cpu", overrides) == []
+
+    def test_small_preset_builds_small_chip(self):
+        config = system_config("ccsvm-small")
+        assert config.mttop.count < ccsvm_system().mttop.count
