@@ -28,6 +28,9 @@ from repro.config import (
     APUSystemConfig,
     CCSVMSystemConfig,
     amd_apu_system,
+    apu_shared_l2_system,
+    ccsvm_l3_system,
+    ccsvm_no_tlb_system,
     ccsvm_system,
     small_ccsvm_system,
     tiny_caches_ccsvm_system,
@@ -37,7 +40,7 @@ from repro.core.chip import CCSVMChip, RunResult
 from repro.errors import ReproError
 from repro.harness import SweepPoint, SweepRunner, SweepSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "APUSystemConfig",
@@ -52,6 +55,9 @@ __all__ = [
     "SweepSpec",
     "__version__",
     "amd_apu_system",
+    "apu_shared_l2_system",
+    "ccsvm_l3_system",
+    "ccsvm_no_tlb_system",
     "ccsvm_system",
     "small_ccsvm_system",
     "tiny_caches_ccsvm_system",

@@ -21,6 +21,7 @@ from repro.baseline.opencl import OpenCLSession
 from repro.baseline.pthreads import PThreadsMachine
 from repro.config import APUSystemConfig, amd_apu_system
 from repro.cores.interpreter import ThreadProgram
+from repro.mem.assemble import build_apu_shared_l2
 from repro.memory.dram import DRAMModel
 from repro.sim.clock import ClockDomain, ns_to_ps
 from repro.sim.stats import StatsRegistry
@@ -37,6 +38,9 @@ class AMDAPU:
                               name="dram")
         self.cpu_clock = ClockDomain.from_ghz("apu_cpu", self.config.cpu.frequency_ghz)
 
+        # Hierarchy shape: private per-core L2s (Table 2), or one pooled
+        # level every core stacks its L1 on (the apu-shared-l2 preset).
+        shared_l2 = build_apu_shared_l2(self.config, stats=self.stats)
         self.cpu_cores: List[BaselineCPUCore] = []
         for index in range(self.config.cpu.count):
             hierarchy = PrivateCacheHierarchy(
@@ -48,6 +52,9 @@ class AMDAPU:
                 l2_size_bytes=self.config.cpu.l2_size_bytes,
                 l2_associativity=self.config.cpu.l2_associativity,
                 l2_hit_ps=ns_to_ps(self.config.cpu.l2_hit_ns),
+                l1_replacement=self.config.cpu.l1_replacement,
+                l2_replacement=self.config.cpu.l2_replacement,
+                shared_l2=shared_l2,
                 stats=self.stats)
             core = BaselineCPUCore(
                 name=f"apu_cpu{index}", clock=self.cpu_clock,

@@ -4,17 +4,27 @@ The APU model does not reuse the CCSVM chip's shared-virtual-memory stack,
 because the machine it models does not have one: the CPU and GPU have
 separate virtual address spaces and communicate through pinned physical
 memory (Section 2.3 of the paper).  Instead the baseline uses a single flat
-address space (:class:`FlatMemory`) for data, and per-core private cache
+address space (:class:`FlatMemory`) for data, and per-core cache
 hierarchies (:class:`PrivateCacheHierarchy`) for timing and DRAM-access
 accounting.
+
+Since the ``repro.mem`` refactor the hierarchy itself lives in
+:class:`repro.mem.private.PrivateHierarchy` — the same level objects the
+CCSVM chip is assembled from — and :class:`PrivateCacheHierarchy` here is
+the thin L1-plus-optional-L2 assembly the APU's Table 2 column describes.
+Its L2 level may be private (built from the size/associativity arguments)
+or a pre-built :class:`~repro.mem.levels.CacheLevel` shared with the
+other cores (the ``apu-shared-l2`` shape).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.cache import SetAssociativeCache
 from repro.errors import MemoryError_
+from repro.mem.levels import CacheLevel, LevelSpec
+from repro.mem.private import PrivateHierarchy
 from repro.memory.address import CACHE_LINE_SIZE, WORD_SIZE, align_up
 from repro.memory.dram import DRAMModel
 from repro.sim.stats import StatsRegistry
@@ -65,13 +75,18 @@ class FlatMemory:
         return self._next_address - self.ALLOCATION_BASE
 
 
-class PrivateCacheHierarchy:
-    """A non-coherent private cache hierarchy (L1 and optional L2) over DRAM.
+class PrivateCacheHierarchy(PrivateHierarchy):
+    """One APU core's cache hierarchy (L1 and optional L2) over DRAM.
 
     Models one APU CPU core's caches (or the GPU's small cache).  Every
     access returns its latency; misses allocate in every level and dirty
-    victims are written back to DRAM, so the DRAM model's counters reflect
-    real traffic (the quantity Figure 9 reports for the AMD CPU core).
+    victims are written back down the stack, so the DRAM model's counters
+    reflect real traffic (the quantity Figure 9 reports for the AMD CPU
+    core).  The access path itself is the generalised
+    :class:`~repro.mem.private.PrivateHierarchy`; this class only
+    assembles the Table 2 shape — and, when ``shared_l2`` is given,
+    stacks the core's private L1 on a pooled L2 level shared with the
+    other cores instead of building a private one.
     """
 
     def __init__(self, name: str, dram: DRAMModel,
@@ -79,86 +94,34 @@ class PrivateCacheHierarchy:
                  l2_size_bytes: Optional[int] = None,
                  l2_associativity: int = 16, l2_hit_ps: int = 0,
                  stats: Optional[StatsRegistry] = None,
-                 line_size: int = CACHE_LINE_SIZE) -> None:
-        self.name = name
-        self.dram = dram
-        self.stats = stats if stats is not None else StatsRegistry()
-        self.line_size = line_size
-        self.l1 = SetAssociativeCache(
-            CacheConfig(size_bytes=l1_size_bytes, associativity=l1_associativity,
-                        line_size=line_size, hit_latency_ps=l1_hit_ps,
-                        name=f"{name}.l1"),
-            stats=self.stats)
-        self.l2: Optional[SetAssociativeCache] = None
-        if l2_size_bytes:
-            self.l2 = SetAssociativeCache(
-                CacheConfig(size_bytes=l2_size_bytes, associativity=l2_associativity,
-                            line_size=line_size, hit_latency_ps=l2_hit_ps,
-                            name=f"{name}.l2"),
-                stats=self.stats)
+                 line_size: int = CACHE_LINE_SIZE,
+                 l1_replacement: str = "lru", l2_replacement: str = "lru",
+                 shared_l2: Optional[CacheLevel] = None) -> None:
+        stats = stats if stats is not None else StatsRegistry()
+        levels = [CacheLevel(
+            LevelSpec(label="l1", size_bytes=l1_size_bytes,
+                      associativity=l1_associativity, hit_latency_ps=l1_hit_ps,
+                      line_size=line_size, replacement=l1_replacement),
+            name=f"{name}.l1", stats=stats)]
+        if shared_l2 is not None:
+            levels.append(shared_l2)
+        elif l2_size_bytes:
+            levels.append(CacheLevel(
+                LevelSpec(label="l2", size_bytes=l2_size_bytes,
+                          associativity=l2_associativity,
+                          hit_latency_ps=l2_hit_ps, line_size=line_size,
+                          replacement=l2_replacement),
+                name=f"{name}.l2", stats=stats))
+        super().__init__(name, dram, levels, stats=stats, line_size=line_size)
 
-    # ------------------------------------------------------------------ #
-    # Access path
-    # ------------------------------------------------------------------ #
-    def access(self, address: int, is_write: bool) -> int:
-        """Access ``address``; return the latency and count DRAM traffic."""
-        latency = self.l1.hit_latency_ps
-        block = self.l1.lookup(address)
-        if block is not None:
-            if is_write:
-                block.dirty = True
-            return latency
+    # Legacy accessors: tests and the OpenCL/GPU models address the tag
+    # stores directly.
+    @property
+    def l1(self) -> SetAssociativeCache:
+        """The L1 tag store."""
+        return self.levels[0].cache
 
-        # L1 miss: try the L2, then DRAM.
-        line = self.l1.line_address(address)
-        filled_dirty = False
-        if self.l2 is not None:
-            latency += self.l2.hit_latency_ps
-            l2_block = self.l2.lookup(line)
-            if l2_block is None:
-                latency += self.dram.read(self.line_size)
-                _, l2_victim = self.l2.insert(line)
-                if l2_victim is not None and l2_victim.dirty:
-                    self.dram.write(self.line_size)
-                    self.stats.add(f"{self.name}.l2_writebacks")
-        else:
-            latency += self.dram.read(self.line_size)
-
-        block, victim = self.l1.insert(line, dirty=is_write or filled_dirty)
-        if is_write:
-            block.dirty = True
-        if victim is not None and victim.dirty:
-            self._writeback(victim.line_address)
-        return latency
-
-    def _writeback(self, line: int) -> None:
-        if self.l2 is not None:
-            l2_block = self.l2.peek(line)
-            if l2_block is None:
-                l2_block, l2_victim = self.l2.insert(line, dirty=True)
-                if l2_victim is not None and l2_victim.dirty:
-                    self.dram.write(self.line_size)
-                    self.stats.add(f"{self.name}.l2_writebacks")
-            l2_block.dirty = True
-            self.stats.add(f"{self.name}.l1_writebacks")
-        else:
-            self.dram.write(self.line_size)
-            self.stats.add(f"{self.name}.l1_writebacks")
-
-    def flush(self) -> Tuple[int, int]:
-        """Write back every dirty line to DRAM; return ``(lines, dirty_lines)``.
-
-        Used when the OpenCL runtime makes CPU-written buffers visible to
-        the GPU: the coherent DMA path flushes the CPU caches so the GPU
-        reads up-to-date data from memory.
-        """
-        flushed = 0
-        dirty = 0
-        for cache in filter(None, (self.l1, self.l2)):
-            for block in cache.flush_all():
-                flushed += 1
-                if block.dirty:
-                    dirty += 1
-                    self.dram.write(self.line_size)
-        self.stats.add(f"{self.name}.flush_dirty_lines", dirty)
-        return flushed, dirty
+    @property
+    def l2(self) -> Optional[SetAssociativeCache]:
+        """The L2 tag store (shared or private), if the shape has one."""
+        return self.levels[1].cache if len(self.levels) > 1 else None

@@ -69,6 +69,11 @@ class SetAssociativeCache:
         ]
         # Reverse index: line address -> (set index, way) for O(1) lookups.
         self._where: Dict[int, Tuple[int, int]] = {}
+        # Precomputed bits for the access hot path: building an f-string
+        # counter name per lookup is measurable at simulator scale.
+        self._line_mask = ~(config.line_size - 1)
+        self._hits_stat = f"{self.name}.hits"
+        self._misses_stat = f"{self.name}.misses"
 
     # ------------------------------------------------------------------ #
     # Address mapping
@@ -86,15 +91,28 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------ #
     def lookup(self, address: int, update_replacement: bool = True) -> Optional[CacheBlock]:
         """Return the block holding ``address``'s line, if resident."""
-        line = self.line_address(address)
+        line = address & self._line_mask
         where = self._where.get(line)
         if where is None:
-            self.stats.add(f"{self.name}.misses")
+            self.stats.add(self._misses_stat)
             return None
         set_index, way = where
         if update_replacement:
             self._policies[set_index].touch(way)
-        self.stats.add(f"{self.name}.hits")
+        self.stats.add(self._hits_stat)
+        return self._sets[set_index][way]
+
+    def probe(self, address: int) -> Optional[CacheBlock]:
+        """Fast-path lookup: a hit behaves exactly like :meth:`lookup`
+        (hit counter + replacement touch); a miss returns ``None`` without
+        recording anything, because the caller is expected to retry on the
+        general path — whose own :meth:`lookup` records the miss once."""
+        where = self._where.get(address & self._line_mask)
+        if where is None:
+            return None
+        set_index, way = where
+        self._policies[set_index].touch(way)
+        self.stats.add(self._hits_stat)
         return self._sets[set_index][way]
 
     def peek(self, address: int) -> Optional[CacheBlock]:

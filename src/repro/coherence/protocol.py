@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cache.block import CacheBlock
 from repro.cache.cache import SetAssociativeCache
@@ -33,6 +33,9 @@ from repro.interconnect.network import NetworkModel
 from repro.memory.address import CACHE_LINE_SIZE
 from repro.memory.dram import DRAMModel
 from repro.sim.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from repro.mem.levels import CacheLevel as CacheLevelLike
 
 
 class AccessType(enum.Enum):
@@ -83,12 +86,22 @@ class _L1Info:
 
 
 class CoherentMemorySystem:
-    """MOESI directory coherence over registered L1s, L2 banks and DRAM."""
+    """MOESI directory coherence over registered L1s, L2 banks and DRAM.
+
+    ``l3`` optionally stacks a shared memory-side cache (any object with a
+    ``cache`` tag store and a ``hit_latency_ps``, i.e. a
+    :class:`repro.mem.levels.CacheLevel`) between the L2 banks and DRAM:
+    L2 fills check it before going off-chip and dirty L2 victims land in
+    it instead of DRAM.  It sits at the memory controller, so no extra
+    NoC node is involved and, when absent, the transaction paths are
+    exactly the historical ones.
+    """
 
     def __init__(self, network: NetworkModel, dram: DRAMModel,
                  banks: List[L2Bank], memory_node: str,
                  stats: Optional[StatsRegistry] = None,
-                 line_size: int = CACHE_LINE_SIZE) -> None:
+                 line_size: int = CACHE_LINE_SIZE,
+                 l3: Optional["CacheLevelLike"] = None) -> None:
         if not banks:
             raise CoherenceError("a coherent memory system needs at least one L2 bank")
         self.network = network
@@ -97,6 +110,8 @@ class CoherentMemorySystem:
         self.memory_node = memory_node
         self.stats = stats if stats is not None else StatsRegistry()
         self.line_size = line_size
+        self.l3 = l3
+        self._line_mask = ~(line_size - 1)
         self._l1s: Dict[str, _L1Info] = {}
 
     # ------------------------------------------------------------------ #
@@ -193,6 +208,75 @@ class CoherentMemorySystem:
         """Coherent atomic read-modify-write (performed at the L1 after
         obtaining exclusive permission, per Section 3.2.4)."""
         return self.access(node, paddr, AccessType.ATOMIC, now_ps)
+
+    # ------------------------------------------------------------------ #
+    # L1-hit fast path (used by CoreMemoryPort)
+    # ------------------------------------------------------------------ #
+    def l1_load_hit_ps(self, node: str, paddr: int) -> Optional[int]:
+        """Serve a load that hits in ``node``'s L1; return its latency.
+
+        Returns ``None`` when the line is not resident, *without* recording
+        a cache miss — the caller then takes the general :meth:`access`
+        path, whose own lookup records it, so counters match the legacy
+        path exactly.  State transitions, hit counters and replacement
+        updates on a hit are identical to :meth:`access`; what is skipped
+        is the per-access :class:`AccessResult` allocation and the enum
+        dispatch, which dominate the simulator's hot loop.
+        """
+        info = self._l1s.get(node)
+        if info is None:
+            raise CoherenceError(f"node {node!r} has no registered L1")
+        block = info.cache.probe(paddr & self._line_mask)
+        if block is None:
+            return None
+        state = block.state
+        if not isinstance(state, MOESIState):
+            raise CoherenceError(f"L1 {node} holds non-MOESI state {state!r}")
+        if not state.can_read:
+            raise CoherenceError(
+                f"unexpected L1 state {state} for load at {node}"
+            )
+        self.stats.add("coherence.accesses.load")
+        self.stats.add("coherence.l1_hits")
+        return info.hit_latency_ps
+
+    def l1_store_hit_ps(self, node: str, paddr: int, now_ps: int = 0,
+                        atomic: bool = False) -> Optional[int]:
+        """Serve a store/atomic whose line is resident in ``node``'s L1.
+
+        Covers both the write-permission hit and the SHARED/OWNED upgrade
+        (which reuses the general :meth:`_upgrade` transaction, so the two
+        paths cannot diverge).  Returns ``None`` — recording nothing — on
+        a full miss; the caller falls back to :meth:`access`.
+        """
+        info = self._l1s.get(node)
+        if info is None:
+            raise CoherenceError(f"node {node!r} has no registered L1")
+        line = paddr & self._line_mask
+        block = info.cache.probe(line)
+        if block is None:
+            return None
+        state = block.state
+        if not isinstance(state, MOESIState):
+            raise CoherenceError(f"L1 {node} holds non-MOESI state {state!r}")
+        self.stats.add("coherence.accesses.atomic" if atomic
+                       else "coherence.accesses.store")
+        if state.can_write:
+            block.state = state.after_local_store()
+            block.dirty = True
+            self.stats.add("coherence.l1_hits")
+            if atomic:
+                self.stats.add("coherence.atomics")
+            return info.hit_latency_ps
+        if state in (MOESIState.SHARED, MOESIState.OWNED):
+            extra = self._upgrade(info, block, line, now_ps)
+            if atomic:
+                self.stats.add("coherence.atomics")
+            return info.hit_latency_ps + extra
+        raise CoherenceError(
+            f"unexpected L1 state {state} for "
+            f"{'atomic' if atomic else 'store'} at {node}"
+        )
 
     # ------------------------------------------------------------------ #
     # Transactions
@@ -370,14 +454,32 @@ class CoherentMemorySystem:
         self.stats.add("coherence.writebacks_to_l2")
 
     def _fill_l2_from_dram(self, bank: L2Bank, line: int, now_ps: int) -> int:
-        """Fetch a line from DRAM into the L2; return the latency."""
+        """Fetch a line from the memory side (L3, then DRAM) into the L2.
+
+        Returns the latency.  Without an L3 this is the historical
+        straight-to-DRAM fill; with one, an L3 hit serves the line without
+        an off-chip access (the whole point of the ``ccsvm-l3`` shape).
+        """
         latency = self._msg(bank.name, self.memory_node, MessageType.GET_SHARED)
-        latency += self.dram.read(self.line_size)
+        if self.l3 is not None:
+            latency += self.l3.hit_latency_ps
+            if self.l3.cache.lookup(line) is not None:
+                self.stats.add("coherence.l3_hits")
+            else:
+                self.stats.add("coherence.l3_misses")
+                latency += self.dram.read(self.line_size)
+                _, l3_victim = self.l3.cache.insert(line, now_ps=now_ps)
+                if l3_victim is not None and l3_victim.dirty:
+                    self.dram.write(self.line_size)
+                    self.stats.add("coherence.l3_writebacks")
+                self.stats.add("coherence.dram_fills")
+        else:
+            latency += self.dram.read(self.line_size)
+            self.stats.add("coherence.dram_fills")
         latency += self._msg(self.memory_node, bank.name, MessageType.DATA)
         _, victim = bank.cache.insert(line, dirty=False, now_ps=now_ps)
         if victim is not None:
             self._handle_l2_eviction(bank, victim)
-        self.stats.add("coherence.dram_fills")
         return latency
 
     def _handle_l2_eviction(self, bank: L2Bank, victim: CacheBlock) -> None:
@@ -396,8 +498,19 @@ class CoherentMemorySystem:
             bank.directory.drop(line)
         if dirty:
             self._msg(bank.name, self.memory_node, MessageType.WRITEBACK)
-            self.dram.write(self.line_size)
-            self.stats.add("coherence.writebacks_to_dram")
+            if self.l3 is not None:
+                # Dirty L2 victims land in the memory-side L3 instead of DRAM.
+                l3_block = self.l3.cache.peek(line)
+                if l3_block is None:
+                    l3_block, l3_victim = self.l3.cache.insert(line, dirty=True)
+                    if l3_victim is not None and l3_victim.dirty:
+                        self.dram.write(self.line_size)
+                        self.stats.add("coherence.l3_writebacks")
+                l3_block.dirty = True
+                self.stats.add("coherence.writebacks_to_l3")
+            else:
+                self.dram.write(self.line_size)
+                self.stats.add("coherence.writebacks_to_dram")
         self.stats.add("coherence.l2_evictions")
 
     # ------------------------------------------------------------------ #

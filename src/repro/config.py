@@ -32,6 +32,16 @@ GB = 1024 * MB
 # --------------------------------------------------------------------------- #
 # CCSVM chip configuration
 # --------------------------------------------------------------------------- #
+_REPLACEMENT_POLICIES = ("lru", "plru", "random")
+
+
+def _check_replacement(policy: str, where: str) -> None:
+    if policy.lower() not in _REPLACEMENT_POLICIES:
+        raise ConfigurationError(
+            f"{where}: unknown replacement policy {policy!r}; "
+            f"expected one of {', '.join(_REPLACEMENT_POLICIES)}")
+
+
 @dataclass(frozen=True)
 class CPUCoreConfig:
     """Configuration of the CCSVM chip's CPU cores."""
@@ -42,11 +52,13 @@ class CPUCoreConfig:
     l1_size_bytes: int = 64 * KB
     l1_associativity: int = 4
     l1_hit_cycles: int = 2
+    l1_replacement: str = "lru"
     tlb_entries: int = 64
 
     def __post_init__(self) -> None:
         if self.count <= 0 or self.max_ipc <= 0:
             raise ConfigurationError("CPU core count and IPC must be positive")
+        _check_replacement(self.l1_replacement, "cpu.l1_replacement")
 
     @property
     def cycles_per_instruction(self) -> float:
@@ -65,6 +77,7 @@ class MTTOPCoreConfig:
     l1_size_bytes: int = 16 * KB
     l1_associativity: int = 4
     l1_hit_cycles: int = 1
+    l1_replacement: str = "lru"
     tlb_entries: int = 64
     #: L1 write policy; the paper assumes write-back caches (Section 3.2.2)
     #: and discusses write-through as an open challenge (Section 6.1).
@@ -75,6 +88,7 @@ class MTTOPCoreConfig:
             raise ConfigurationError("MTTOP SIMD width and contexts must be positive")
         if self.thread_contexts % self.simd_width != 0:
             raise ConfigurationError("thread contexts must be a multiple of the SIMD width")
+        _check_replacement(self.l1_replacement, "mttop.l1_replacement")
 
     @property
     def total_thread_contexts(self) -> int:
@@ -95,15 +109,37 @@ class SharedL2Config:
     banks: int = 4
     associativity: int = 16
     hit_latency_cpu_cycles: int = 10
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         if self.banks <= 0 or self.total_size_bytes % self.banks != 0:
             raise ConfigurationError("L2 size must divide evenly across banks")
+        _check_replacement(self.replacement, "l2.replacement")
 
     @property
     def bank_size_bytes(self) -> int:
         """Capacity of each bank."""
         return self.total_size_bytes // self.banks
+
+
+@dataclass(frozen=True)
+class SharedL3Config:
+    """Optional memory-side L3 between the L2 banks and DRAM.
+
+    Disabled in the paper's Table 2 machine (``enabled=False`` keeps the
+    transaction paths byte-identical to the two-level chip); the
+    ``ccsvm-l3`` preset — or a ``--set l3.enabled=true`` override on any
+    CCSVM preset — switches it on.
+    """
+
+    enabled: bool = False
+    total_size_bytes: int = 16 * MB
+    associativity: int = 16
+    hit_latency_cpu_cycles: int = 30
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        _check_replacement(self.replacement, "l3.replacement")
 
 
 @dataclass(frozen=True)
@@ -130,8 +166,13 @@ class CCSVMSystemConfig:
     cpu: CPUCoreConfig = field(default_factory=CPUCoreConfig)
     mttop: MTTOPCoreConfig = field(default_factory=MTTOPCoreConfig)
     l2: SharedL2Config = field(default_factory=SharedL2Config)
+    l3: SharedL3Config = field(default_factory=SharedL3Config)
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     noc: NoCConfig = field(default_factory=NoCConfig)
+    #: Hierarchy shape: ``False`` removes the per-core TLBs entirely, so
+    #: every access pays a hardware page-table walk (the ``ccsvm-no-tlb``
+    #: ablation shape).
+    tlb_enabled: bool = True
     #: Cost (ns) of the write syscall used to hand a task to the MIFD.
     mifd_syscall_ns: float = 1_000.0
     #: MIFD processing cost per task chunk assignment.
@@ -158,10 +199,20 @@ class APUCPUConfig:
     l1_size_bytes: int = 64 * KB
     l1_associativity: int = 4
     l1_hit_ns: float = 1.0
+    l1_replacement: str = "lru"
     l2_size_bytes: int = 1 * MB
     l2_associativity: int = 16
     l2_hit_ns: float = 3.6
+    l2_replacement: str = "lru"
+    #: Hierarchy shape: ``True`` pools the per-core private L2s into one
+    #: L2 of ``l2_size_bytes`` shared by every CPU core (the
+    #: ``apu-shared-l2`` preset).
+    l2_shared: bool = False
     tlb_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        _check_replacement(self.l1_replacement, "cpu.l1_replacement")
+        _check_replacement(self.l2_replacement, "cpu.l2_replacement")
 
     @property
     def cycles_per_instruction(self) -> float:
@@ -275,6 +326,41 @@ def small_ccsvm_system(cpu_cores: int = 1, mttop_cores: int = 2,
         l2=replace(base.l2, total_size_bytes=256 * KB, banks=2),
         dram=replace(base.dram, size_bytes=64 * MB),
     )
+
+
+def ccsvm_l3_system() -> CCSVMSystemConfig:
+    """The CCSVM chip with a 16 MiB memory-side L3 under the L2 banks.
+
+    A hierarchy-*shape* variant: L2 fills check the L3 before going
+    off-chip and dirty L2 victims land in it, so Figure-9-style DRAM
+    access counts drop for working sets between 4 MiB and 16 MiB.
+    """
+    base = ccsvm_system()
+    return replace(base, name="ccsvm_l3",
+                   l3=replace(base.l3, enabled=True))
+
+
+def ccsvm_no_tlb_system() -> CCSVMSystemConfig:
+    """The CCSVM chip with per-core TLBs removed entirely.
+
+    Every access pays a hardware page-table walk; the shape isolates how
+    much of the chip's tightly-coupled advantage depends on translation
+    caching (the paper's Section 3.2.1 design point, taken to zero).
+    """
+    return replace(ccsvm_system(), name="ccsvm_no_tlb", tlb_enabled=False)
+
+
+def apu_shared_l2_system() -> APUSystemConfig:
+    """The APU with its four private 1 MiB L2s pooled into one shared 4 MiB L2.
+
+    A hierarchy-shape variant of the baseline: each core keeps its private
+    L1, but all cores fill and evict in one shared L2 level, so pthreads
+    phases contend for (and share) its capacity.
+    """
+    base = amd_apu_system()
+    return replace(base, name="amd_apu_shared_l2",
+                   cpu=replace(base.cpu, l2_shared=True,
+                               l2_size_bytes=4 * MB))
 
 
 def tiny_caches_ccsvm_system() -> CCSVMSystemConfig:

@@ -1,172 +1,15 @@
-"""Per-core memory port: the CCSVM load/store/atomic access path.
+"""Per-core memory port — moved to :mod:`repro.mem.port`.
 
-Every core — CPU or MTTOP — owns one :class:`CoreMemoryPort`.  A memory
-operation flows through it exactly as the paper describes (Section 3.2):
+The CCSVM load/store/atomic access path (TLB → walker/fault → MOESI
+hierarchy → data) now lives in the unified memory-hierarchy subsystem,
+next to the levels both machines are assembled from.  This module keeps
+the historical import path working::
 
-1. the virtual address is looked up in the core's private TLB;
-2. on a TLB miss the core's hardware page-table walker walks the process
-   page table (identified by the CR3 the core was given);
-3. if the walk faults, the fault is handled — directly by the OS for a CPU
-   core, or forwarded through the MIFD to a CPU core for an MTTOP core;
-4. the physical address is presented to the MOESI coherent memory hierarchy
-   (L1 → directory/L2 → DRAM), which returns the access latency;
-5. the data itself is read from / written to simulated physical memory, so
-   programs compute real results.
+    from repro.core.access import CoreMemoryPort
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from repro.mem.port import CoreMemoryPort, MemoryPort, PageFaultHandler
 
-from repro.coherence.protocol import CoherentMemorySystem
-from repro.core.consistency import SequentialConsistencyChecker
-from repro.errors import VirtualMemoryError
-from repro.memory.physical import PhysicalMemory
-from repro.sim.stats import StatsRegistry
-from repro.vm.manager import AddressSpace, VirtualMemoryManager
-from repro.vm.tlb import TLB
-from repro.vm.walker import PageTableWalker
-
-#: Fault handler: ``(port, vaddr, is_write) -> latency_ps``.  CPU ports call
-#: straight into the OS; MTTOP ports are wired to the MIFD's fault forwarding.
-PageFaultHandler = Callable[["CoreMemoryPort", int, bool], int]
-
-
-class CoreMemoryPort:
-    """The translation + coherence + data path for one core."""
-
-    def __init__(self, node: str, tlb: TLB, walker: PageTableWalker,
-                 coherence: CoherentMemorySystem, physical_memory: PhysicalMemory,
-                 vm_manager: VirtualMemoryManager,
-                 page_fault_handler: Optional[PageFaultHandler] = None,
-                 stats: Optional[StatsRegistry] = None,
-                 sc_checker: Optional[SequentialConsistencyChecker] = None) -> None:
-        self.node = node
-        self.tlb = tlb
-        self.walker = walker
-        self.coherence = coherence
-        self.physical_memory = physical_memory
-        self.vm_manager = vm_manager
-        self.page_fault_handler = page_fault_handler
-        self.stats = stats if stats is not None else StatsRegistry()
-        self.sc_checker = sc_checker
-        self._space: Optional[AddressSpace] = None
-        #: Engine time of the issuing core, updated by the core before each
-        #: access so SC-checker timestamps are meaningful.
-        self.current_time_ps = 0
-
-    # ------------------------------------------------------------------ #
-    # Address-space (CR3) management
-    # ------------------------------------------------------------------ #
-    def set_address_space(self, space: AddressSpace) -> None:
-        """Load a process's CR3 into this core (and flush nothing — ASIDs
-        are not modelled; runtimes flush explicitly when needed)."""
-        self._space = space
-
-    @property
-    def address_space(self) -> AddressSpace:
-        """The process address space this core currently translates against."""
-        if self._space is None:
-            raise VirtualMemoryError(
-                f"core {self.node} has no address space (CR3 not set)"
-            )
-        return self._space
-
-    @property
-    def cr3(self) -> int:
-        """The physical root of the current page table."""
-        return self.address_space.cr3
-
-    @property
-    def has_address_space(self) -> bool:
-        """True once :meth:`set_address_space` has been called."""
-        return self._space is not None
-
-    # ------------------------------------------------------------------ #
-    # Translation
-    # ------------------------------------------------------------------ #
-    def _default_fault_handler(self, vaddr: int, is_write: bool) -> int:
-        return self.vm_manager.handle_page_fault(self.address_space, vaddr,
-                                                 is_write=is_write)
-
-    def translate(self, vaddr: int, is_write: bool) -> Tuple[int, int]:
-        """Translate ``vaddr``; return ``(paddr, latency_ps)``.
-
-        Handles TLB hits, hardware walks, page faults (possibly forwarded to
-        a CPU through the MIFD) and TLB refills.
-        """
-        entry = self.tlb.lookup(vaddr)
-        if entry is not None:
-            return entry.physical_address(vaddr), 0
-
-        space = self.address_space
-        latency = 0
-        walk = self.walker.walk(space.page_table, vaddr)
-        latency += walk.latency_ps
-        if walk.page_fault:
-            if self.page_fault_handler is not None:
-                latency += self.page_fault_handler(self, vaddr, is_write)
-            else:
-                latency += self._default_fault_handler(vaddr, is_write)
-            self.stats.add(f"{self.node}.page_faults")
-            # The faulting access retries its walk after the handler returns.
-            walk = self.walker.walk(space.page_table, vaddr)
-            latency += walk.latency_ps
-            if walk.page_fault:
-                raise VirtualMemoryError(
-                    f"page fault at {vaddr:#x} persists after handling"
-                )
-        translation = walk.translation
-        assert translation is not None
-        self.tlb.insert(translation.vpn, translation.frame_address,
-                        translation.writable)
-        return translation.physical_address(vaddr), latency
-
-    # ------------------------------------------------------------------ #
-    # Data access
-    # ------------------------------------------------------------------ #
-    def load(self, vaddr: int) -> Tuple[int, int]:
-        """Coherent load of the word at ``vaddr``; returns ``(value, latency_ps)``."""
-        paddr, translate_ps = self.translate(vaddr, is_write=False)
-        result = self.coherence.load(self.node, paddr, self.current_time_ps)
-        value = self.physical_memory.read_word(paddr)
-        if self.sc_checker is not None:
-            self.sc_checker.record_load(self.node, paddr, value, self.current_time_ps)
-        return value, translate_ps + result.latency_ps
-
-    def store(self, vaddr: int, value: int) -> int:
-        """Coherent store of ``value`` to ``vaddr``; returns the latency."""
-        paddr, translate_ps = self.translate(vaddr, is_write=True)
-        result = self.coherence.store(self.node, paddr, self.current_time_ps)
-        self.physical_memory.write_word(paddr, value)
-        if self.sc_checker is not None:
-            self.sc_checker.record_store(self.node, paddr, value, self.current_time_ps)
-        return translate_ps + result.latency_ps
-
-    def atomic_add(self, vaddr: int, delta: int) -> Tuple[int, int]:
-        """Atomic fetch-and-add; returns ``(old_value, latency_ps)``.
-
-        Performed at the L1 after obtaining exclusive coherence permission,
-        as the paper's MTTOP cores do (Section 3.2.4).
-        """
-        paddr, translate_ps = self.translate(vaddr, is_write=True)
-        result = self.coherence.atomic(self.node, paddr, self.current_time_ps)
-        old = self.physical_memory.read_word(paddr)
-        new = old + delta
-        self.physical_memory.write_word(paddr, new)
-        if self.sc_checker is not None:
-            self.sc_checker.record_atomic(self.node, paddr, old, new,
-                                          self.current_time_ps)
-        return old, translate_ps + result.latency_ps
-
-    def atomic_cas(self, vaddr: int, expected: int, new: int) -> Tuple[int, int]:
-        """Atomic compare-and-swap; returns ``(old_value, latency_ps)``."""
-        paddr, translate_ps = self.translate(vaddr, is_write=True)
-        result = self.coherence.atomic(self.node, paddr, self.current_time_ps)
-        old = self.physical_memory.read_word(paddr)
-        stored = new if old == expected else old
-        self.physical_memory.write_word(paddr, stored)
-        if self.sc_checker is not None:
-            self.sc_checker.record_atomic(self.node, paddr, old, stored,
-                                          self.current_time_ps)
-        return old, translate_ps + result.latency_ps
+__all__ = ["CoreMemoryPort", "MemoryPort", "PageFaultHandler"]

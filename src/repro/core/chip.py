@@ -22,11 +22,10 @@ import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.cache.cache import CacheConfig, SetAssociativeCache
-from repro.coherence.directory import Directory
 from repro.coherence.protocol import CoherentMemorySystem, L2Bank
 from repro.config import CCSVMSystemConfig, ccsvm_system
 from repro.core.access import CoreMemoryPort
+from repro.mem.assemble import build_ccsvm_l1, build_l2_banks, build_l3_level
 from repro.core.consistency import SequentialConsistencyChecker
 from repro.core.xthreads.runtime import XThreadsRuntime
 from repro.core.xthreads.toolchain import CompiledProcess, XThreadsToolchain
@@ -84,8 +83,10 @@ class CCSVMChip:
     def __init__(self, config: Optional[CCSVMSystemConfig] = None,
                  check_sc: bool = False,
                  max_engine_steps: int = 200_000_000,
-                 engine_scheduler: str = "heap") -> None:
+                 engine_scheduler: str = "heap",
+                 fast_access_path: bool = True) -> None:
         self.config = config if config is not None else ccsvm_system()
+        self.fast_access_path = fast_access_path
         self.stats = StatsRegistry()
         self.engine = Engine(max_steps=max_engine_steps,
                              scheduler=engine_scheduler)
@@ -134,24 +135,19 @@ class CCSVMChip:
         self.mttop_clock = ClockDomain.from_mhz("mttop", cfg.mttop.frequency_mhz)
         l2_hit_ps = self.cpu_clock.cycles_to_ps(cfg.l2.hit_latency_cpu_cycles)
 
-        self.l2_banks: List[L2Bank] = []
-        for index, node in enumerate(self.l2_nodes):
-            cache = SetAssociativeCache(
-                CacheConfig(size_bytes=cfg.l2.bank_size_bytes,
-                            associativity=cfg.l2.associativity,
-                            hit_latency_ps=l2_hit_ps,
-                            name=f"l2.bank{index}"),
-                stats=self.stats)
-            self.l2_banks.append(L2Bank(name=node, cache=cache,
-                                        directory=Directory(name=f"dir{index}"),
-                                        hit_latency_ps=l2_hit_ps))
+        self.l2_banks: List[L2Bank] = build_l2_banks(cfg, self.l2_nodes,
+                                                     l2_hit_ps, stats=self.stats)
+        self.l3_level = build_l3_level(cfg, self.cpu_clock, stats=self.stats)
         self.coherence = CoherentMemorySystem(self.network, self.dram,
                                               self.l2_banks, self.memory_node,
-                                              stats=self.stats)
+                                              stats=self.stats,
+                                              l3=self.l3_level)
         self._l2_hit_ps = l2_hit_ps
 
     def _make_memory_port(self, node: str, tlb_entries: int) -> CoreMemoryPort:
-        tlb = TLB(entries=tlb_entries, stats=self.stats, name=f"tlb.{node}")
+        tlb: Optional[TLB] = None
+        if self.config.tlb_enabled:
+            tlb = TLB(entries=tlb_entries, stats=self.stats, name=f"tlb.{node}")
         hop_ps = ns_to_ps(self.config.noc.hop_latency_ns)
         walker = PageTableWalker(
             self.physical_memory,
@@ -161,7 +157,8 @@ class CCSVMChip:
                               coherence=self.coherence,
                               physical_memory=self.physical_memory,
                               vm_manager=self.vm, stats=self.stats,
-                              sc_checker=self.sc_checker)
+                              sc_checker=self.sc_checker,
+                              fast_path=self.fast_access_path)
 
     def _build_cores(self) -> None:
         cfg = self.config
@@ -170,15 +167,15 @@ class CCSVMChip:
         self.cpu_cores: List[CPUCore] = []
         cpu_l1_hit_ps = self.cpu_clock.cycles_to_ps(cfg.cpu.l1_hit_cycles)
         for node in self.cpu_nodes:
-            l1 = SetAssociativeCache(
-                CacheConfig(size_bytes=cfg.cpu.l1_size_bytes,
-                            associativity=cfg.cpu.l1_associativity,
-                            hit_latency_ps=cpu_l1_hit_ps,
-                            name=f"l1d.{node}"),
-                stats=self.stats)
+            l1 = build_ccsvm_l1(node, size_bytes=cfg.cpu.l1_size_bytes,
+                                associativity=cfg.cpu.l1_associativity,
+                                hit_latency_ps=cpu_l1_hit_ps,
+                                replacement=cfg.cpu.l1_replacement,
+                                stats=self.stats)
             self.coherence.register_l1(node, l1, cpu_l1_hit_ps)
             port = self._make_memory_port(node, cfg.cpu.tlb_entries)
-            self.shootdown.register_cpu_tlb(port.tlb)
+            if port.tlb is not None:
+                self.shootdown.register_cpu_tlb(port.tlb)
             core = CPUCore(node, self.cpu_clock,
                            cycles_per_instruction=cfg.cpu.cycles_per_instruction,
                            memory_port=port, stats=self.stats,
@@ -189,15 +186,15 @@ class CCSVMChip:
         self.mttop_cores: List[MTTOPCore] = []
         mttop_l1_hit_ps = self.mttop_clock.cycles_to_ps(cfg.mttop.l1_hit_cycles)
         for node in self.mttop_nodes:
-            l1 = SetAssociativeCache(
-                CacheConfig(size_bytes=cfg.mttop.l1_size_bytes,
-                            associativity=cfg.mttop.l1_associativity,
-                            hit_latency_ps=mttop_l1_hit_ps,
-                            name=f"l1d.{node}"),
-                stats=self.stats)
+            l1 = build_ccsvm_l1(node, size_bytes=cfg.mttop.l1_size_bytes,
+                                associativity=cfg.mttop.l1_associativity,
+                                hit_latency_ps=mttop_l1_hit_ps,
+                                replacement=cfg.mttop.l1_replacement,
+                                stats=self.stats)
             self.coherence.register_l1(node, l1, mttop_l1_hit_ps)
             port = self._make_memory_port(node, cfg.mttop.tlb_entries)
-            self.shootdown.register_mttop_tlb(port.tlb)
+            if port.tlb is not None:
+                self.shootdown.register_mttop_tlb(port.tlb)
             core = MTTOPCore(node, self.mttop_clock,
                              simd_width=cfg.mttop.simd_width,
                              thread_contexts=cfg.mttop.thread_contexts,

@@ -18,6 +18,12 @@ Examples::
     python -m repro sweep barnes_hut --system ccsvm --grid bodies=16,32 \
         --param timesteps=1 --set "l2.total_size_bytes=8MiB"
 
+    # hierarchy-shape presets and declarative scenario files
+    python -m repro sweep barnes_hut --system apu-shared-l2,ccsvm-l3 \
+        --grid bodies=8,16 --param timesteps=1
+    python -m repro sweep --scenario study.toml
+    python -m repro sweep --scenario study.toml --set l3.enabled=true --seed 9
+
     # distributed: one coordinator, any number of workers (any order);
     # each worker runs up to --jobs points at once on a local process pool
     python -m repro worker --connect 127.0.0.1:7421 --jobs 8 &
@@ -144,11 +150,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep", help="run an ad-hoc workload x system x grid scenario")
-    sweep.add_argument("workload",
-                       help="registered workload name (see 'repro list')")
-    sweep.add_argument("--system", "-s", default="cpu",
+    sweep.add_argument("workload", nargs="?", default=None,
+                       help="registered workload name (see 'repro list'); "
+                            "optional when --scenario declares one")
+    sweep.add_argument("--scenario", default=None, metavar="FILE",
+                       help="load the scenario from a TOML or JSON file; "
+                            "explicit flags overlay the file's values "
+                            "(--grid/--param/--set merge in, the rest "
+                            "replace)")
+    sweep.add_argument("--system", "-s", default=None,
                        help="comma-separated system presets "
-                            "(default: cpu; see 'repro list')")
+                            "(default: the scenario file's, else cpu; "
+                            "see 'repro list')")
     sweep.add_argument("--grid", "-g", action="append", default=[],
                        metavar="PARAM=V1,V2,...",
                        help="sweep axis; repeatable, swept as a cartesian "
@@ -352,7 +365,7 @@ def _parse_pairs(pairs: List[str], flag: str, *,
 def _sweep(args: argparse.Namespace) -> int:
     from repro.api import ResultSet, Scenario
 
-    systems = tuple(name for name in args.system.split(",") if name)
+    systems = tuple(name for name in (args.system or "").split(",") if name)
     grid = _parse_pairs(args.grid, "--grid", split_values=True)
     params = _parse_pairs(args.param, "--param", split_values=False)
     # Override values stay as strings; apply_overrides coerces them to the
@@ -364,9 +377,22 @@ def _sweep(args: argparse.Namespace) -> int:
             raise HarnessError(f"--set expects PATH=VALUE, got {pair!r}")
         overrides[path] = value
 
-    scenario = Scenario(workload=args.workload, systems=systems, grid=grid,
-                        params=params, overrides=overrides, seed=args.seed,
-                        name=args.name)
+    if args.scenario:
+        from repro.scenario_io import scenario_from_file
+
+        scenario = scenario_from_file(
+            args.scenario, cli_systems=systems or None,
+            cli_grid=grid or None, cli_params=params or None,
+            cli_overrides=overrides or None, cli_seed=args.seed,
+            cli_name=args.name, cli_workload=args.workload)
+    else:
+        if not args.workload:
+            raise HarnessError(
+                "repro sweep needs a workload name (or --scenario FILE)")
+        scenario = Scenario(workload=args.workload,
+                            systems=systems or ("cpu",), grid=grid,
+                            params=params, overrides=overrides,
+                            seed=args.seed, name=args.name)
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     backend, backend_name = _make_backend(args)
 
@@ -378,9 +404,10 @@ def _sweep(args: argparse.Namespace) -> int:
                                     spec_name=scenario.name)
         elapsed = time.monotonic() - started
         results = ResultSet.from_outcome(outcome)
-        title = (f"{args.workload} on {', '.join(systems)}"
-                 + (f" [{', '.join(f'{k}={v}' for k, v in overrides.items())}]"
-                    if overrides else ""))
+        shown = scenario.overrides
+        title = (f"{scenario.workload} on {', '.join(scenario.systems)}"
+                 + (f" [{', '.join(f'{k}={v}' for k, v in shown.items())}]"
+                    if shown else ""))
         text = _emit(args, results, lambda: results.render(title=title))
         print(text)
         fresh = outcome.points_total - outcome.points_from_cache

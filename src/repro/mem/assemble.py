@@ -1,0 +1,88 @@
+"""Assemble :mod:`repro.mem` levels from the ``repro.config`` shape dataclasses.
+
+This is the one place that knows how a configuration dataclass maps onto
+built memory-hierarchy parts, for *both* machines:
+
+* the CCSVM chip's per-core L1 tag stores, banked shared L2 (with its
+  directory slices) and optional memory-side L3;
+* the APU baseline's per-core private hierarchies, whose L2 level is
+  either private per core or one pooled :class:`CacheLevel` shared by all
+  of them, depending on the configured shape.
+
+:class:`~repro.core.chip.CCSVMChip` and
+:class:`~repro.baseline.apu.AMDAPU` call these builders instead of
+hand-constructing caches, so a new hierarchy shape is a config change —
+reachable by dotted-path overrides — not a new code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import L2Bank
+from repro.config import APUSystemConfig, CCSVMSystemConfig
+from repro.mem.levels import CacheLevel, LevelSpec, build_cache
+from repro.sim.clock import ClockDomain, ns_to_ps
+from repro.sim.stats import StatsRegistry
+
+
+# --------------------------------------------------------------------------- #
+# CCSVM chip
+# --------------------------------------------------------------------------- #
+def build_ccsvm_l1(node: str, *, size_bytes: int, associativity: int,
+                   hit_latency_ps: int, replacement: str,
+                   stats: Optional[StatsRegistry] = None) -> SetAssociativeCache:
+    """One core's private L1 data cache (registered with the directory)."""
+    spec = LevelSpec(label="l1", size_bytes=size_bytes,
+                     associativity=associativity,
+                     hit_latency_ps=hit_latency_ps, replacement=replacement)
+    return build_cache(spec, f"l1d.{node}", stats=stats)
+
+
+def build_l2_banks(config: CCSVMSystemConfig, node_names: List[str],
+                   hit_latency_ps: int,
+                   stats: Optional[StatsRegistry] = None) -> List[L2Bank]:
+    """The banked, inclusive shared L2 with one directory slice per bank."""
+    spec = LevelSpec(label="l2", size_bytes=config.l2.bank_size_bytes,
+                     associativity=config.l2.associativity,
+                     hit_latency_ps=hit_latency_ps,
+                     replacement=config.l2.replacement)
+    banks: List[L2Bank] = []
+    for index, node in enumerate(node_names):
+        cache = build_cache(spec, f"l2.bank{index}", stats=stats)
+        banks.append(L2Bank(name=node, cache=cache,
+                            directory=Directory(name=f"dir{index}"),
+                            hit_latency_ps=hit_latency_ps))
+    return banks
+
+
+def build_l3_level(config: CCSVMSystemConfig, cpu_clock: ClockDomain,
+                   stats: Optional[StatsRegistry] = None
+                   ) -> Optional[CacheLevel]:
+    """The optional memory-side L3 (``None`` when the shape disables it)."""
+    if not config.l3.enabled:
+        return None
+    spec = LevelSpec(
+        label="l3", size_bytes=config.l3.total_size_bytes,
+        associativity=config.l3.associativity,
+        hit_latency_ps=cpu_clock.cycles_to_ps(config.l3.hit_latency_cpu_cycles),
+        replacement=config.l3.replacement)
+    return CacheLevel(spec, name="l3", stats=stats)
+
+
+# --------------------------------------------------------------------------- #
+# APU baseline
+# --------------------------------------------------------------------------- #
+def build_apu_shared_l2(config: APUSystemConfig,
+                        stats: Optional[StatsRegistry] = None
+                        ) -> Optional[CacheLevel]:
+    """The pooled L2 level all CPU cores share (``None`` for private L2s)."""
+    if not (config.cpu.l2_shared and config.cpu.l2_size_bytes):
+        return None
+    spec = LevelSpec(label="l2", size_bytes=config.cpu.l2_size_bytes,
+                     associativity=config.cpu.l2_associativity,
+                     hit_latency_ps=ns_to_ps(config.cpu.l2_hit_ns),
+                     replacement=config.cpu.l2_replacement)
+    return CacheLevel(spec, name="apu_cpu_shared.l2", stats=stats)

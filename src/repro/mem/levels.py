@@ -1,0 +1,94 @@
+"""Declarative memory-hierarchy levels.
+
+A :class:`LevelSpec` describes the *shape* of one cache level — everything
+Table 2 says about a cache, and nothing about how it is wired.  Building a
+spec yields a :class:`CacheLevel`: the tag store plus its timing, which the
+assemblies in :mod:`repro.mem.private` (APU baseline) and
+:mod:`repro.mem.assemble` (CCSVM chip) stack into hierarchies.  Because the
+level is a first-class object, *sharing* a level between cores is simply
+passing the same :class:`CacheLevel` to several hierarchies — which is how
+the ``apu-shared-l2`` preset pools the APU's four private L2s, and how the
+``ccsvm-l3`` preset slots a memory-side cache under the L2 banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.memory.address import CACHE_LINE_SIZE
+from repro.memory.dram import DRAMModel
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """The declarative shape of one cache level.
+
+    ``label`` names the level's position (``"l1"``, ``"l2"``, ``"l3"``) and
+    keys the hierarchy's per-level counters (``<hier>.<label>_writebacks``).
+    Geometry validation (power-of-two sets, divisibility) happens when the
+    level is built, via :class:`~repro.cache.cache.CacheConfig`, so a
+    mis-shaped level fails at machine construction for *both* machines.
+    """
+
+    label: str
+    size_bytes: int
+    associativity: int
+    hit_latency_ps: int = 0
+    line_size: int = CACHE_LINE_SIZE
+    replacement: str = "lru"
+
+    def cache_config(self, name: str) -> CacheConfig:
+        """The :class:`~repro.cache.cache.CacheConfig` this spec describes."""
+        return CacheConfig(size_bytes=self.size_bytes,
+                           associativity=self.associativity,
+                           line_size=self.line_size,
+                           hit_latency_ps=self.hit_latency_ps,
+                           replacement=self.replacement,
+                           name=name)
+
+
+def build_cache(spec: LevelSpec, name: str,
+                stats: Optional[StatsRegistry] = None) -> SetAssociativeCache:
+    """Build the bare tag store a spec describes (validates geometry)."""
+    return SetAssociativeCache(spec.cache_config(name), stats=stats)
+
+
+class CacheLevel:
+    """One built cache level: a tag store plus its hit latency.
+
+    A level may be private to one hierarchy or shared between several —
+    the level itself does not care; sharing is an assembly decision.
+    """
+
+    def __init__(self, spec: LevelSpec, name: str,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        self.spec = spec
+        self.label = spec.label
+        self.name = name
+        self.cache = build_cache(spec, name, stats=stats)
+        self.hit_latency_ps = spec.hit_latency_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheLevel({self.name}, {self.spec.size_bytes}B, "
+                f"{self.spec.associativity}-way)")
+
+
+class DRAMLevel:
+    """The off-chip terminus of a hierarchy, wrapping a :class:`DRAMModel`."""
+
+    label = "dram"
+
+    def __init__(self, dram: DRAMModel, line_size: int = CACHE_LINE_SIZE) -> None:
+        self.dram = dram
+        self.line_size = line_size
+
+    def read(self) -> int:
+        """Read one line; returns the latency in ps."""
+        return self.dram.read(self.line_size)
+
+    def write(self) -> int:
+        """Write one line back; returns the latency in ps."""
+        return self.dram.write(self.line_size)

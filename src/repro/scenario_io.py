@@ -1,0 +1,165 @@
+"""Scenario declarations loadable from TOML and JSON files.
+
+``repro sweep --scenario study.toml`` (or ``.json``) runs a declarative
+study without touching source — the file carries exactly the fields a
+:class:`repro.api.Scenario` is constructed from::
+
+    # study.toml
+    workload = "barnes_hut"
+    systems = ["apu-shared-l2", "ccsvm-l3"]
+    seed = 5
+    name = "shape-study"
+
+    [grid]
+    bodies = [8, 16]
+
+    [params]
+    timesteps = 1
+
+    [overrides]
+    "l3.total_size_bytes" = "8MiB"
+    "cpu.l1_replacement" = "plru"
+
+The same document as JSON uses the same keys (``grid``/``params``/
+``overrides`` as objects).  Values follow the same rules as the CLI
+flags: grid axes may be lists or scalars, override values may be strings
+coerced by :func:`repro.config.apply_overrides` (so ``"8MiB"`` works),
+and hierarchy-shape paths (``l3.enabled``, ``tlb_enabled``,
+``cpu.l2_shared``) are ordinary override paths.
+
+TOML parsing uses the standard library ``tomllib`` (Python 3.11+); on
+older interpreters TOML files raise a clear error and JSON remains fully
+supported — no third-party dependency is introduced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+try:
+    import tomllib  # Python 3.11+
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    tomllib = None
+
+
+class ScenarioFileError(ReproError):
+    """A scenario file could not be read or did not describe a scenario."""
+
+
+#: The keys a scenario document may carry, mapping 1:1 onto
+#: :class:`repro.api.Scenario` constructor parameters.
+_SCALAR_KEYS = ("workload", "seed", "name", "group", "derive")
+_MAPPING_KEYS = ("grid", "params", "overrides", "full_grid")
+_ALLOWED_KEYS = frozenset(_SCALAR_KEYS + _MAPPING_KEYS + ("systems",))
+
+
+def _parse_document(path: str) -> Dict[str, object]:
+    extension = os.path.splitext(path)[1].lower()
+    try:
+        if extension == ".json":
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        if extension == ".toml":
+            if tomllib is None:
+                raise ScenarioFileError(
+                    f"cannot read {path}: TOML scenario files need Python "
+                    "3.11+ (tomllib); use the JSON form on this interpreter")
+            with open(path, "rb") as handle:
+                return tomllib.load(handle)
+    except ScenarioFileError:
+        raise
+    except OSError as error:
+        raise ScenarioFileError(f"cannot read {path}: {error}") from error
+    except ValueError as error:
+        # json.JSONDecodeError and tomllib.TOMLDecodeError both derive
+        # from ValueError.
+        raise ScenarioFileError(f"cannot parse {path}: {error}") from error
+    raise ScenarioFileError(
+        f"cannot read {path}: unsupported scenario file type "
+        f"{extension or '(none)'!r}; expected .toml or .json")
+
+
+def load_scenario_mapping(path: str) -> Dict[str, object]:
+    """Read a scenario file into validated ``Scenario`` keyword arguments.
+
+    The result maps 1:1 onto :class:`repro.api.Scenario` parameters;
+    unknown keys and mis-typed sections fail here — naming the valid
+    keys — before any simulation work starts.
+    """
+    document = _parse_document(path)
+    if not isinstance(document, dict):
+        raise ScenarioFileError(
+            f"{path}: a scenario file must be a table/object at top level, "
+            f"got {type(document).__name__}")
+    unknown = set(document) - _ALLOWED_KEYS
+    if unknown:
+        raise ScenarioFileError(
+            f"{path}: unknown scenario keys {', '.join(sorted(unknown))}; "
+            f"valid keys: {', '.join(sorted(_ALLOWED_KEYS))}")
+
+    kwargs: Dict[str, object] = {}
+    for key in _SCALAR_KEYS:
+        if key in document:
+            kwargs[key] = document[key]
+    if "systems" in document:
+        systems = document["systems"]
+        if isinstance(systems, str):
+            systems = tuple(name for name in systems.split(",") if name)
+        elif isinstance(systems, (list, tuple)):
+            systems = tuple(systems)
+        else:
+            raise ScenarioFileError(
+                f"{path}: 'systems' must be a list or a comma-separated "
+                f"string, got {type(systems).__name__}")
+        kwargs["systems"] = systems
+    for key in _MAPPING_KEYS:
+        if key in document:
+            section = document[key]
+            if not isinstance(section, dict):
+                raise ScenarioFileError(
+                    f"{path}: {key!r} must be a table/object, "
+                    f"got {type(section).__name__}")
+            kwargs[key] = dict(section)
+    return kwargs
+
+
+def scenario_from_file(path: str, cli_systems: Optional[tuple] = None,
+                       cli_grid: Optional[Dict[str, object]] = None,
+                       cli_params: Optional[Dict[str, object]] = None,
+                       cli_overrides: Optional[Dict[str, object]] = None,
+                       cli_seed: Optional[int] = None,
+                       cli_name: Optional[str] = None,
+                       cli_workload: Optional[str] = None):
+    """Build a :class:`repro.api.Scenario` from ``path`` plus CLI overlays.
+
+    Explicit command-line values win over (grid/params/overrides: merge
+    into; scalars: replace) the file's, so a declared study can be
+    re-pointed — another seed, one more override — without editing it.
+    """
+    from repro.api import Scenario
+
+    kwargs = load_scenario_mapping(path)
+    if cli_workload:
+        kwargs["workload"] = cli_workload
+    if "workload" not in kwargs:
+        raise ScenarioFileError(
+            f"{path}: no 'workload' declared and none given on the "
+            "command line")
+    if cli_systems:
+        kwargs["systems"] = cli_systems
+    kwargs.setdefault("systems", ("cpu",))
+    for key, overlay in (("grid", cli_grid), ("params", cli_params),
+                         ("overrides", cli_overrides)):
+        if overlay:
+            merged = dict(kwargs.get(key) or {})
+            merged.update(overlay)
+            kwargs[key] = merged
+    if cli_seed is not None:
+        kwargs["seed"] = cli_seed
+    if cli_name is not None:
+        kwargs["name"] = cli_name
+    return Scenario(**kwargs)

@@ -20,6 +20,15 @@ Built-in presets:
 ``ccsvm-small`` ``ccsvm``    the scaled-down CCSVM chip unit tests use
 ``ccsvm-tiny``  ``ccsvm``    CCSVM with deliberately tiny caches
 ============== ========== ==================================================
+
+Hierarchy-*shape* presets (same machines, reshaped memory systems, built
+through the unified :mod:`repro.mem` levels):
+
+=================  ============ ============================================
+``ccsvm-l3``        ``ccsvm``     memory-side 16 MiB L3 under the L2 banks
+``ccsvm-no-tlb``    ``ccsvm``     no TLBs; every access pays a page walk
+``apu-shared-l2``   ``pthreads``  four CPU cores share one pooled 4 MiB L2
+=================  ============ ============================================
 """
 
 from __future__ import annotations
@@ -30,6 +39,9 @@ from typing import Callable, Dict, List, Mapping, Optional
 from repro.config import (
     amd_apu_system,
     apply_overrides,
+    apu_shared_l2_system,
+    ccsvm_l3_system,
+    ccsvm_no_tlb_system,
     ccsvm_system,
     override_applies,
     small_ccsvm_system,
@@ -130,3 +142,14 @@ register_system(SystemPreset(
 register_system(SystemPreset(
     name="ccsvm-tiny", variant="ccsvm", factory=tiny_caches_ccsvm_system,
     description="CCSVM with deliberately tiny caches (forces evictions)"))
+
+# Hierarchy-*shape* presets: same machines, reshaped memory systems.
+register_system(SystemPreset(
+    name="ccsvm-l3", variant="ccsvm", factory=ccsvm_l3_system,
+    description="CCSVM chip with a 16 MiB memory-side L3 under the L2 banks"))
+register_system(SystemPreset(
+    name="ccsvm-no-tlb", variant="ccsvm", factory=ccsvm_no_tlb_system,
+    description="CCSVM chip without TLBs (every access pays a page walk)"))
+register_system(SystemPreset(
+    name="apu-shared-l2", variant="pthreads", factory=apu_shared_l2_system,
+    description="APU whose four CPU cores share one pooled 4 MiB L2"))

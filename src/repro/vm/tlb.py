@@ -52,6 +52,10 @@ class TLB:
         self.name = name
         self.stats = stats if stats is not None else StatsRegistry()
         self._entries: "OrderedDict[int, TLBEntry]" = OrderedDict()
+        # Precomputed counter names: lookup() runs once per simulated memory
+        # access, so per-call f-string construction is measurable.
+        self._hits_stat = f"{name}.hits"
+        self._misses_stat = f"{name}.misses"
 
     # ------------------------------------------------------------------ #
     # Lookup / insert
@@ -61,10 +65,10 @@ class TLB:
         vpn = vaddr // self.page_size
         entry = self._entries.get(vpn)
         if entry is None:
-            self.stats.add(f"{self.name}.misses")
+            self.stats.add(self._misses_stat)
             return None
         self._entries.move_to_end(vpn)
-        self.stats.add(f"{self.name}.hits")
+        self.stats.add(self._hits_stat)
         return entry
 
     def insert(self, vpn: int, frame_address: int, writable: bool) -> None:

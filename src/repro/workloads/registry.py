@@ -27,7 +27,12 @@ three columns plus the pthreads baseline:
 ========== =============================================================
 
 System *presets* (named configurations such as ``ccsvm-small``) live in
-:mod:`repro.systems`; they map onto these variant keys.
+:mod:`repro.systems`; they map onto these variant keys.  Several presets
+may share one variant: the hierarchy-shape presets (``ccsvm-l3``,
+``ccsvm-no-tlb``, ``apu-shared-l2``) reuse the ``ccsvm`` / ``pthreads``
+variants unchanged, because reshaping the memory system is purely a
+configuration change on the unified :mod:`repro.mem` levels — a workload
+never needs a new variant to run on a new hierarchy shape.
 """
 
 from __future__ import annotations

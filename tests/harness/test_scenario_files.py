@@ -1,0 +1,169 @@
+"""Scenario declarations loaded from TOML/JSON files (repro sweep --scenario)."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.scenario_io import (
+    ScenarioFileError,
+    load_scenario_mapping,
+    scenario_from_file,
+)
+
+try:
+    import tomllib  # noqa: F401
+    HAVE_TOMLLIB = True
+except ImportError:
+    HAVE_TOMLLIB = False
+
+needs_tomllib = pytest.mark.skipif(not HAVE_TOMLLIB,
+                                   reason="tomllib needs Python 3.11+")
+
+TOML_DOC = """\
+workload = "vector_add"
+systems = ["cpu", "ccsvm-small"]
+seed = 3
+name = "file-study"
+
+[grid]
+size = [4, 8]
+
+[overrides]
+"cpu.l1_replacement" = "plru"
+"""
+
+
+def _write_json(tmp_path, document, name="scenario.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+class TestLoadScenarioMapping:
+    @needs_tomllib
+    def test_toml_document_maps_to_scenario_kwargs(self, tmp_path):
+        path = tmp_path / "study.toml"
+        path.write_text(TOML_DOC, encoding="utf-8")
+        kwargs = load_scenario_mapping(str(path))
+        assert kwargs["workload"] == "vector_add"
+        assert kwargs["systems"] == ("cpu", "ccsvm-small")
+        assert kwargs["grid"] == {"size": [4, 8]}
+        assert kwargs["overrides"] == {"cpu.l1_replacement": "plru"}
+        assert kwargs["seed"] == 3 and kwargs["name"] == "file-study"
+
+    def test_json_document_maps_identically(self, tmp_path):
+        path = _write_json(tmp_path, {
+            "workload": "vector_add", "systems": "cpu,ccsvm-small",
+            "grid": {"size": [4, 8]}, "seed": 3, "name": "file-study",
+            "overrides": {"cpu.l1_replacement": "plru"},
+        })
+        kwargs = load_scenario_mapping(path)
+        assert kwargs["systems"] == ("cpu", "ccsvm-small")
+        assert kwargs["grid"] == {"size": [4, 8]}
+
+    def test_unknown_keys_rejected_with_valid_alternatives(self, tmp_path):
+        path = _write_json(tmp_path, {"workload": "vector_add",
+                                      "gridd": {"size": [4]}})
+        with pytest.raises(ScenarioFileError, match="valid keys"):
+            load_scenario_mapping(path)
+
+    def test_non_table_sections_rejected(self, tmp_path):
+        path = _write_json(tmp_path, {"workload": "vector_add",
+                                      "grid": [4, 8]})
+        with pytest.raises(ScenarioFileError, match="table/object"):
+            load_scenario_mapping(path)
+
+    def test_unsupported_extension_rejected(self, tmp_path):
+        path = tmp_path / "study.yaml"
+        path.write_text("workload: vector_add", encoding="utf-8")
+        with pytest.raises(ScenarioFileError, match="expected .toml or .json"):
+            load_scenario_mapping(str(path))
+
+    def test_missing_file_and_bad_json_report_the_path(self, tmp_path):
+        with pytest.raises(ScenarioFileError, match="cannot read"):
+            load_scenario_mapping(str(tmp_path / "absent.json"))
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ScenarioFileError, match="cannot parse"):
+            load_scenario_mapping(str(path))
+
+
+class TestScenarioFromFile:
+    def test_builds_runnable_scenario(self, tmp_path):
+        path = _write_json(tmp_path, {"workload": "vector_add",
+                                      "systems": ["cpu"],
+                                      "grid": {"size": [4, 8]}})
+        scenario = scenario_from_file(path)
+        points = scenario.points()
+        assert [p.point_id for p in points] == ["system=cpu,size=4",
+                                                "system=cpu,size=8"]
+
+    def test_cli_values_overlay_the_file(self, tmp_path):
+        path = _write_json(tmp_path, {"workload": "vector_add",
+                                      "systems": ["cpu"],
+                                      "grid": {"size": [4]},
+                                      "overrides": {"cpu.max_ipc": 2.0},
+                                      "seed": 3})
+        scenario = scenario_from_file(
+            path, cli_grid={"size": (16,)},
+            cli_overrides={"cpu.l1_replacement": "plru"}, cli_seed=9)
+        assert scenario.grid == (("size", (16,)),)
+        assert scenario.overrides == {"cpu.max_ipc": 2.0,
+                                      "cpu.l1_replacement": "plru"}
+        assert scenario.seed == 9
+
+    def test_workload_required_somewhere(self, tmp_path):
+        path = _write_json(tmp_path, {"systems": ["cpu"]})
+        with pytest.raises(ScenarioFileError, match="workload"):
+            scenario_from_file(path)
+        assert scenario_from_file(path,
+                                  cli_workload="vector_add").workload == \
+            "vector_add"
+
+    def test_hierarchy_shape_overrides_from_file(self, tmp_path):
+        path = _write_json(tmp_path, {
+            "workload": "vector_add", "systems": ["ccsvm-small"],
+            "grid": {"size": [4]},
+            "overrides": {"l3.enabled": True, "tlb_enabled": False,
+                          "l3.total_size_bytes": "64KiB"},
+        })
+        scenario = scenario_from_file(path)
+        points = scenario.points()  # validates the override paths resolve
+        assert points[0].kwargs["overrides"]["l3.enabled"] is True
+
+
+class TestSweepScenarioCLI:
+    def test_sweep_runs_a_scenario_file(self, tmp_path, capsys):
+        path = _write_json(tmp_path, {"workload": "vector_add",
+                                      "systems": ["cpu"],
+                                      "grid": {"size": [4, 8]}})
+        assert cli_main(["sweep", "--scenario", path, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "vector_add on cpu" in out
+        assert out.count("\n  ") >= 2 or "size" in out
+
+    def test_sweep_scenario_with_shape_override_runs(self, tmp_path, capsys):
+        path = _write_json(tmp_path, {
+            "workload": "vector_add", "systems": ["ccsvm-small"],
+            "grid": {"size": [4]},
+            "overrides": {"l3.enabled": True,
+                          "l3.total_size_bytes": "64KiB"},
+        })
+        assert cli_main(["sweep", "--scenario", path, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "l3.enabled" in out  # title names the applied overrides
+
+    def test_sweep_without_workload_or_scenario_errors(self, capsys):
+        assert cli_main(["sweep", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "workload" in err
+
+    @needs_tomllib
+    def test_sweep_toml_scenario_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "study.toml"
+        path.write_text(
+            'workload = "vector_add"\nsystems = ["cpu"]\n\n'
+            "[grid]\nsize = [4]\n", encoding="utf-8")
+        assert cli_main(["sweep", "--scenario", str(path), "--no-cache"]) == 0
+        assert "vector_add on cpu" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""The TLB+L1 fast path is bit-identical to the legacy access path."""
+
+import pytest
+
+from repro.config import small_ccsvm_system, tiny_caches_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.errors import CoherenceError
+from repro.workloads.registry import get_variant
+
+
+def _run_workload(config, fast):
+    result = get_variant("matmul", "ccsvm").func(config, seed=7, size=8)
+    assert result.verified
+    return result
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("config_factory", [small_ccsvm_system,
+                                                tiny_caches_ccsvm_system])
+    def test_matmul_identical_time_and_counters(self, config_factory,
+                                                monkeypatch):
+        original = CCSVMChip.__init__
+        outcomes = {}
+        for fast in (True, False):
+            # Workload variants build their own chips; flip the default.
+            def patched(self, *args, _fast=fast, **kwargs):
+                kwargs.setdefault("fast_access_path", _fast)
+                original(self, *args, **kwargs)
+
+            monkeypatch.setattr(CCSVMChip, "__init__", patched)
+            result = _run_workload(config_factory(), fast)
+            outcomes[fast] = (result.time_ps, result.dram_accesses,
+                              result.counters)
+        assert outcomes[True] == outcomes[False]
+
+
+class TestFastPathMechanics:
+    def _port(self, fast=True):
+        chip = CCSVMChip(small_ccsvm_system(), fast_access_path=fast)
+        chip.create_process("fast_path_test")
+        return chip, chip.cpu_cores[0].memory_port
+
+    def test_probe_miss_leaves_miss_counting_to_slow_path(self):
+        chip, port = self._port()
+        vaddr = chip.malloc(64)
+        port.load(vaddr)   # cold: walk + fill
+        l1 = "l1d.cpu0"
+        misses = chip.stats.get(f"{l1}.misses")
+        hits = chip.stats.get(f"{l1}.hits")
+        port.load(vaddr)   # fast path: one hit, no phantom miss
+        assert chip.stats.get(f"{l1}.hits") == hits + 1
+        assert chip.stats.get(f"{l1}.misses") == misses
+
+    def test_store_upgrade_goes_through_shared_transaction(self):
+        chip, port0 = self._port()
+        port1 = chip.mttop_cores[0].memory_port
+        port1.set_address_space(chip.process_space)
+        vaddr = chip.malloc(64)
+        port0.load(vaddr)
+        port1.load(vaddr)          # line now SHARED in both L1s
+        upgrades = chip.stats.get("coherence.upgrades")
+        port0.store(vaddr, 7)      # fast path hit -> upgrade transaction
+        assert chip.stats.get("coherence.upgrades") == upgrades + 1
+        value, _ = port0.load(vaddr)
+        assert value == 7
+
+    def test_unknown_node_still_raises(self):
+        chip, port = self._port()
+        with pytest.raises(CoherenceError):
+            chip.coherence.l1_load_hit_ps("ghost", 0x1000)
+        with pytest.raises(CoherenceError):
+            chip.coherence.l1_store_hit_ps("ghost", 0x1000)

@@ -1,0 +1,154 @@
+"""The hierarchy-shape presets: ccsvm-l3, ccsvm-no-tlb, apu-shared-l2.
+
+Shapes are configuration, not code: every test here drives a stock
+machine assembly through `repro.config` dataclasses (directly or via the
+`repro.systems` presets and dotted-path overrides) and asserts on the
+behavioural signature of the reshaped hierarchy.
+"""
+
+import pytest
+
+from repro.api import Scenario
+from repro.baseline.apu import AMDAPU
+from repro.config import (
+    amd_apu_system,
+    apply_overrides,
+    apu_shared_l2_system,
+    ccsvm_l3_system,
+    ccsvm_no_tlb_system,
+    small_ccsvm_system,
+)
+from repro.core.chip import CCSVMChip
+from repro.systems import get_system, system_config
+from repro.workloads.registry import get_variant
+
+
+def _small_l3(**extra):
+    overrides = {"l3.enabled": True, "l3.total_size_bytes": "64KiB"}
+    overrides.update(extra)
+    return apply_overrides(small_ccsvm_system(), overrides)
+
+
+class TestPresetRegistration:
+    def test_shape_presets_registered(self):
+        assert get_system("ccsvm-l3").variant == "ccsvm"
+        assert get_system("ccsvm-no-tlb").variant == "ccsvm"
+        assert get_system("apu-shared-l2").variant == "pthreads"
+
+    def test_factories_reshape_the_hierarchy(self):
+        assert ccsvm_l3_system().l3.enabled
+        assert not ccsvm_no_tlb_system().tlb_enabled
+        shared = apu_shared_l2_system()
+        assert shared.cpu.l2_shared
+        assert shared.cpu.l2_size_bytes == 4 * 1024 * 1024
+
+    def test_shapes_reachable_by_override_on_any_preset(self):
+        config = system_config("ccsvm-small", {"l3.enabled": True,
+                                               "tlb_enabled": False})
+        assert config.l3.enabled and not config.tlb_enabled
+
+
+class TestCCSVML3:
+    def test_l3_serves_refills_without_dram(self):
+        # A 16 KiB working set spills the 1 KiB L1 and the 8 KiB L2 but
+        # stays inside the 64 KiB L3: the second pass must be served
+        # entirely on-chip.
+        small = apply_overrides(_small_l3(), {"cpu.l1_size_bytes": "1KiB",
+                                              "l2.total_size_bytes": "8KiB"})
+        chip = CCSVMChip(small)
+        chip.create_process("l3_test")
+        port = chip.cpu_cores[0].memory_port
+        footprint = 16 * 1024
+        base = chip.malloc(footprint)
+        for offset in range(0, footprint, 64):
+            port.load(base + offset)
+        dram_reads_before = chip.stats.get("dram.reads")
+        for offset in range(0, footprint, 64):
+            port.load(base + offset)
+        assert chip.stats.get("coherence.l3_hits") > 0
+        # The second pass is served by L2 + L3; no new off-chip reads.
+        assert chip.stats.get("dram.reads") == dram_reads_before
+
+    def test_l3_reduces_dram_accesses_for_spilling_working_set(self):
+        run = get_variant("matmul", "ccsvm").func
+        base_cfg = apply_overrides(small_ccsvm_system(),
+                                   {"cpu.l1_size_bytes": "1KiB",
+                                    "mttop.l1_size_bytes": "1KiB",
+                                    "l2.total_size_bytes": "2KiB"})
+        l3_cfg = apply_overrides(base_cfg, {"l3.enabled": True,
+                                            "l3.total_size_bytes": "64KiB"})
+        plain = run(base_cfg, seed=7, size=12)
+        with_l3 = run(l3_cfg, seed=7, size=12)
+        assert plain.verified and with_l3.verified
+        assert with_l3.dram_accesses < plain.dram_accesses
+
+    def test_disabled_l3_builds_no_level(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        assert chip.l3_level is None
+        assert chip.coherence.l3 is None
+
+
+class TestCCSVMNoTLB:
+    def test_ports_have_no_tlb_and_every_access_walks(self):
+        config = apply_overrides(small_ccsvm_system(), {"tlb_enabled": False})
+        chip = CCSVMChip(config)
+        chip.create_process("no_tlb_test")
+        port = chip.cpu_cores[0].memory_port
+        assert port.tlb is None
+        vaddr = chip.malloc(64)
+        port.load(vaddr)
+        walks = chip.stats.get("walker.cpu0.walks")
+        port.load(vaddr)
+        assert chip.stats.get("walker.cpu0.walks") == walks + 1
+        assert chip.stats.get("tlb.cpu0.hits") == 0
+
+    def test_no_tlb_costs_time_but_computes_same_result(self):
+        run = get_variant("matmul", "ccsvm").func
+        base = run(small_ccsvm_system(), seed=7, size=8)
+        no_tlb = run(apply_overrides(small_ccsvm_system(),
+                                     {"tlb_enabled": False}),
+                     seed=7, size=8)
+        assert no_tlb.verified
+        assert no_tlb.time_ps > base.time_ps
+        assert no_tlb.dram_accesses == base.dram_accesses
+
+
+class TestAPUSharedL2:
+    def test_cores_share_one_l2_level(self):
+        apu = AMDAPU(apu_shared_l2_system())
+        tag_stores = {id(core.hierarchy.l2) for core in apu.cpu_cores}
+        assert len(tag_stores) == 1
+        assert apu.cpu_cores[0].hierarchy.l2 is not None
+
+    def test_private_default_keeps_separate_l2s(self):
+        apu = AMDAPU(amd_apu_system())
+        tag_stores = {id(core.hierarchy.l2) for core in apu.cpu_cores}
+        assert len(tag_stores) == len(apu.cpu_cores)
+
+    def test_cross_core_refill_hits_the_pool(self):
+        apu = AMDAPU(apu_shared_l2_system())
+        first, second = apu.cpu_cores[0].hierarchy, apu.cpu_cores[1].hierarchy
+        first.access(0x8000, is_write=False)
+        reads_before = apu.dram.total_accesses
+        second.access(0x8000, is_write=False)
+        assert apu.dram.total_accesses == reads_before
+        assert apu.stats.get("apu_cpu_shared.l2.hits") == 1
+
+
+class TestShapePresetsEndToEnd:
+    @pytest.mark.parametrize("system", ["apu-shared-l2", "ccsvm-l3"])
+    def test_barnes_hut_runs_on_shape_presets(self, system):
+        preset = get_system(system)
+        result = get_variant("barnes_hut", preset.variant).func(
+            system_config(system), seed=5, bodies=8, timesteps=1)
+        assert result.verified
+
+    def test_scenario_sweep_over_both_shape_presets(self):
+        results = Scenario(workload="barnes_hut",
+                           systems=("apu-shared-l2", "ccsvm-l3"),
+                           grid={"bodies": (8,)},
+                           params={"timesteps": 1}).run()
+        assert len(results) == 2
+        assert all(row["verified"] for row in results.rows)
+        assert {row["system"] for row in results.rows} == {"apu-shared-l2",
+                                                           "ccsvm-l3"}

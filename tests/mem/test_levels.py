@@ -1,0 +1,125 @@
+"""Tests for the unified memory-hierarchy levels and private stacks."""
+
+import pytest
+
+from repro.errors import CacheError, MemoryError_
+from repro.mem.levels import CacheLevel, DRAMLevel, LevelSpec, build_cache
+from repro.mem.private import PrivateHierarchy
+from repro.memory.dram import DRAMModel
+from repro.sim.stats import StatsRegistry
+
+LINE = 64
+
+
+def _level(label, size, assoc=2, hit_ps=100, replacement="lru", stats=None,
+           name=None):
+    spec = LevelSpec(label=label, size_bytes=size, associativity=assoc,
+                     hit_latency_ps=hit_ps, line_size=LINE,
+                     replacement=replacement)
+    return CacheLevel(spec, name=name or f"h.{label}", stats=stats)
+
+
+class TestLevelSpec:
+    def test_build_validates_geometry(self):
+        # 3 sets is not a power of two: the shared CacheConfig validation
+        # fires at build time, whatever machine the level is destined for.
+        with pytest.raises(CacheError):
+            build_cache(LevelSpec("l1", size_bytes=3 * 2 * LINE,
+                                  associativity=2, line_size=LINE), "bad")
+
+    def test_build_validates_replacement(self):
+        with pytest.raises(CacheError, match="unknown replacement"):
+            _level("l1", 4 * LINE, replacement="fifo")
+
+    def test_cache_level_carries_timing(self):
+        level = _level("l2", 8 * LINE, hit_ps=1234)
+        assert level.hit_latency_ps == 1234
+        assert level.label == "l2"
+        assert level.cache.config.size_bytes == 8 * LINE
+
+    def test_dram_level_reads_and_writes_lines(self):
+        stats = StatsRegistry()
+        dram = DRAMLevel(DRAMModel(latency_ns=10.0, stats=stats), line_size=LINE)
+        assert dram.read() == 10_000
+        assert dram.write() == 10_000
+        assert stats.get("dram.bytes_read") == LINE
+        assert stats.get("dram.bytes_written") == LINE
+
+
+class TestPrivateHierarchy:
+    def _stack(self, labels_sizes, stats=None):
+        stats = stats if stats is not None else StatsRegistry()
+        dram = DRAMModel(latency_ns=50.0, stats=stats)
+        levels = [_level(label, size, stats=stats)
+                  for label, size in labels_sizes]
+        return PrivateHierarchy("h", dram, levels, stats=stats,
+                                line_size=LINE), stats, dram
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(MemoryError_):
+            PrivateHierarchy("empty", DRAMModel(latency_ns=50.0), [])
+
+    def test_three_level_miss_fills_every_level(self):
+        hierarchy, stats, dram = self._stack(
+            [("l1", 2 * LINE), ("l2", 4 * LINE), ("l3", 8 * LINE)])
+        miss = hierarchy.access(0x1000, is_write=False)
+        assert dram.total_accesses == 1
+        assert stats.get("h.l1.fills") == 1
+        assert stats.get("h.l2.fills") == 1
+        assert stats.get("h.l3.fills") == 1
+        # All three hit latencies plus the DRAM access are on the path.
+        assert miss == 3 * 100 + 50_000
+        hit = hierarchy.access(0x1000, is_write=False)
+        assert hit == 100
+        assert dram.total_accesses == 1
+
+    def test_mid_level_hit_fills_only_levels_above(self):
+        hierarchy, stats, dram = self._stack(
+            [("l1", 2 * LINE), ("l2", 4 * LINE), ("l3", 8 * LINE)])
+        hierarchy.access(0x0, False)
+        hierarchy.access(0x40, False)
+        hierarchy.access(0x80, False)  # evicts 0x0 from the 2-line L1
+        reads_before = dram.total_accesses
+        latency = hierarchy.access(0x0, False)  # L1 miss, L2 hit
+        assert dram.total_accesses == reads_before
+        assert latency == 2 * 100
+        assert stats.get("h.l3.fills") == 3  # no new L3 fill on the L2 hit
+
+    def test_dirty_victims_cascade_down_the_stack(self):
+        stats = StatsRegistry()
+        dram = DRAMModel(latency_ns=50.0, stats=stats)
+        levels = [_level("l1", LINE, assoc=1, stats=stats),
+                  _level("l2", LINE, assoc=1, stats=stats)]
+        hierarchy = PrivateHierarchy("h", dram, levels, stats=stats,
+                                     line_size=LINE)
+        hierarchy.access(0x0, is_write=True)
+        hierarchy.access(0x40, is_write=True)   # evicts dirty 0x0 -> L2
+        assert stats.get("h.l1_writebacks") == 1
+        hierarchy.access(0x80, is_write=True)   # 0x40 -> L2 evicts dirty 0x0
+        assert stats.get("h.l2_writebacks") == 1
+        assert stats.get("dram.writes") == 1
+
+    def test_flush_reports_and_writes_dirty_lines(self):
+        hierarchy, stats, dram = self._stack([("l1", 2 * LINE), ("l2", 4 * LINE)])
+        hierarchy.access(0x0, is_write=True)
+        hierarchy.access(0x40, is_write=False)
+        flushed, dirty = hierarchy.flush()
+        assert flushed >= 2 and dirty == 1
+        assert stats.get("dram.writes") == 1
+        assert stats.get("h.flush_dirty_lines") == 1
+
+    def test_shared_level_between_two_stacks(self):
+        stats = StatsRegistry()
+        dram = DRAMModel(latency_ns=50.0, stats=stats)
+        shared = _level("l2", 8 * LINE, stats=stats, name="pool.l2")
+        a = PrivateHierarchy("a", dram,
+                             [_level("l1", 2 * LINE, stats=stats, name="a.l1"),
+                              shared], stats=stats, line_size=LINE)
+        b = PrivateHierarchy("b", dram,
+                             [_level("l1", 2 * LINE, stats=stats, name="b.l1"),
+                              shared], stats=stats, line_size=LINE)
+        a.access(0x1000, is_write=False)          # fills pool.l2 via a
+        reads_before = dram.total_accesses
+        b.access(0x1000, is_write=False)          # b's L1 misses, pool hits
+        assert dram.total_accesses == reads_before
+        assert stats.get("pool.l2.hits") == 1

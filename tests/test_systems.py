@@ -156,3 +156,22 @@ class TestSystemRegistry:
     def test_small_preset_builds_small_chip(self):
         config = system_config("ccsvm-small")
         assert config.mttop.count < ccsvm_system().mttop.count
+
+    def test_hierarchy_shape_presets_registered(self):
+        assert {"ccsvm-l3", "ccsvm-no-tlb", "apu-shared-l2"} <= \
+            set(system_names())
+        assert system_config("ccsvm-l3").l3.enabled
+        assert not system_config("ccsvm-no-tlb").tlb_enabled
+        assert system_config("apu-shared-l2").cpu.l2_shared
+
+    def test_shape_fields_reachable_by_overrides(self):
+        config = system_config("ccsvm", {"l3.enabled": True,
+                                         "l3.total_size_bytes": "8MiB",
+                                         "tlb_enabled": False,
+                                         "l2.replacement": "plru"})
+        assert config.l3.enabled
+        assert config.l3.total_size_bytes == 8 * 1024 * 1024
+        assert not config.tlb_enabled
+        assert config.l2.replacement == "plru"
+        apu = system_config("apu-shared-l2", {"cpu.l2_shared": "false"})
+        assert not apu.cpu.l2_shared
