@@ -10,11 +10,25 @@ the run.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import subprocess
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(__file__), capture_output=True, text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
 
 
 @pytest.fixture
@@ -25,6 +39,35 @@ def record_figure():
         path = os.path.join(RESULTS_DIR, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+        return path
+
+    return _record
+
+
+@pytest.fixture
+def record_results():
+    """Return a helper that saves machine-readable results to disk.
+
+    Writes ``benchmarks/results/<name>.json`` next to the rendered text
+    tables.  Every document carries the host fingerprint and the git
+    revision so numbers archived from different runners (CI artifacts,
+    laptops) stay attributable and comparable.
+    """
+    def _record(name: str, payload: dict) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        document = dict(payload)
+        document.setdefault("benchmark", name)
+        document["host"] = {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        }
+        document["git_sha"] = _git_sha()
+        path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
     return _record

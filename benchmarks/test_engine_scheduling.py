@@ -53,7 +53,7 @@ def _steps_per_second(scheduler: str, agents: int = AGENTS,
     return best
 
 
-def test_engine_heap_scheduler_speedup(benchmark, record_figure):
+def test_engine_heap_scheduler_speedup(benchmark, record_figure, record_results):
     """The heap ready queue is >=2x faster than the linear scan at 16 agents."""
     heap_rate = run_once(benchmark, _steps_per_second, "heap")
     linear_rate = _steps_per_second("linear")
@@ -66,6 +66,13 @@ def test_engine_heap_scheduler_speedup(benchmark, record_figure):
         f"speedup: {ratio:.2f}x"
     )
     record_figure("engine_scheduling", text)
+    record_results("engine_scheduling", {
+        "agents": AGENTS,
+        "steps_per_agent": STEPS_PER_AGENT,
+        "heap_steps_per_s": heap_rate,
+        "linear_steps_per_s": linear_rate,
+        "speedup": ratio,
+    })
     print("\n" + text)
     assert ratio >= 2.0, (
         f"heap scheduler only {ratio:.2f}x the linear scan at {AGENTS} agents"

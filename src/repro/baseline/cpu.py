@@ -10,12 +10,14 @@ runs are composed of parallel *phases* by :mod:`repro.baseline.pthreads`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.baseline.memory import FlatMemory, PrivateCacheHierarchy
 from repro.cores.interpreter import ThreadContext, ThreadProgram, execute_memory_operation
 from repro.cores.isa import Compute, Free, Malloc
 from repro.errors import KernelProgramError
+from repro.mem.batch import (BatchOp, BatchResult, OP_STORE, run_flat_batch,
+                             scalar_run_batch, split_ops)
 from repro.sim.clock import ClockDomain
 from repro.sim.stats import StatsRegistry
 
@@ -36,9 +38,15 @@ class BaselineRunResult:
 class BaselineCPUPort:
     """Memory port adapter: flat memory + a private cache hierarchy."""
 
-    def __init__(self, memory: FlatMemory, hierarchy: PrivateCacheHierarchy) -> None:
+    def __init__(self, memory: FlatMemory, hierarchy: PrivateCacheHierarchy,
+                 batch_enabled: bool = True) -> None:
         self.memory = memory
         self.hierarchy = hierarchy
+        self.batch_enabled = batch_enabled
+        #: The APU baseline has no SC checker, so nothing reads this; it
+        #: exists to satisfy the :class:`~repro.mem.port.MemoryPort`
+        #: protocol without per-step ``hasattr`` checks in the cores.
+        self.current_time_ps = 0
 
     def load(self, vaddr: int) -> Tuple[int, int]:
         """Load a word; returns ``(value, latency_ps)``."""
@@ -65,6 +73,30 @@ class BaselineCPUPort:
         if old == expected:
             self.memory.write_word(vaddr, new)
         return old, latency
+
+    # ------------------------------------------------------------------ #
+    # Batched access
+    # ------------------------------------------------------------------ #
+    def run_batch(self, ops: Sequence[BatchOp]) -> BatchResult:
+        """Run a mixed op batch in order; see :mod:`repro.mem.batch`."""
+        vaddrs, kinds, vals, vals2 = split_ops(ops)
+        if self.batch_enabled:
+            return run_flat_batch(self, vaddrs, kinds, vals, vals2)
+        return scalar_run_batch(self, vaddrs, kinds, vals, vals2)
+
+    def load_batch(self, vaddrs: Sequence[int]) -> BatchResult:
+        """Load a vector of addresses; returns ``(values, latencies)``."""
+        if self.batch_enabled:
+            return run_flat_batch(self, vaddrs, None, None, None)
+        return scalar_run_batch(self, vaddrs, None, None, None)
+
+    def store_batch(self, vaddrs: Sequence[int],
+                    values: Sequence[int]) -> List[int]:
+        """Store a vector of values; returns the per-op latencies."""
+        kinds = [OP_STORE] * len(vaddrs)
+        if self.batch_enabled:
+            return run_flat_batch(self, vaddrs, kinds, values, None)[1]
+        return scalar_run_batch(self, vaddrs, kinds, values, None)[1]
 
 
 class BaselineCPUCore:
@@ -121,6 +153,12 @@ class BaselineCPUCore:
                     "a single-threaded baseline program spun on a WaitValue that "
                     "can never be satisfied"
                 )
+            if memory_outcome.ops > 1:
+                # A vector operation is N instructions; one issue slot was
+                # already charged above, so add the remaining N-1.
+                extra = memory_outcome.ops - 1
+                instructions += extra
+                elapsed += self._issue_ps * extra
             elapsed += memory_outcome.latency_ps
             context.complete(operation, memory_outcome)
 

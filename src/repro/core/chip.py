@@ -37,6 +37,7 @@ from repro.interconnect.network import NetworkModel
 from repro.interconnect.topology import Torus2DTopology
 from repro.memory.dram import DRAMModel
 from repro.memory.physical import FrameAllocator, PhysicalMemory
+from repro.mem.trace import active_recorder as trace_active_recorder
 from repro.memory.address import WORD_SIZE
 from repro.mifd.device import MIFD, page_fault_handler_via_mifd
 from repro.mifd.driver import MIFDDriver
@@ -103,6 +104,7 @@ class CCSVMChip:
         self._compiled_process: Optional[CompiledProcess] = None
         self._outstanding_host_programs = 0
         self._has_run = False
+        self._trace_recorder = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -158,7 +160,8 @@ class CCSVMChip:
                               physical_memory=self.physical_memory,
                               vm_manager=self.vm, stats=self.stats,
                               sc_checker=self.sc_checker,
-                              fast_path=self.fast_access_path)
+                              fast_path=self.fast_access_path,
+                              batch_enabled=self.config.batch_access)
 
     def _build_cores(self) -> None:
         cfg = self.config
@@ -257,6 +260,21 @@ class CCSVMChip:
             return program
         raise SimulationError(f"cannot use {host!r} as a host program")
 
+    def attach_trace_recorder(self, recorder) -> None:
+        """Record this chip's run into ``recorder`` (a
+        :class:`~repro.mem.trace.TraceRecorder`).
+
+        Must be called before :meth:`run`.  Host programs and every MTTOP
+        device thread program are transparently wrapped, so the traced run
+        is bit-for-bit identical to an untraced one.
+        """
+        if self._has_run:
+            raise SimulationError(
+                "attach_trace_recorder must be called before run()"
+            )
+        self._trace_recorder = recorder
+        self.mifd.program_wrapper = recorder.wrap_device
+
     def _on_host_complete(self, core: CPUCore, context) -> None:
         self._outstanding_host_programs -= 1
         if self._outstanding_host_programs <= 0:
@@ -281,12 +299,20 @@ class CCSVMChip:
                 "this chip has already completed a run; create a new CCSVMChip"
             )
         self._has_run = True
+        if self._trace_recorder is None:
+            ambient = trace_active_recorder()
+            if ambient is not None:
+                self._trace_recorder = ambient
+                self.mifd.program_wrapper = ambient.wrap_device
         if self._process_space is None:
             self.create_process(process_name)
 
         host_programs = [self._resolve_host(host)]
         for extra in extra_hosts or []:
             host_programs.append(self._resolve_host(extra))
+        if self._trace_recorder is not None:
+            host_programs = [self._trace_recorder.wrap_host(program)
+                             for program in host_programs]
         if len(host_programs) > len(self.cpu_cores):
             raise SimulationError(
                 f"{len(host_programs)} host threads exceed {len(self.cpu_cores)} CPU cores"

@@ -44,6 +44,7 @@ class CPUCore(Agent):
         self.stats = stats if stats is not None else StatsRegistry()
         self.spin_poll_ps = spin_poll_ps
         self._issue_ps = clock.cycles_to_ps(cycles_per_instruction)
+        self._instructions_stat = f"{name}.instructions"
         self._queue: List[Tuple[ThreadContext, Optional[CompletionCallback]]] = []
         self._current: Optional[Tuple[ThreadContext, Optional[CompletionCallback]]] = None
         self._pending_interrupt_ps = 0
@@ -110,15 +111,16 @@ class CPUCore(Agent):
         outcome = self._execute(context, operation)
         context.complete(operation, outcome)
         self.advance(outcome.latency_ps)
-        self.stats.add(f"{self.name}.instructions")
+        self.stats.add(self._instructions_stat, outcome.ops)
         return StepOutcome.RAN
 
     # ------------------------------------------------------------------ #
     # Operation execution
     # ------------------------------------------------------------------ #
     def _execute(self, context: ThreadContext, operation) -> OpOutcome:
-        if hasattr(self.memory_port, "current_time_ps"):
-            self.memory_port.current_time_ps = self.local_time_ps
+        # current_time_ps is part of the MemoryPort protocol (defaulted by
+        # every implementation), so no hasattr probe in the hot loop.
+        self.memory_port.current_time_ps = self.local_time_ps
         if isinstance(operation, Compute):
             latency = self._issue_ps * max(1, operation.amount)
             return OpOutcome(latency_ps=latency)
@@ -126,7 +128,9 @@ class CPUCore(Agent):
         memory_outcome = execute_memory_operation(operation, self.memory_port,
                                                   self.spin_poll_ps)
         if memory_outcome is not None:
-            memory_outcome.latency_ps += self._issue_ps
+            # Vector operations are charged one issue slot per element,
+            # exactly like the equivalent back-to-back scalar sequence.
+            memory_outcome.latency_ps += self._issue_ps * memory_outcome.ops
             return memory_outcome
 
         if self.runtime_handler is None:

@@ -18,11 +18,15 @@ from repro.cores.isa import (
     AtomicDec,
     AtomicInc,
     Load,
+    LoadVector,
     Operation,
     Store,
+    StoreVector,
     WaitValue,
 )
 from repro.errors import KernelProgramError
+from repro.mem.batch import (OP_ATOMIC_ADD, OP_ATOMIC_CAS, OP_LOAD, OP_STORE,
+                             BatchOp)
 
 #: A thread program: a generator yielding operations and receiving results.
 ThreadProgram = Generator[Operation, object, None]
@@ -35,11 +39,16 @@ class OpOutcome:
     ``retry`` means the operation did not complete (a spin-wait whose
     condition is not yet true) and must be re-executed on the lane's next
     turn; the latency charged covers the poll that was performed.
+
+    ``ops`` is how many scalar operations this outcome stands for: 1 for
+    everything except the vector memory operations, which count (and are
+    charged issue cost) as one instruction per element.
     """
 
     latency_ps: int = 0
     value: object = None
     retry: bool = False
+    ops: int = 1
 
 
 @dataclass
@@ -85,7 +94,7 @@ class ThreadContext:
             return
         self.pending_op = None
         self.next_send = outcome.value
-        self.operations_executed += 1
+        self.operations_executed += outcome.ops
 
 
 #: Handler for operations the core itself does not know how to execute
@@ -130,4 +139,60 @@ def execute_memory_operation(operation: Operation, memory_port,
         if satisfied:
             return OpOutcome(latency_ps=latency, value=value)
         return OpOutcome(latency_ps=latency + spin_poll_ps, retry=True)
+    if isinstance(operation, LoadVector):
+        values, latencies = memory_port.load_batch(operation.vaddrs)
+        return OpOutcome(latency_ps=sum(latencies), value=tuple(values),
+                         ops=max(1, len(latencies)))
+    if isinstance(operation, StoreVector):
+        latencies = memory_port.store_batch(operation.vaddrs, operation.values)
+        return OpOutcome(latency_ps=sum(latencies),
+                         ops=max(1, len(latencies)))
     return None
+
+
+# --------------------------------------------------------------------------- #
+# Batch collection (used by the MTTOP warp loop)
+# --------------------------------------------------------------------------- #
+def batch_request(operation: Operation) -> Optional[BatchOp]:
+    """Encode ``operation`` as a ``(kind, vaddr, a, b)`` batch op.
+
+    Returns ``None`` for operations that cannot join a mixed batch —
+    compute, runtime services, and the vector operations (which batch
+    internally through ``load_batch``/``store_batch`` already).  A
+    :class:`WaitValue` is encoded as the load its poll performs; the
+    spin/retry decision is re-applied by :func:`batch_outcome`.
+    """
+    if isinstance(operation, Load):
+        return (OP_LOAD, operation.vaddr, 0, 0)
+    if isinstance(operation, Store):
+        return (OP_STORE, operation.vaddr, operation.value, 0)
+    if isinstance(operation, AtomicAdd):
+        return (OP_ATOMIC_ADD, operation.vaddr, operation.delta, 0)
+    if isinstance(operation, AtomicInc):
+        return (OP_ATOMIC_ADD, operation.vaddr, 1, 0)
+    if isinstance(operation, AtomicDec):
+        return (OP_ATOMIC_ADD, operation.vaddr, -1, 0)
+    if isinstance(operation, AtomicCAS):
+        return (OP_ATOMIC_CAS, operation.vaddr, operation.expected,
+                operation.new)
+    if isinstance(operation, WaitValue):
+        return (OP_LOAD, operation.vaddr, 0, 0)
+    return None
+
+
+def batch_outcome(operation: Operation, value: object, latency_ps: int,
+                  spin_poll_ps: int) -> OpOutcome:
+    """Build the :class:`OpOutcome` for one batched operation's result.
+
+    Mirrors exactly what :func:`execute_memory_operation` would have
+    produced for the same operation and port result.
+    """
+    if isinstance(operation, WaitValue):
+        satisfied = (value != operation.value) if operation.negate \
+            else (value == operation.value)
+        if satisfied:
+            return OpOutcome(latency_ps=latency_ps, value=value)
+        return OpOutcome(latency_ps=latency_ps + spin_poll_ps, retry=True)
+    if isinstance(operation, Store):
+        return OpOutcome(latency_ps=latency_ps)
+    return OpOutcome(latency_ps=latency_ps, value=value)

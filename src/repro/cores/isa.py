@@ -18,6 +18,7 @@ are separate operation classes defined by :mod:`repro.core.xthreads.api`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.memory.address import WORD_SIZE
 
@@ -79,6 +80,33 @@ class AtomicCAS(Operation):
     vaddr: int
     expected: int
     new: int
+
+
+@dataclass(frozen=True)
+class LoadVector(Operation):
+    """Load every word in ``vaddrs``; yields the tuple of their values.
+
+    Semantically and in timing this is exactly the same as yielding one
+    :class:`Load` per address back to back — each element is charged the
+    core's issue cost plus its own memory latency, and counts as one
+    executed instruction — but it lets the memory port run the batch
+    through the columnar access engine (:mod:`repro.mem.batch`) instead
+    of one full call chain per word.
+    """
+
+    vaddrs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StoreVector(Operation):
+    """Store ``values[i]`` to ``vaddrs[i]`` for every element (no result).
+
+    The vector analogue of :class:`Store`, with the same equivalence to a
+    back-to-back scalar sequence as :class:`LoadVector`.
+    """
+
+    vaddrs: Tuple[int, ...]
+    values: Tuple[int, ...]
 
 
 @dataclass(frozen=True)

@@ -15,15 +15,17 @@ process has completed, at which point idle cores finish.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cores.interpreter import (
     OpOutcome,
     RuntimeHandler,
     ThreadContext,
+    batch_outcome,
+    batch_request,
     execute_memory_operation,
 )
-from repro.cores.isa import Compute
+from repro.cores.isa import Compute, Operation
 from repro.errors import KernelProgramError, MIFDError
 from repro.sim.clock import ClockDomain
 from repro.sim.engine import Agent, StepOutcome
@@ -148,27 +150,91 @@ class MTTOPCore(Agent):
                 return self.finish()
             return self.block()
 
-        worst_latency = 0
+        if getattr(self.memory_port, "batch_enabled", False):
+            worst_latency, warp_issues = self._run_lanes_batched(warp)
+        else:
+            worst_latency = 0
+            warp_issues = 1
+            for lane in warp.active_lanes:
+                operation = lane.next_operation()
+                if operation is None:
+                    continue
+                outcome = self._execute(lane, operation)
+                lane.complete(operation, outcome)
+                worst_latency = max(worst_latency, outcome.latency_ps)
+                warp_issues = max(warp_issues, outcome.ops)
+                self.stats.add(f"{self.name}.lane_instructions", outcome.ops)
+
+        self.advance(self._issue_ps + worst_latency)
+        # A vector op stands for N back-to-back warp issues.
+        self.stats.add(f"{self.name}.warp_instructions", warp_issues)
+        self._retire_finished_warps()
+        return StepOutcome.RAN
+
+    def _run_lanes_batched(self, warp: Warp) -> int:
+        """One warp step with the lanes' memory operations batched.
+
+        Lanes execute in lane order exactly as in the scalar loop, but
+        consecutive plain memory operations are collected and handed to
+        the port as one batch.  Any operation that may itself touch the
+        memory port (runtime services) or is not batchable flushes the
+        pending batch first, so the port observes the identical global
+        operation order — which is what makes results bit-for-bit equal.
+        """
+        self.memory_port.current_time_ps = self.local_time_ps
+        worst = 0
+        lane_ops = 0
+        warp_issues = 1
+        pending: List[Tuple[ThreadContext, Operation, tuple]] = []
         for lane in warp.active_lanes:
             operation = lane.next_operation()
             if operation is None:
                 continue
+            lane_ops += 1
+            request = batch_request(operation)
+            if request is not None:
+                pending.append((lane, operation, request))
+                continue
+            worst = max(worst, self._flush_batch(pending))
             outcome = self._execute(lane, operation)
             lane.complete(operation, outcome)
-            worst_latency = max(worst_latency, outcome.latency_ps)
-            self.stats.add(f"{self.name}.lane_instructions")
+            lane_ops += outcome.ops - 1
+            warp_issues = max(warp_issues, outcome.ops)
+            worst = max(worst, outcome.latency_ps)
+        worst = max(worst, self._flush_batch(pending))
+        if lane_ops:
+            self.stats.add(f"{self.name}.lane_instructions", lane_ops)
+        return worst, warp_issues
 
-        self.advance(self._issue_ps + worst_latency)
-        self.stats.add(f"{self.name}.warp_instructions")
-        self._retire_finished_warps()
-        return StepOutcome.RAN
+    def _flush_batch(self, pending: List[Tuple[ThreadContext, Operation, tuple]]) -> int:
+        """Execute and complete the pending lane memory operations."""
+        if not pending:
+            return 0
+        if len(pending) == 1:
+            lane, operation, _request = pending[0]
+            outcome = execute_memory_operation(operation, self.memory_port,
+                                               self.spin_poll_ps)
+            lane.complete(operation, outcome)
+            pending.clear()
+            return outcome.latency_ps
+        values, latencies = self.memory_port.run_batch(
+            [request for _, _, request in pending])
+        worst = 0
+        for index, (lane, operation, _request) in enumerate(pending):
+            outcome = batch_outcome(operation, values[index], latencies[index],
+                                    self.spin_poll_ps)
+            lane.complete(operation, outcome)
+            worst = max(worst, outcome.latency_ps)
+        pending.clear()
+        return worst
 
     # ------------------------------------------------------------------ #
     # Operation execution
     # ------------------------------------------------------------------ #
     def _execute(self, lane: ThreadContext, operation) -> OpOutcome:
-        if hasattr(self.memory_port, "current_time_ps"):
-            self.memory_port.current_time_ps = self.local_time_ps
+        # current_time_ps is part of the MemoryPort protocol (defaulted by
+        # every implementation), so no hasattr probe in the hot loop.
+        self.memory_port.current_time_ps = self.local_time_ps
         if isinstance(operation, Compute):
             # One operation per lane per cycle; lanes run in parallel, so a
             # Compute(n) costs n extra cycles for this lane.
@@ -177,6 +243,12 @@ class MTTOPCore(Agent):
         memory_outcome = execute_memory_operation(operation, self.memory_port,
                                                   self.spin_poll_ps)
         if memory_outcome is not None:
+            if memory_outcome.ops > 1:
+                # A vector op is N back-to-back lane operations: the step
+                # charges one issue cycle, so add the other N - 1 here
+                # (same accounting as Compute(n)).
+                memory_outcome.latency_ps += \
+                    self._issue_ps * (memory_outcome.ops - 1)
             return memory_outcome
 
         if self.runtime_handler is None:

@@ -36,11 +36,14 @@ and the GPU model's internal ports — and is what
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, Tuple, runtime_checkable
+from typing import (Callable, List, Optional, Protocol, Sequence, Tuple,
+                    runtime_checkable)
 
 from repro.coherence.protocol import CoherentMemorySystem
 from repro.core.consistency import SequentialConsistencyChecker
 from repro.errors import VirtualMemoryError
+from repro.mem.batch import (BatchOp, BatchResult, OP_STORE, run_ccsvm_batch,
+                             scalar_run_batch, split_ops)
 from repro.memory.physical import PhysicalMemory
 from repro.sim.stats import StatsRegistry
 from repro.vm.manager import AddressSpace, VirtualMemoryManager
@@ -55,6 +58,11 @@ PageFaultHandler = Callable[["CoreMemoryPort", int, bool], int]
 @runtime_checkable
 class MemoryPort(Protocol):
     """What every memory port provides to the instruction interpreters."""
+
+    #: Engine time of the issuing core.  Cores write this before each
+    #: access; implementations default it to 0 so the interpreters can
+    #: assign it unconditionally instead of ``hasattr``-probing per step.
+    current_time_ps: int
 
     def load(self, vaddr: int) -> Tuple[int, int]:
         """Load the word at ``vaddr``; returns ``(value, latency_ps)``."""
@@ -72,6 +80,20 @@ class MemoryPort(Protocol):
         """Atomic compare-and-swap; returns ``(old_value, latency_ps)``."""
         ...  # pragma: no cover - protocol
 
+    def run_batch(self, ops: Sequence[BatchOp]) -> BatchResult:
+        """Run a mixed batch of ``(kind, vaddr, a, b)`` ops in order;
+        returns ``(values, latencies)`` with ``None`` values for stores."""
+        ...  # pragma: no cover - protocol
+
+    def load_batch(self, vaddrs: Sequence[int]) -> BatchResult:
+        """Load a vector of addresses; returns ``(values, latencies)``."""
+        ...  # pragma: no cover - protocol
+
+    def store_batch(self, vaddrs: Sequence[int],
+                    values: Sequence[int]) -> List[int]:
+        """Store a vector of values; returns the per-op latencies."""
+        ...  # pragma: no cover - protocol
+
 
 class CoreMemoryPort:
     """The translation + coherence + data path for one CCSVM core."""
@@ -82,7 +104,7 @@ class CoreMemoryPort:
                  page_fault_handler: Optional[PageFaultHandler] = None,
                  stats: Optional[StatsRegistry] = None,
                  sc_checker: Optional[SequentialConsistencyChecker] = None,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True, batch_enabled: bool = True) -> None:
         self.node = node
         #: ``None`` models a chip shape without TLBs (every access walks).
         self.tlb = tlb
@@ -94,6 +116,9 @@ class CoreMemoryPort:
         self.stats = stats if stats is not None else StatsRegistry()
         self.sc_checker = sc_checker
         self.fast_path = fast_path
+        #: The ``batch_access`` config knob; when off, batch calls loop
+        #: over the scalar methods instead of the columnar engine.
+        self.batch_enabled = batch_enabled
         self._space: Optional[AddressSpace] = None
         self._page_faults_stat = f"{node}.page_faults"
         #: Engine time of the issuing core, updated by the core before each
@@ -263,3 +288,40 @@ class CoreMemoryPort:
             self.sc_checker.record_atomic(self.node, paddr, old, stored,
                                           self.current_time_ps)
         return old, latency
+
+    # ------------------------------------------------------------------ #
+    # Batched access
+    # ------------------------------------------------------------------ #
+    def _use_columnar(self) -> bool:
+        """Whether the columnar engine may run instead of a scalar loop.
+
+        The engine replicates exactly the combined fast path, so it
+        requires the same preconditions: fast path on, a TLB with the
+        standard page geometry, and no SC checker (the checker records
+        per-access orderings the bulk path would have to replay anyway).
+        """
+        tlb = self.tlb
+        return (self.batch_enabled and self.fast_path
+                and self.sc_checker is None
+                and tlb is not None and tlb.batch_shift is not None)
+
+    def run_batch(self, ops: Sequence[BatchOp]) -> BatchResult:
+        """Run a mixed op batch in order; see :mod:`repro.mem.batch`."""
+        vaddrs, kinds, vals, vals2 = split_ops(ops)
+        if self._use_columnar():
+            return run_ccsvm_batch(self, vaddrs, kinds, vals, vals2)
+        return scalar_run_batch(self, vaddrs, kinds, vals, vals2)
+
+    def load_batch(self, vaddrs: Sequence[int]) -> BatchResult:
+        """Load a vector of addresses; returns ``(values, latencies)``."""
+        if self._use_columnar():
+            return run_ccsvm_batch(self, vaddrs, None, None, None)
+        return scalar_run_batch(self, vaddrs, None, None, None)
+
+    def store_batch(self, vaddrs: Sequence[int],
+                    values: Sequence[int]) -> List[int]:
+        """Store a vector of values; returns the per-op latencies."""
+        kinds = [OP_STORE] * len(vaddrs)
+        if self._use_columnar():
+            return run_ccsvm_batch(self, vaddrs, kinds, values, None)[1]
+        return scalar_run_batch(self, vaddrs, kinds, values, None)[1]

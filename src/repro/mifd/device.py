@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.cores.cpu import CPUCore
-from repro.cores.interpreter import ThreadContext
+from repro.cores.interpreter import ThreadContext, ThreadProgram
 from repro.cores.mttop import MTTOPCore
 from repro.errors import InsufficientThreadContextsError, MIFDError
 from repro.mifd.task import TaskDescriptor
@@ -53,6 +53,13 @@ class MIFD:
         self.error_register = 0
         self._next_core_index = 0
         self._next_fault_cpu = 0
+        #: Optional hook wrapping every device thread program as it is
+        #: installed: ``(task_seq, tid, program) -> program``.  Used by the
+        #: trace recorder (:mod:`repro.mem.trace`) to observe the operation
+        #: stream without touching execution.
+        self.program_wrapper: Optional[
+            Callable[[int, int, ThreadProgram], ThreadProgram]] = None
+        self._task_seq = 0
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -90,10 +97,16 @@ class MIFD:
 
         latency = 0
         simd_width = self.mttop_cores[0].simd_width
+        task_seq = self._task_seq
+        self._task_seq += 1
+        wrapper = self.program_wrapper
         for chunk in task.chunks(simd_width):
             core = self._next_core_with_room(chunk.size)
             lanes = [
-                ThreadContext(tid=tid, program=task.kernel(tid, task.args))
+                ThreadContext(
+                    tid=tid,
+                    program=task.kernel(tid, task.args) if wrapper is None
+                    else wrapper(task_seq, tid, task.kernel(tid, task.args)))
                 for tid in chunk.thread_ids
             ]
             # Loading the task's CR3 into the core is part of receiving a

@@ -1,0 +1,122 @@
+"""Columnar helper kernels for the batched memory-access engine.
+
+The batch engine (:mod:`repro.mem.batch`) classifies whole address vectors
+at once.  Its inner arithmetic — shifting a vector of addresses down to
+page/line keys and finding the boundaries of *runs* of equal keys — is the
+only part that vectorizes cleanly, so it lives here behind a two-kernel
+interface:
+
+* a **numpy kernel**, used when numpy is importable (numpy is a dev-only
+  dependency; the simulator never requires it at runtime);
+* a **pure-Python kernel** built on the stdlib :mod:`array` module,
+  used otherwise or when ``REPRO_NO_NUMPY=1`` is set in the environment.
+
+Both kernels produce identical results — the equivalence tests run the
+same op streams through each — and the choice is made once at import.
+Everything stateful (TLB LRU order, cache replacement, counters) stays in
+the owning structures; these helpers are pure functions of their inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import List, Sequence
+
+_np = None
+if os.environ.get("REPRO_NO_NUMPY", "") not in ("1", "true", "yes", "on"):
+    try:  # pragma: no cover - exercised via the no-numpy CI leg
+        import numpy as _np  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover
+        _np = None
+
+#: True when the numpy kernel was selected at import.
+USING_NUMPY = _np is not None
+
+
+# --------------------------------------------------------------------------- #
+# numpy kernel
+# --------------------------------------------------------------------------- #
+def _shift_keys_numpy(values: Sequence[int], lo: int, hi: int,
+                      shift: int) -> Sequence[int]:
+    # Returns an ndarray: run_starts() consumes it without another copy,
+    # and element access / dict lookups hash identically to Python ints.
+    arr = _np.asarray(values[lo:hi], dtype=_np.int64)
+    return arr >> shift
+
+
+def _run_starts_numpy(keys: Sequence[int]) -> List[int]:
+    n = len(keys)
+    if n <= 1:
+        return [0] if n else []
+    arr = _np.asarray(keys, dtype=_np.int64)
+    changes = _np.flatnonzero(arr[1:] != arr[:-1]) + 1
+    return [0] + changes.tolist()
+
+
+def _add_delta_numpy(values: Sequence[int], lo: int, hi: int,
+                     delta: int) -> List[int]:
+    arr = _np.asarray(values[lo:hi], dtype=_np.int64)
+    return (arr + delta).tolist()
+
+
+# --------------------------------------------------------------------------- #
+# pure-Python (array-module) kernel
+# --------------------------------------------------------------------------- #
+def _shift_keys_python(values: Sequence[int], lo: int, hi: int,
+                       shift: int) -> Sequence[int]:
+    return array("q", (values[i] >> shift for i in range(lo, hi)))
+
+
+def _run_starts_python(keys: Sequence[int]) -> List[int]:
+    if not keys:
+        return []
+    starts = [0]
+    append = starts.append
+    previous = keys[0]
+    for index in range(1, len(keys)):
+        key = keys[index]
+        if key != previous:
+            append(index)
+            previous = key
+    return starts
+
+
+def _add_delta_python(values: Sequence[int], lo: int, hi: int,
+                      delta: int) -> List[int]:
+    return [values[i] + delta for i in range(lo, hi)]
+
+
+# --------------------------------------------------------------------------- #
+# Import-time selection (callers read these through the module object, so
+# tests can monkeypatch them to force either kernel in-process).
+# --------------------------------------------------------------------------- #
+if USING_NUMPY:
+    shift_keys = _shift_keys_numpy
+    run_starts = _run_starts_numpy
+    add_delta = _add_delta_numpy
+else:  # pragma: no cover - exercised via the no-numpy CI leg
+    shift_keys = _shift_keys_python
+    run_starts = _run_starts_python
+    add_delta = _add_delta_python
+
+
+def use_python_kernel() -> None:
+    """Rebind the module to the pure-Python kernel (tests only)."""
+    global shift_keys, run_starts, add_delta, USING_NUMPY
+    shift_keys = _shift_keys_python
+    run_starts = _run_starts_python
+    add_delta = _add_delta_python
+    USING_NUMPY = False
+
+
+def use_numpy_kernel() -> bool:
+    """Rebind the module to the numpy kernel; returns False without numpy."""
+    global shift_keys, run_starts, add_delta, USING_NUMPY
+    if _np is None:
+        return False
+    shift_keys = _shift_keys_numpy
+    run_starts = _run_starts_numpy
+    add_delta = _add_delta_numpy
+    USING_NUMPY = True
+    return True

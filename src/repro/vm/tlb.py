@@ -12,11 +12,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TLBError
-from repro.memory.address import PAGE_SIZE
+from repro.memory.address import PAGE_SIZE, is_power_of_two
+from repro.sim import columnar
 from repro.sim.stats import StatsRegistry
+
+#: One contiguous run of batch operations falling on the same page:
+#: ``(first_index, one_past_last_index, vpn)``.
+PageRun = Tuple[int, int, int]
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,13 @@ class TLB:
         # access, so per-call f-string construction is measurable.
         self._hits_stat = f"{name}.hits"
         self._misses_stat = f"{name}.misses"
+        # The columnar probe uses shifts for vpn extraction and delegates
+        # page-offset math to TLBEntry.physical_address's PAGE_SIZE, so it
+        # only engages for the standard power-of-two page geometry.
+        self.batch_shift: Optional[int] = (
+            page_size.bit_length() - 1
+            if is_power_of_two(page_size) and page_size == PAGE_SIZE else None
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup / insert
@@ -82,6 +94,60 @@ class TLB:
             self.stats.add(f"{self.name}.evictions")
         self._entries[vpn] = TLBEntry(vpn=vpn, frame_address=frame_address, writable=writable)
         self.stats.add(f"{self.name}.fills")
+
+    # ------------------------------------------------------------------ #
+    # Columnar probe (batched access engine)
+    # ------------------------------------------------------------------ #
+    def translate_batch(self, vaddrs: Sequence[int], lo: int,
+                        hi: int) -> Tuple[int, List[PageRun], List[int]]:
+        """Translate the maximal TLB-hit prefix of ``vaddrs[lo:hi]``.
+
+        Pure gather: no LRU update and no counters — the caller commits
+        exactly the prefix it ends up executing via :meth:`commit_batch`,
+        and any op past the returned ``stop`` retries through the scalar
+        :meth:`lookup`, which records its own hit or miss.  Returns
+        ``(stop, page_runs, paddrs)`` where ``paddrs[i]`` translates
+        ``vaddrs[lo + i]`` for ``lo <= lo + i < stop``.
+        """
+        shift = self.batch_shift
+        if shift is None:
+            raise TLBError(f"{self.name}: columnar probe needs standard pages")
+        keys = columnar.shift_keys(vaddrs, lo, hi, shift)
+        starts = columnar.run_starts(keys)
+        # Native ints once per batch: per-run ndarray indexing and
+        # numpy-scalar hashing are several times a dict probe each.
+        keys = keys.tolist()
+        entries = self._entries
+        runs: List[PageRun] = []
+        paddrs: List[int] = []
+        count = hi - lo
+        for index, run_lo in enumerate(starts):
+            run_hi = starts[index + 1] if index + 1 < len(starts) else count
+            vpn = keys[run_lo]
+            entry = entries.get(vpn)
+            if entry is None:
+                return lo + run_lo, runs, paddrs
+            delta = entry.frame_address - (vpn << shift)
+            paddrs.extend(columnar.add_delta(vaddrs, lo + run_lo,
+                                             lo + run_hi, delta))
+            runs.append((lo + run_lo, lo + run_hi, vpn))
+        return hi, runs, paddrs
+
+    def commit_batch(self, runs: Sequence[PageRun], lo: int, stop: int) -> None:
+        """Apply LRU updates and hit counters for ops ``[lo, stop)``.
+
+        One ``move_to_end`` per page run replaces the scalar path's
+        per-access move; consecutive moves of the same page are idempotent
+        for recency order, so the final LRU state is identical.
+        """
+        if stop <= lo:
+            return
+        move = self._entries.move_to_end
+        for run_lo, _run_hi, vpn in runs:
+            if run_lo >= stop:
+                break
+            move(vpn)
+        self.stats.add(self._hits_stat, stop - lo)
 
     # ------------------------------------------------------------------ #
     # Coherence operations

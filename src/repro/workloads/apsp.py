@@ -27,7 +27,8 @@ from repro.core.xthreads.api import (
     mttop_barrier,
     mttop_signal,
 )
-from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.cores.isa import (Compute, Load, LoadVector, Malloc, Store,
+                             StoreVector, word_addr)
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import weighted_digraph
@@ -94,12 +95,16 @@ def run_ccsvm(size: int = 16, seed: int = 11,
         sense = yield Malloc(8)
         done = yield Malloc(size * 8)
         addresses["dist"] = dist
-        for i, value in enumerate(adjacency):
-            yield Store(word_addr(dist, i), value)
+        # One vector store preserving the scalar loops' exact access order
+        # (dist row-major, then barrier/done interleaved, then sense).
+        init_addrs = [word_addr(dist, i) for i in range(len(adjacency))]
+        init_values = list(adjacency)
         for t in range(size):
-            yield Store(word_addr(barrier, t), 0)
-            yield Store(word_addr(done, t), 0)
-        yield Store(sense, 0)
+            init_addrs += [word_addr(barrier, t), word_addr(done, t)]
+            init_values += [0, 0]
+        init_addrs.append(sense)
+        init_values.append(0)
+        yield StoreVector(tuple(init_addrs), tuple(init_values))
         yield CreateMThread(apsp_xthreads_kernel,
                             (dist, size, barrier, sense, done), 0, size - 1)
         for _ in range(size):
@@ -155,14 +160,16 @@ def run_cpu(size: int = 16, seed: int = 11,
     dist = apu.allocate(size * size * 8)
 
     def program():
-        for i, value in enumerate(adjacency):
-            yield Store(word_addr(dist, i), value)
+        yield StoreVector(
+            tuple(word_addr(dist, i) for i in range(len(adjacency))),
+            tuple(adjacency))
         for k in range(size):
             for i in range(size):
                 d_ik = yield Load(word_addr(dist, i * size + k))
                 for j in range(size):
-                    d_kj = yield Load(word_addr(dist, k * size + j))
-                    d_ij = yield Load(word_addr(dist, i * size + j))
+                    d_kj, d_ij = yield LoadVector(
+                        (word_addr(dist, k * size + j),
+                         word_addr(dist, i * size + j)))
                     yield Compute(2)
                     if d_ik + d_kj < d_ij:
                         yield Store(word_addr(dist, i * size + j), d_ik + d_kj)

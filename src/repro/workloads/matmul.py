@@ -24,7 +24,8 @@ from repro.baseline.apu import AMDAPU
 from repro.config import APUSystemConfig, CCSVMSystemConfig, ccsvm_system
 from repro.core.chip import CCSVMChip
 from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
-from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.cores.isa import (Compute, Load, LoadVector, Malloc, Store,
+                             StoreVector, word_addr)
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import dense_matrix
@@ -81,12 +82,12 @@ def run_ccsvm(size: int = 16, seed: int = 7,
         c = yield Malloc(size * size * 8)
         done = yield Malloc(threads * 8)
         addresses["c"] = c
-        for i, value in enumerate(a_values):
-            yield Store(word_addr(a, i), value)
-        for i, value in enumerate(b_values):
-            yield Store(word_addr(b, i), value)
-        for t in range(threads):
-            yield Store(word_addr(done, t), 0)
+        # One vector store preserving the scalar loops' exact access order.
+        init_addrs = [word_addr(a, i) for i in range(len(a_values))] + \
+                     [word_addr(b, i) for i in range(len(b_values))] + \
+                     [word_addr(done, t) for t in range(threads)]
+        init_values = list(a_values) + list(b_values) + [0] * threads
+        yield StoreVector(tuple(init_addrs), tuple(init_values))
         yield CreateMThread(matmul_xthreads_kernel,
                             (a, b, c, size, threads, done), 0, threads - 1)
         yield WaitCond(done, 0, threads - 1)
@@ -150,16 +151,17 @@ def run_cpu(size: int = 16, seed: int = 7,
     c = apu.allocate(size * size * 8)
 
     def program():
-        for i, value in enumerate(a_values):
-            yield Store(word_addr(a, i), value)
-        for i, value in enumerate(b_values):
-            yield Store(word_addr(b, i), value)
+        init_addrs = [word_addr(a, i) for i in range(len(a_values))] + \
+                     [word_addr(b, i) for i in range(len(b_values))]
+        yield StoreVector(tuple(init_addrs),
+                          tuple(a_values) + tuple(b_values))
         for row in range(size):
             for col in range(size):
                 acc = 0
                 for k in range(size):
-                    a_val = yield Load(word_addr(a, row * size + k))
-                    b_val = yield Load(word_addr(b, k * size + col))
+                    a_val, b_val = yield LoadVector(
+                        (word_addr(a, row * size + k),
+                         word_addr(b, k * size + col)))
                     yield Compute(2)
                     acc += a_val * b_val
                 yield Store(word_addr(c, row * size + col), acc)

@@ -13,7 +13,8 @@ from repro.baseline.apu import AMDAPU
 from repro.config import APUSystemConfig, CCSVMSystemConfig, ccsvm_system
 from repro.core.chip import CCSVMChip
 from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
-from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
+from repro.cores.isa import (Compute, Load, LoadVector, Malloc, Store,
+                             StoreVector, word_addr)
 from repro.workloads import reference
 from repro.workloads.base import WorkloadResult
 from repro.workloads.generators import vector
@@ -65,10 +66,14 @@ def run_ccsvm(size: int = 256, seed: int = 1,
         out = yield Malloc(size * 8)
         done = yield Malloc(size * 8)
         addresses["out"] = out
+        # One vector store with the same interleaved order the scalar loop
+        # used, so the cache/TLB see the identical access sequence.
+        init_addrs = []
+        init_values = []
         for i in range(size):
-            yield Store(word_addr(a, i), v1[i])
-            yield Store(word_addr(b, i), v2[i])
-            yield Store(word_addr(done, i), 0)
+            init_addrs += [word_addr(a, i), word_addr(b, i), word_addr(done, i)]
+            init_values += [v1[i], v2[i], 0]
+        yield StoreVector(tuple(init_addrs), tuple(init_values))
         yield CreateMThread(vector_add_xthreads_kernel, (a, b, out, done), 0, size - 1)
         yield WaitCond(done, 0, size - 1)
 
@@ -129,12 +134,14 @@ def run_cpu(size: int = 256, seed: int = 1,
     out = apu.allocate(size * 8)
 
     def program():
+        init_addrs = []
+        init_values = []
         for i in range(size):
-            yield Store(word_addr(a, i), v1[i])
-            yield Store(word_addr(b, i), v2[i])
+            init_addrs += [word_addr(a, i), word_addr(b, i)]
+            init_values += [v1[i], v2[i]]
+        yield StoreVector(tuple(init_addrs), tuple(init_values))
         for i in range(size):
-            x = yield Load(word_addr(a, i))
-            y = yield Load(word_addr(b, i))
+            x, y = yield LoadVector((word_addr(a, i), word_addr(b, i)))
             yield Compute(1)
             yield Store(word_addr(out, i), x + y)
 

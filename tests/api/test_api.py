@@ -20,9 +20,10 @@ SMALL = small_ccsvm_system()
 
 
 class TestWorkloadRegistry:
-    def test_all_five_workloads_registered(self):
+    def test_all_workloads_registered(self):
         assert workload_names() == ["apsp", "barnes_hut", "matmul",
-                                    "sparse_matmul", "vector_add"]
+                                    "sparse_matmul", "trace_replay",
+                                    "vector_add"]
 
     def test_variant_systems_match_the_paper(self):
         assert sorted(variants_for("matmul")) == ["apu", "ccsvm", "cpu"]

@@ -1,0 +1,120 @@
+"""LoadVector/StoreVector are timing-identical to scalar sequences,
+and every memory port satisfies the ``current_time_ps`` protocol field."""
+
+from repro.baseline.apu import AMDAPU
+from repro.config import small_ccsvm_system
+from repro.core.chip import CCSVMChip
+from repro.cores.isa import Load, LoadVector, Store, StoreVector, word_addr
+
+
+def _addresses(base, count):
+    return [word_addr(base, i) for i in range(count)]
+
+
+class TestCPUCoreEquivalence:
+    def _run(self, vectorised):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("vector_ops")
+        base = chip.malloc(512 * 8)
+        addrs = _addresses(base, 512)
+        values = [(i * 37) % 1001 - 500 for i in range(512)]
+
+        def program():
+            if vectorised:
+                yield StoreVector(tuple(addrs), tuple(values))
+                got = yield LoadVector(tuple(addrs))
+                got = list(got)
+            else:
+                for addr, value in zip(addrs, values):
+                    yield Store(addr, value)
+                got = []
+                for addr in addrs:
+                    got.append((yield Load(addr)))
+            assert got == values
+
+        result = chip.run(program())
+        return result.time_ps, chip.stats.to_dict()
+
+    def test_vector_matches_scalar_sequence(self):
+        assert self._run(True) == self._run(False)
+
+
+class TestMTTOPEquivalence:
+    def _run(self, vectorised):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("vector_ops")
+        port = chip.mttop_cores[0].memory_port
+        port.set_address_space(chip.process_space)
+        base = chip.malloc(256 * 8)
+        addrs = _addresses(base, 256)
+
+        def kernel(tid, args):
+            if vectorised:
+                yield StoreVector(tuple(addrs), tuple(range(256)))
+                got = yield LoadVector(tuple(addrs))
+                assert list(got) == list(range(256))
+            else:
+                for index, addr in enumerate(addrs):
+                    yield Store(addr, index)
+                for index, addr in enumerate(addrs):
+                    value = yield Load(addr)
+                    assert value == index
+
+        from repro.cores.interpreter import ThreadContext
+        core = chip.mttop_cores[0]
+        core.assign_warp([ThreadContext(tid=0, program=kernel(0, ()))],
+                         at_time_ps=0)
+        for mttop in chip.mttop_cores:
+            mttop.request_halt(0)
+        result = chip.engine.run()
+        return result, chip.stats.to_dict()
+
+    def test_vector_matches_scalar_sequence(self):
+        assert self._run(True) == self._run(False)
+
+
+class TestBaselineCoreEquivalence:
+    def _run(self, vectorised):
+        apu = AMDAPU()
+        base = apu.allocate(512 * 8)
+        addrs = _addresses(base, 512)
+
+        def program():
+            if vectorised:
+                yield StoreVector(tuple(addrs), tuple(range(512)))
+                got = yield LoadVector(tuple(addrs))
+                got = list(got)
+            else:
+                for index, addr in enumerate(addrs):
+                    yield Store(addr, index)
+                got = []
+                for addr in addrs:
+                    got.append((yield Load(addr)))
+            assert got == list(range(512))
+
+        run = apu.run_on_cpu(program())
+        return run.time_ps, run.instructions, apu.stats.to_dict()
+
+    def test_vector_matches_scalar_sequence(self):
+        assert self._run(True) == self._run(False)
+
+
+class TestCurrentTimeProtocol:
+    def test_ccsvm_ports_default_and_update(self):
+        chip = CCSVMChip(small_ccsvm_system())
+        chip.create_process("clock")
+        port = chip.cpu_cores[0].memory_port
+        assert port.current_time_ps == 0
+        base = chip.malloc(64)
+
+        def program():
+            yield Store(base, 1)
+            yield Load(base)
+
+        chip.run(program())
+        # The core assigned its local time unconditionally (no hasattr).
+        assert port.current_time_ps > 0
+
+    def test_baseline_port_has_field(self):
+        apu = AMDAPU()
+        assert apu.cpu_cores[0].port.current_time_ps == 0
