@@ -35,17 +35,20 @@ from repro.config import (
     small_ccsvm_system,
     tiny_caches_ccsvm_system,
 )
-from repro.api import ResultSet, Scenario
+from repro.api import JobSpec, JobState, JobStatus, ResultSet, Scenario
 from repro.core.chip import CCSVMChip, RunResult
 from repro.errors import ReproError
 from repro.harness import SweepPoint, SweepRunner, SweepSpec
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "APUSystemConfig",
     "CCSVMChip",
     "CCSVMSystemConfig",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
     "ReproError",
     "ResultSet",
     "RunResult",

@@ -42,10 +42,11 @@ experiments used to thread around.
 
 from __future__ import annotations
 
+import enum
 import itertools
 import json
 from collections.abc import Sequence as SequenceABC
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -64,6 +65,7 @@ from repro.harness.spec import (
     PointResult,
     SweepPoint,
     SweepSpec,
+    point_func_ref,
     resolve_point_func,
 )
 from repro.config import apply_overrides, override_applies
@@ -611,6 +613,154 @@ class ResultSet:
             group_title = f"{title} — {group}" if title else group
             parts.append(render_table(rows, columns, title=group_title))
         return "\n\n".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep-service job types
+# --------------------------------------------------------------------------- #
+# The typed submission/status vocabulary shared by the ``repro serve``
+# server, the ``repro submit``/``status``/``result`` client CLI and the
+# ``service`` execution backend — one JSON shape instead of three ad-hoc
+# dict conventions.  Everything here is JSON-round-trippable: a job's
+# points travel as the same base64 payloads the distributed wire protocol
+# uses, with their functions forced to ``module:qualname`` *references*
+# (never pickled callables).
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a sweep-service job."""
+
+    QUEUED = "queued"        #: accepted, no point dispatched yet
+    RUNNING = "running"      #: at least one point dispatched
+    DONE = "done"            #: every point completed successfully
+    FAILED = "failed"        #: every point settled, at least one failed
+    CANCELLED = "cancelled"  #: cancelled; undispatched points never ran
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job can no longer change state."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+    @classmethod
+    def from_json(cls, value: object) -> "JobState":
+        try:
+            return cls(str(value))
+        except ValueError:
+            known = ", ".join(state.value for state in cls)
+            raise ValueError(
+                f"unknown job state {value!r}; known states: {known}") from None
+
+
+@dataclass
+class JobSpec:
+    """A client's submission to the sweep service: named, prioritised points.
+
+    ``points`` entries are plain dicts ``{"spec", "point_id", "group",
+    "point"}`` where ``point`` is the wire encoding of a
+    :class:`~repro.harness.spec.SweepPoint` whose ``func`` is a
+    ``module:qualname`` reference (build them with :meth:`from_points`).
+    ``meta`` is opaque client data echoed back with results — the CLI
+    stashes rendering hints (title, registered-sweep name) there.
+    """
+
+    name: str
+    submitter: str
+    priority: int = 0
+    points: List[Dict[str, object]] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_points(cls, points: Sequence[SweepPoint], *, name: str,
+                    submitter: str, priority: int = 0,
+                    meta: Optional[Mapping[str, object]] = None) -> "JobSpec":
+        """Encode ``points`` for submission.
+
+        Functions are converted to their reference strings first
+        (:func:`~repro.harness.spec.point_func_ref`), so no callable is
+        ever pickled into a job — the server and its workers resolve the
+        names by import, exactly like distributed sweeps do.  A point
+        whose kwargs cannot be encoded raises here, at submission time.
+        """
+        from repro.harness.wire import encode_point
+
+        encoded = []
+        for point in points:
+            by_ref = replace(point, func=point_func_ref(point))
+            encoded.append({"spec": point.spec, "point_id": point.point_id,
+                            "group": point.group,
+                            "point": encode_point(by_ref)})
+        return cls(name=name, submitter=submitter, priority=priority,
+                   points=encoded, meta=dict(meta or {}))
+
+    def to_json(self) -> Dict[str, object]:
+        return {"name": self.name, "submitter": self.submitter,
+                "priority": self.priority, "points": list(self.points),
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_json(cls, payload: object) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise ValueError("job spec must be a JSON object")
+        points = payload.get("points")
+        if not isinstance(points, list):
+            raise ValueError("job spec needs a 'points' list")
+        for entry in points:
+            if not isinstance(entry, dict) or \
+                    not all(isinstance(entry.get(key), str)
+                            for key in ("spec", "point_id", "point")):
+                raise ValueError(
+                    "each job point needs string 'spec', 'point_id' and "
+                    "'point' fields")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError("job priority must be an integer")
+        meta = payload.get("meta", {})
+        return cls(name=str(payload.get("name", "job")),
+                   submitter=str(payload.get("submitter", "unknown")),
+                   priority=priority, points=list(points),
+                   meta=dict(meta) if isinstance(meta, dict) else {})
+
+
+@dataclass
+class JobStatus:
+    """One job's externally visible progress snapshot."""
+
+    job_id: str
+    name: str
+    submitter: str
+    priority: int
+    state: JobState
+    total: int
+    completed: int        #: points settled successfully
+    failed: int           #: points settled as failures
+    error: Optional[str] = None
+
+    @property
+    def settled(self) -> int:
+        """Points that have a final outcome (success or failure)."""
+        return self.completed + self.failed
+
+    def to_json(self) -> Dict[str, object]:
+        return {"job_id": self.job_id, "name": self.name,
+                "submitter": self.submitter, "priority": self.priority,
+                "state": self.state.value, "total": self.total,
+                "completed": self.completed, "failed": self.failed,
+                "error": self.error}
+
+    @classmethod
+    def from_json(cls, payload: object) -> "JobStatus":
+        if not isinstance(payload, dict):
+            raise ValueError("job status must be a JSON object")
+        return cls(job_id=str(payload.get("job_id", "")),
+                   name=str(payload.get("name", "")),
+                   submitter=str(payload.get("submitter", "")),
+                   priority=int(payload.get("priority", 0)),  # type: ignore[arg-type]
+                   state=JobState.from_json(payload.get("state")),
+                   total=int(payload.get("total", 0)),  # type: ignore[arg-type]
+                   completed=int(payload.get("completed", 0)),  # type: ignore[arg-type]
+                   failed=int(payload.get("failed", 0)),  # type: ignore[arg-type]
+                   error=(None if payload.get("error") is None
+                          else str(payload.get("error"))))
 
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type names

@@ -14,7 +14,11 @@ coordinator-side only; workers never touch it).
 
 ``python -m repro run figure5 --full --jobs 4`` drives it from the shell;
 ``python -m repro run table2 --backend distributed --workers 2`` fans out
-to ``python -m repro worker --connect HOST:PORT`` processes.
+to ``python -m repro worker --connect HOST:PORT`` processes.  Backends
+stream results as points complete (``run_iter``) and are cancellable, so
+the runner caches incrementally and early-stopping callers can abandon
+in-flight work; ``--backend service`` runs the same points as a job on an
+always-on ``repro serve`` fleet (see :mod:`repro.service`).
 """
 
 from repro.harness.backends import (
@@ -25,6 +29,7 @@ from repro.harness.backends import (
     SerialBackend,
     WorkerRunStats,
     create_backend,
+    default_service_address,
 )
 from repro.harness.runner import (
     SweepOutcome,
@@ -65,6 +70,7 @@ __all__ = [
     "cache_info",
     "create_backend",
     "default_cache_dir",
+    "default_service_address",
     "default_worker_jobs",
     "execute_point",
     "get_spec",

@@ -1,9 +1,13 @@
 """Pluggable execution backends for the sweep harness.
 
-A backend turns a list of :class:`~repro.harness.spec.SweepPoint` s into a
-list of :class:`~repro.harness.spec.PointResult` s **in declaration order**
-— that ordering contract is what keeps rendered tables byte-identical
-across backends and worker counts.  Three implementations ship:
+A backend executes :class:`~repro.harness.spec.SweepPoint` s.  The core
+API is :meth:`ExecutionBackend.run_iter`, which yields ``(index, result)``
+pairs **as points complete** (in whatever order the backend finishes
+them), plus :meth:`ExecutionBackend.cancel`, which abandons whatever has
+not completed yet; :meth:`ExecutionBackend.run` is a shim over
+``run_iter`` that reassembles the results **in declaration order** — that
+ordering contract is what keeps rendered tables byte-identical across
+backends and worker counts.  Four implementations ship:
 
 - :class:`SerialBackend` — in-process, one point at a time.  The library
   and unit-test default.
@@ -18,6 +22,9 @@ across backends and worker counts.  Three implementations ship:
   ``task_id``.  Points lost to a dying worker — all of its in-flight
   tasks, not just one — are retried on the survivors; results are still
   merged in declaration order.
+- :class:`~repro.service.client.ServiceBackend` (``--backend service``) —
+  submits the points as one job to an always-on ``repro serve`` fleet and
+  streams the per-point results back (see :mod:`repro.service`).
 
 A point whose *function* raises does not tear the sweep down from inside a
 worker: every backend returns a :class:`PointFailure` in that point's slot
@@ -38,7 +45,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.harness.spec import HarnessError, PointResult, SweepPoint, execute_point
 from repro.harness.wire import (
@@ -54,10 +61,12 @@ from repro.harness.wire import (
 BACKEND_ENV = "REPRO_BACKEND"
 #: Environment variable naming the CLI's default coordinator address.
 BIND_ENV = "REPRO_BIND"
-#: The coordinator address the CLI uses unless told otherwise.
+#: Environment variable naming the sweep-service address clients dial.
+SERVICE_ENV = "REPRO_SERVICE"
+#: The coordinator/service address the CLI uses unless told otherwise.
 DEFAULT_BIND = "127.0.0.1:7421"
 
-BACKEND_NAMES = ("serial", "process", "distributed")
+BACKEND_NAMES = ("serial", "process", "distributed", "service")
 
 
 @dataclass
@@ -104,14 +113,69 @@ class WorkerRunStats:
 class ExecutionBackend:
     """Protocol for sweep-point executors.
 
-    Subclasses implement :meth:`run`; ``name`` appears in error messages
-    and the CLI's per-sweep summary line.
+    Subclasses implement :meth:`run_iter` (preferred — results stream out
+    as points complete, which is what lets the runner write cache entries
+    incrementally and lets callers stop early via :meth:`cancel`) or the
+    legacy :meth:`run`; each has a default implementation in terms of the
+    other, so implementing either one is enough.  ``name`` appears in
+    error messages and the CLI's per-sweep summary line.
     """
 
     name = "abstract"
+    _cancelled = False
+
+    def run_iter(self, points: List[SweepPoint]
+                 ) -> Iterator[Tuple[int, BackendResult]]:
+        """Yield ``(index, result)`` pairs as points complete.
+
+        ``index`` is the point's position in ``points``; yield order is
+        *completion* order, which backends make no promises about.  After
+        :meth:`cancel`, the iterator stops yielding — points still in
+        flight are abandoned (their eventual results dropped) and points
+        never dispatched are simply not run.
+        """
+        if type(self).run is ExecutionBackend.run:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither run() nor "
+                f"run_iter()")
+        # Legacy subclass: only run() is overridden.  Declaration order
+        # doubles as completion order.
+        yield from enumerate(self.run(points))
 
     def run(self, points: List[SweepPoint]) -> List[BackendResult]:
-        raise NotImplementedError
+        """Execute every point; results in declaration order.
+
+        A shim over :meth:`run_iter`.  Points the iterator never yielded
+        (a :meth:`cancel` mid-run, or a buggy backend) come back as
+        :class:`PointFailure` s so the list always matches ``points``
+        slot-for-slot.
+        """
+        results: List[Optional[BackendResult]] = [None] * len(points)
+        for index, result in self.run_iter(points):
+            if 0 <= index < len(results):
+                results[index] = result
+        for index, result in enumerate(results):
+            if result is None:
+                point = points[index]
+                results[index] = PointFailure(
+                    spec=point.spec, point_id=point.point_id,
+                    error="point was cancelled before it completed")
+        return results  # type: ignore[return-value]
+
+    def cancel(self) -> None:
+        """Abandon the sweep: stop dispatching, drop in-flight points.
+
+        Takes effect at the current :meth:`run_iter` iteration's next
+        check; already-yielded results are unaffected.  Safe to call from
+        another thread (the design point: an early-stopping search or a
+        client disconnect cancels a sweep its consumer is blocked on).
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been requested on this backend."""
+        return self._cancelled
 
     def close(self) -> None:
         """Release any long-lived resources (workers, sockets)."""
@@ -128,19 +192,30 @@ def _failure(point: SweepPoint, error: BaseException) -> PointFailure:
                         error=f"{type(error).__name__}: {error}")
 
 
+def _run_serially(backend: ExecutionBackend, points: List[SweepPoint]
+                  ) -> Iterator[Tuple[int, BackendResult]]:
+    """In-process point loop shared by the serial and one-job pool paths.
+
+    Checks ``backend``'s cancel flag between points, so cancelling an
+    in-process sweep stops it at the next point boundary.
+    """
+    for index, point in enumerate(points):
+        if backend.cancelled:
+            return
+        try:
+            yield index, execute_point(point)
+        except Exception as error:  # noqa: BLE001 - reported per point
+            yield index, _failure(point, error)
+
+
 class SerialBackend(ExecutionBackend):
     """Execute every point in the calling process, one after another."""
 
     name = "serial"
 
-    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
-        results: List[BackendResult] = []
-        for point in points:
-            try:
-                results.append(execute_point(point))
-            except Exception as error:  # noqa: BLE001 - reported per point
-                results.append(_failure(point, error))
-        return results
+    def run_iter(self, points: List[SweepPoint]
+                 ) -> Iterator[Tuple[int, BackendResult]]:
+        return _run_serially(self, points)
 
 
 def pool_context() -> "multiprocessing.context.BaseContext":
@@ -171,21 +246,38 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
 
-    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
+    def run_iter(self, points: List[SweepPoint]
+                 ) -> Iterator[Tuple[int, BackendResult]]:
         if self.jobs == 1 or len(points) <= 1:
-            return SerialBackend().run(points)
+            yield from _run_serially(self, points)
+            return
         context = pool_context()
         workers = min(self.jobs, len(points))
-        results: List[Optional[BackendResult]] = [None] * len(points)
+        # Completion-order delivery: every task posts its (index, payload)
+        # to this queue from the pool's result-handler thread, so results
+        # stream out as they finish instead of in declaration order.
+        completions: "queue.Queue[Tuple[int, object]]" = queue.Queue()
         with context.Pool(processes=workers) as pool:
-            handles = [pool.apply_async(execute_point, (point,))
-                       for point in points]
-            for index, (point, handle) in enumerate(zip(points, handles)):
+            for index, point in enumerate(points):
+                pool.apply_async(
+                    execute_point, (point,),
+                    callback=lambda result, index=index:
+                        completions.put((index, result)),
+                    error_callback=lambda error, index=index:
+                        completions.put((index, error)))
+            received = 0
+            while received < len(points):
+                if self.cancelled:
+                    return  # the with-block terminates the pool's children
                 try:
-                    results[index] = handle.get()
-                except Exception as error:  # noqa: BLE001 - reported per point
-                    results[index] = _failure(point, error)
-        return results
+                    index, payload = completions.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                received += 1
+                if isinstance(payload, BaseException):
+                    yield index, _failure(points[index], payload)
+                else:
+                    yield index, payload  # type: ignore[misc]
 
 
 # --------------------------------------------------------------------------- #
@@ -236,6 +328,8 @@ class _RunState:
         self.tasks: "queue.Queue[Optional[int]]" = queue.Queue()
         for index in range(len(points)):
             self.tasks.put(index)
+        # Completion events in completion order, consumed by run_iter.
+        self.events: "queue.Queue[Tuple[int, BackendResult]]" = queue.Queue()
         self.lock = threading.Lock()
         self.outstanding = len(points)
         self.active_workers = 0
@@ -286,11 +380,30 @@ class _RunState:
             if self.results[index] is not None:
                 return
             self.results[index] = result
+            self.events.put((index, result))
             self.outstanding -= 1
             finished = self.outstanding == 0
             workers = self.active_workers
         if finished:
             self._release(workers)
+
+    def cancel_pending(self) -> None:
+        """Abandon every unfinished point, completing it as cancelled.
+
+        In-flight points cannot be recalled from their workers; their
+        eventual ``result`` frames arrive against an already-completed
+        index and are dropped by :meth:`complete`'s idempotence guard,
+        which also returns the connection's credit so the worker parks
+        cleanly for the next run.
+        """
+        with self.lock:
+            unfinished = [index for index, result in enumerate(self.results)
+                          if result is None]
+        for index in unfinished:
+            point = self.points[index]
+            self.complete(index, PointFailure(
+                spec=point.spec, point_id=point.point_id,
+                error="point was cancelled before it completed"))
 
     def requeue(self, index: int) -> None:
         """A worker died mid-point: retry elsewhere, or give up on it."""
@@ -668,9 +781,10 @@ class DistributedBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run(self, points: List[SweepPoint]) -> List[BackendResult]:
+    def run_iter(self, points: List[SweepPoint]
+                 ) -> Iterator[Tuple[int, BackendResult]]:
         if not points:
-            return []
+            return
         self.listen()
         workers = self._wait_for_workers()
         state = _RunState(points, self.max_retries)
@@ -688,16 +802,32 @@ class DistributedBackend(ExecutionBackend):
         state.admit_batch(len(workers))
         for conn, slots, label in workers:
             self._start_session(conn, slots, state, admitted=True, label=label)
+        received = 0
+        cancelled = False
         try:
-            state.done.wait()
+            while received < len(points):
+                if self.cancelled:
+                    # Stop dispatching and fail the remainder as cancelled;
+                    # sessions drain on their own (late results for
+                    # in-flight points are dropped, connections re-park for
+                    # the next run) — deliberately not joined here, so
+                    # cancel() does not block on a worker mid-computation.
+                    cancelled = True
+                    state.cancel_pending()
+                    return
+                try:
+                    index, result = state.events.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                received += 1
+                yield index, result
         finally:
             with self._ready:
                 self._run_state = None
-        state.join_sessions()
-        with self._ready:
-            self.last_run_worker_stats = list(self._worker_stats)
-        assert all(result is not None for result in state.results)
-        return list(state.results)  # type: ignore[arg-type]
+            if not cancelled and received >= len(points):
+                state.join_sessions()
+            with self._ready:
+                self.last_run_worker_stats = list(self._worker_stats)
 
     def _start_session(self, conn: socket.socket, slots: int,
                        state: _RunState, admitted: bool,
@@ -782,13 +912,21 @@ def default_bind() -> str:
     return os.environ.get(BIND_ENV, DEFAULT_BIND)
 
 
+def default_service_address() -> str:
+    """The ``repro serve`` address service clients dial unless told otherwise."""
+    return os.environ.get(SERVICE_ENV, DEFAULT_BIND)
+
+
 def create_backend(name: str, jobs: int = 1, bind: Optional[str] = None,
-                   min_workers: int = 1,
-                   start_timeout: float = 30.0) -> ExecutionBackend:
+                   min_workers: int = 1, start_timeout: float = 30.0,
+                   connect: Optional[str] = None) -> ExecutionBackend:
     """Build a backend from CLI-shaped arguments.
 
-    ``name`` is one of ``serial``, ``process`` or ``distributed`` (see
-    ``BACKEND_NAMES``); the CLI defaults it from ``$REPRO_BACKEND``.
+    ``name`` is one of ``serial``, ``process``, ``distributed`` or
+    ``service`` (see ``BACKEND_NAMES``); the CLI defaults it from
+    ``$REPRO_BACKEND``.  ``connect`` is the ``service`` backend's
+    ``HOST:PORT`` of a running ``repro serve`` (default:
+    ``$REPRO_SERVICE``, else the standard localhost address).
 
     ``jobs`` is validated here with the same ``ValueError`` the backend
     constructors raise, rather than silently clamped, so a bad ``--jobs``
@@ -804,5 +942,10 @@ def create_backend(name: str, jobs: int = 1, bind: Optional[str] = None,
         return DistributedBackend(bind=bind or default_bind(),
                                   min_workers=min_workers,
                                   start_timeout=start_timeout)
+    if name == "service":
+        # Imported lazily: repro.service.client depends on this module.
+        from repro.service.client import ServiceBackend
+
+        return ServiceBackend(connect=connect or default_service_address())
     known = ", ".join(BACKEND_NAMES)
     raise HarnessError(f"unknown backend {name!r}; known backends: {known}")

@@ -30,6 +30,16 @@ Examples::
     python -m repro worker --connect 127.0.0.1:7421 --jobs 8 &
     python -m repro run table2 --backend distributed --workers 2
 
+    # always-on service: one fleet, many submitters (priorities +
+    # fair share); workers are the same `repro worker` processes
+    python -m repro serve --bind 127.0.0.1:7421 &
+    python -m repro worker --connect 127.0.0.1:7421 --jobs 8 &
+    python -m repro submit matmul --system cpu,ccsvm --grid size=8,16
+    python -m repro submit --sweep figure5 --priority 5
+    python -m repro status --json
+    python -m repro result job-1
+    python -m repro run figure5 --backend service   # same fleet, same output
+
     python -m repro cache info
     python -m repro cache clear figure5
 
@@ -60,6 +70,7 @@ from repro.harness.backends import (
     BACKEND_NAMES,
     create_backend,
     default_bind,
+    default_service_address,
 )
 from repro.harness.runner import (
     SweepRunner,
@@ -109,6 +120,10 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--start-timeout", type=float, default=60.0,
                         help="distributed backend: seconds to wait for workers "
                              "(default: 60)")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help=f"service backend: address of a running "
+                             f"'repro serve' (default: $REPRO_SERVICE or "
+                             f"{default_service_address()!r})")
     parser.add_argument("--cache-dir", default=None,
                         help=f"per-point result cache directory "
                              f"(default: $REPRO_CACHE_DIR or "
@@ -124,6 +139,50 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
                         help="print the merged stats counters (and, on the "
                              "distributed backend, a per-worker throughput "
                              "summary) after each sweep")
+
+
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    """Workload/system/grid options shared by ``sweep`` and ``submit``."""
+    parser.add_argument("workload", nargs="?", default=None,
+                        help="registered workload name (see 'repro list'); "
+                             "optional when --scenario declares one")
+    parser.add_argument("--scenario", default=None, metavar="FILE",
+                        help="load the scenario from a TOML or JSON file; "
+                             "explicit flags overlay the file's values "
+                             "(--grid/--param/--set merge in, the rest "
+                             "replace)")
+    parser.add_argument("--system", "-s", default=None,
+                        help="comma-separated system presets "
+                             "(default: the scenario file's, else cpu; "
+                             "see 'repro list')")
+    parser.add_argument("--grid", "-g", action="append", default=[],
+                        metavar="PARAM=V1,V2,...",
+                        help="sweep axis; repeatable, swept as a cartesian "
+                             "product in the given order")
+    parser.add_argument("--param", "-p", action="append", default=[],
+                        metavar="PARAM=VALUE",
+                        help="fixed workload parameter applied to every "
+                             "point; repeatable")
+    parser.add_argument("--set", action="append", default=[],
+                        dest="overrides", metavar="PATH=VALUE",
+                        help="dotted-path configuration override, e.g. "
+                             "mttop.count=4 or l2.total_size_bytes=8MiB; "
+                             "repeatable, applied to every system whose "
+                             "configuration has the path")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload input seed (default: each workload's "
+                             "own default)")
+    parser.add_argument("--name", default=None,
+                        help="scenario name, used for the cache subdirectory "
+                             "(default: sweep-<workload>)")
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    """The service address flag every service-client command takes."""
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help=f"address of a running 'repro serve' (default: "
+                             f"$REPRO_SERVICE or "
+                             f"{default_service_address()!r})")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -150,38 +209,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep", help="run an ad-hoc workload x system x grid scenario")
-    sweep.add_argument("workload", nargs="?", default=None,
-                       help="registered workload name (see 'repro list'); "
-                            "optional when --scenario declares one")
-    sweep.add_argument("--scenario", default=None, metavar="FILE",
-                       help="load the scenario from a TOML or JSON file; "
-                            "explicit flags overlay the file's values "
-                            "(--grid/--param/--set merge in, the rest "
-                            "replace)")
-    sweep.add_argument("--system", "-s", default=None,
-                       help="comma-separated system presets "
-                            "(default: the scenario file's, else cpu; "
-                            "see 'repro list')")
-    sweep.add_argument("--grid", "-g", action="append", default=[],
-                       metavar="PARAM=V1,V2,...",
-                       help="sweep axis; repeatable, swept as a cartesian "
-                            "product in the given order")
-    sweep.add_argument("--param", "-p", action="append", default=[],
-                       metavar="PARAM=VALUE",
-                       help="fixed workload parameter applied to every point; "
-                            "repeatable")
-    sweep.add_argument("--set", action="append", default=[], dest="overrides",
-                       metavar="PATH=VALUE",
-                       help="dotted-path configuration override, e.g. "
-                            "mttop.count=4 or l2.total_size_bytes=8MiB; "
-                            "repeatable, applied to every system whose "
-                            "configuration has the path")
-    sweep.add_argument("--seed", type=int, default=None,
-                       help="workload input seed (default: each workload's "
-                            "own default)")
-    sweep.add_argument("--name", default=None,
-                       help="scenario name, used for the cache subdirectory "
-                            "(default: sweep-<workload>)")
+    _add_scenario_options(sweep)
     _add_execution_options(sweep)
 
     worker = sub.add_parser(
@@ -196,6 +224,53 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="points this worker executes concurrently "
                              "(default: $REPRO_WORKER_JOBS, else the CPU "
                              "count); >1 runs points on a local process pool")
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on sweep service (job queue + fleet)")
+    serve.add_argument("--bind", default=None, metavar="HOST:PORT",
+                       help=f"address to listen on for workers and clients "
+                            f"(default: $REPRO_BIND or {default_bind()!r}; "
+                            f"port 0 picks a free port)")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="times a point lost to a dying worker is requeued "
+                            "before it settles as failed (default: 3)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the per-job/per-worker log lines")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running 'repro serve' and return")
+    submit.add_argument("--sweep", default=None, metavar="NAME",
+                        help="submit a registered sweep (see 'repro list') "
+                             "instead of an ad-hoc scenario")
+    submit.add_argument("--full", action="store_true",
+                        help="with --sweep: use the larger sweep grid")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority; higher runs first (default: 0)")
+    submit.add_argument("--submitter", default=None,
+                        help="fair-share identity (default: user@host)")
+    _add_scenario_options(submit)
+    _add_service_options(submit)
+
+    status = sub.add_parser(
+        "status", help="show the service's jobs, workers and queue state")
+    status.add_argument("job", nargs="?", default=None,
+                        help="show only this job (default: all jobs)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw status reply as JSON")
+    _add_service_options(status)
+
+    result = sub.add_parser(
+        "result", help="wait for a job and render its results")
+    result.add_argument("job", help="job id, as printed by 'repro submit'")
+    result.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of the rendered table")
+    result.add_argument("--out", default=None,
+                        help="also write the output to this file")
+    _add_service_options(result)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job", help="job id, as printed by 'repro submit'")
+    _add_service_options(cancel)
 
     cache = sub.add_parser("cache", help="inspect or prune the point cache")
     cache.add_argument("action", choices=("info", "clear"),
@@ -266,7 +341,8 @@ def _make_backend(args: argparse.Namespace):
     name = args.backend or ("process" if workers > 1 else "serial")
     return create_backend(name, jobs=workers, bind=args.bind,
                           min_workers=workers,
-                          start_timeout=args.start_timeout), name
+                          start_timeout=args.start_timeout,
+                          connect=getattr(args, "connect", None)), name
 
 
 def _reset_worker_stats(backend) -> None:
@@ -362,8 +438,9 @@ def _parse_pairs(pairs: List[str], flag: str, *,
     return parsed
 
 
-def _sweep(args: argparse.Namespace) -> int:
-    from repro.api import ResultSet, Scenario
+def _build_scenario(args: argparse.Namespace):
+    """Assemble the :class:`~repro.api.Scenario` behind ``sweep``/``submit``."""
+    from repro.api import Scenario
 
     systems = tuple(name for name in (args.system or "").split(",") if name)
     grid = _parse_pairs(args.grid, "--grid", split_values=True)
@@ -393,6 +470,21 @@ def _sweep(args: argparse.Namespace) -> int:
                             systems=systems or ("cpu",), grid=grid,
                             params=params, overrides=overrides,
                             seed=args.seed, name=args.name)
+    return scenario
+
+
+def _scenario_title(scenario) -> str:
+    """The table title ``sweep`` renders (and ``submit`` stashes in meta)."""
+    shown = scenario.overrides
+    return (f"{scenario.workload} on {', '.join(scenario.systems)}"
+            + (f" [{', '.join(f'{k}={v}' for k, v in shown.items())}]"
+               if shown else ""))
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.api import ResultSet
+
+    scenario = _build_scenario(args)
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     backend, backend_name = _make_backend(args)
 
@@ -404,10 +496,7 @@ def _sweep(args: argparse.Namespace) -> int:
                                     spec_name=scenario.name)
         elapsed = time.monotonic() - started
         results = ResultSet.from_outcome(outcome)
-        shown = scenario.overrides
-        title = (f"{scenario.workload} on {', '.join(scenario.systems)}"
-                 + (f" [{', '.join(f'{k}={v}' for k, v in shown.items())}]"
-                    if shown else ""))
+        title = _scenario_title(scenario)
         text = _emit(args, results, lambda: results.render(title=title))
         print(text)
         fresh = outcome.points_total - outcome.points_from_cache
@@ -419,6 +508,134 @@ def _sweep(args: argparse.Namespace) -> int:
             _print_run_stats(outcome, backend)
 
     return _finish_outputs(args, [text])
+
+
+# --------------------------------------------------------------------------- #
+# serve / submit / status / result / cancel (the sweep service)
+# --------------------------------------------------------------------------- #
+def _serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_service
+
+    return run_service(args.bind or default_bind(),
+                       max_retries=args.max_retries, quiet=args.quiet)
+
+
+def _submit(args: argparse.Namespace) -> int:
+    import getpass
+    import socket as socket_module
+
+    from repro.api import JobSpec
+    from repro.service.client import ServiceClient
+
+    if args.sweep:
+        spec = get_spec(args.sweep)
+        points = spec.build_points(full=args.full or full_sweep_enabled())
+        name = args.name or spec.name
+        meta: Dict[str, object] = {"sweep": spec.name}
+    else:
+        scenario = _build_scenario(args)
+        points = scenario.points()
+        name = scenario.name
+        meta = {"title": _scenario_title(scenario)}
+    try:
+        submitter = args.submitter or \
+            f"{getpass.getuser()}@{socket_module.gethostname()}"
+    except (KeyError, OSError):  # no passwd entry in minimal containers
+        submitter = args.submitter or f"pid-{os.getpid()}"
+    job = JobSpec.from_points(points, name=name, submitter=submitter,
+                              priority=args.priority, meta=meta)
+    with ServiceClient(args.connect) as client:
+        job_id = client.submit(job)
+    print(f"submitted {name} as {job_id}: {len(points)} point(s), "
+          f"priority {args.priority}", file=sys.stderr)
+    print(job_id)  # bare id on stdout, so scripts can capture it
+    return 0
+
+
+def _status(args: argparse.Namespace) -> int:
+    from repro.api import JobStatus
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.connect) as client:
+        payload = client.status_payload(args.job)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    jobs = payload.get("jobs")
+    statuses = [JobStatus.from_json(entry)
+                for entry in (jobs if isinstance(jobs, list) else [])]
+    if payload.get("draining"):
+        print("service is draining: new submissions are refused")
+    if not statuses:
+        print("no jobs")
+    else:
+        width = max(len(status.job_id) for status in statuses)
+        for status in statuses:
+            line = (f"{status.job_id:{width}s}  {status.state.value:9s} "
+                    f"{status.settled:4d}/{status.total:<4d} "
+                    f"prio {status.priority:<3d} {status.name} "
+                    f"(from {status.submitter})")
+            if status.error:
+                line += f"  [{status.error.splitlines()[0]}]"
+            print(line)
+    workers = payload.get("workers")
+    for entry in (workers if isinstance(workers, list) else []):
+        print(f"worker {entry.get('label')}: {entry.get('slots')} slot(s), "
+              f"{entry.get('inflight')} in flight, "
+              f"{entry.get('points_done')} done")
+    return 0
+
+
+def _result(args: argparse.Namespace) -> int:
+    from repro.api import ResultSet
+    from repro.harness.spec import default_combine
+    from repro.harness.wire import decode_result
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.connect) as client:
+        reply = client.result(args.job)
+    state = str(reply.get("state"))
+    entries = reply.get("points")
+    entries = sorted(entries if isinstance(entries, list) else [],
+                     key=lambda e: e.get("index", 0))
+    failures = [entry for entry in entries if not entry.get("ok")]
+    if failures or state != "done":
+        for entry in failures:
+            print(f"repro: point {entry.get('spec')}:{entry.get('point_id')} "
+                  f"failed: {entry.get('error')}", file=sys.stderr)
+        print(f"repro: job {args.job} {state}", file=sys.stderr)
+        return 2
+    groups: Dict[str, List[Dict[str, object]]] = {}
+    for entry in entries:
+        result = decode_result(str(entry.get("result", "")))
+        groups.setdefault(str(entry.get("group") or "rows"),
+                          []).extend(result.rows)
+    combined = default_combine(groups)
+    results = ResultSet.from_result(combined)
+    meta = reply.get("meta")
+    meta = meta if isinstance(meta, dict) else {}
+    if meta.get("sweep"):
+        # A registered sweep renders through its own spec, so `repro
+        # result` of a submitted figure is byte-identical to `repro run`.
+        spec = get_spec(str(meta["sweep"]))
+        text = _emit(args, results, lambda: spec.render(combined))
+    else:
+        title = meta.get("title")
+        text = _emit(args, results,
+                     lambda: results.render(
+                         title=str(title) if title else None))
+    print(text)
+    return _finish_outputs(args, [text])
+
+
+def _cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.connect) as client:
+        status = client.cancel(args.job)
+    print(f"{status.job_id}: {status.state.value} "
+          f"({status.settled}/{status.total} points settled)")
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -473,6 +690,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cache(args)
         if args.command == "sweep":
             return _sweep(args)
+        if args.command == "serve":
+            return _serve(args)
+        if args.command == "submit":
+            return _submit(args)
+        if args.command == "status":
+            return _status(args)
+        if args.command == "result":
+            return _result(args)
+        if args.command == "cancel":
+            return _cancel(args)
         return _run(args)
     except (ReproError, ValueError, OSError) as error:
         # OSError covers ConnectionError plus socket setup failures such as

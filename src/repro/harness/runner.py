@@ -271,15 +271,23 @@ class SweepRunner:
         pending = [(i, p) for i, p in enumerate(points) if results[i] is None]
 
         if pending:
-            fresh = self.backend.run([p for _, p in pending])
-            if len(fresh) != len(pending):
-                raise HarnessError(
-                    f"{self.backend.name} backend returned {len(fresh)} "
-                    f"results for {len(pending)} points")
-            # Cache every completed result before failing the sweep, so a
-            # retry after a partial failure only re-simulates what's missing.
+            pending_points = [p for _, p in pending]
+            # Consume the backend's completion stream: each result is
+            # cached the moment it arrives, so a sweep interrupted (or
+            # cancelled) partway only re-simulates what is actually
+            # missing — failing the sweep at the end cannot lose the
+            # points that did complete.
             failure: Optional[HarnessError] = None
-            for (index, point), result in zip(pending, fresh):
+            seen: "set[int]" = set()
+            for offset, result in self.backend.run_iter(pending_points):
+                if not isinstance(offset, int) or not 0 <= offset < len(pending) \
+                        or offset in seen:
+                    raise HarnessError(
+                        f"{self.backend.name} backend yielded "
+                        f"{'duplicate' if offset in seen else 'invalid'} "
+                        f"point index {offset!r}")
+                seen.add(offset)
+                index, point = pending[offset]
                 if isinstance(result, PointFailure):
                     failure = failure or HarnessError(
                         f"sweep point {result.spec}:{result.point_id} failed "
@@ -293,6 +301,15 @@ class SweepRunner:
                     continue
                 results[index] = result
                 self._cache_store(point, result)
+            if len(seen) != len(pending):
+                if getattr(self.backend, "cancelled", False):
+                    raise HarnessError(
+                        f"sweep {spec_name} cancelled after {len(seen)} of "
+                        f"{len(pending)} pending points (completed points "
+                        f"are cached)")
+                raise HarnessError(
+                    f"{self.backend.name} backend returned {len(seen)} "
+                    f"results for {len(pending)} points")
             if failure is not None:
                 raise failure
 

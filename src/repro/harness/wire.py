@@ -31,24 +31,43 @@ order; the echoed ``task_id`` matches them back to their points.  A
 version-1 peer is still understood: a ``hello`` without ``slots`` means
 one slot, which degrades exactly to the old one-point-at-a-time lockstep.
 
+Protocol version 3 adds the always-on sweep service (``repro serve``):
+
+- *job-scoped task ids*: the service multiplexes many concurrent jobs
+  over one worker fleet, so ``point`` frames carry ``"<job>/<index>"``
+  string task ids instead of bare run-local integers.  Workers have
+  always treated ``task_id`` as an opaque token to echo back, so a v2
+  (or even v1) worker serves a v3 coordinator unchanged.
+- *version negotiation*: the coordinator answers a ``hello`` with a
+  ``welcome`` frame carrying the negotiated version
+  (``min(coordinator, worker)``, via :func:`negotiate_proto`).  v2
+  workers log-and-ignore unknown frame types, so the ``welcome`` is
+  backward compatible too.
+- *client frames* (``client_hello`` / ``submit`` / ``status`` /
+  ``result`` / ``watch`` / ``cancel``), spoken between ``repro
+  submit``-style clients and the service — see :mod:`repro.service`.
+
 The pickle payload means workers must only ever connect to a coordinator
 they trust (and vice versa); the harness binds to localhost by default.
 """
 
 from __future__ import annotations
 
+import asyncio
 import base64
 import json
 import pickle
 import socket
 import struct
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.harness.spec import PointResult, SweepPoint
 
 #: Wire protocol version, carried in ``hello`` frames.  Version 2 added
-#: multi-slot workers and out-of-order ``result`` frames.
-PROTOCOL_VERSION = 2
+#: multi-slot workers and out-of-order ``result`` frames; version 3 added
+#: job-scoped task ids, ``welcome`` negotiation and the service's client
+#: frames.
+PROTOCOL_VERSION = 3
 
 #: Frames larger than this are rejected as corrupt rather than allocated.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -125,6 +144,73 @@ def decode_result(blob: str) -> PointResult:
         raise ConnectionError(
             f"frame payload decoded to {type(result).__name__}, not PointResult")
     return result
+
+
+# --------------------------------------------------------------------------- #
+# Asyncio stream variants (the ``repro serve`` service speaks these)
+# --------------------------------------------------------------------------- #
+async def read_frame_async(reader: asyncio.StreamReader
+                           ) -> Optional[Dict[str, object]]:
+    """Async :func:`recv_frame`: one frame, or ``None`` on a clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # peer closed between frames
+        raise ConnectionError("connection closed mid-frame") from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized frame ({length} bytes)")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("connection closed mid-frame") from error
+    message = json.loads(payload.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ConnectionError("malformed frame: expected a JSON object")
+    return message
+
+
+async def write_frame_async(writer: asyncio.StreamWriter,
+                            message: Dict[str, object]) -> None:
+    """Async :func:`send_frame`."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    writer.write(_LENGTH.pack(len(payload)) + payload)
+    await writer.drain()
+
+
+# --------------------------------------------------------------------------- #
+# Version negotiation and job-scoped task ids (protocol v3)
+# --------------------------------------------------------------------------- #
+def negotiate_proto(hello: Dict[str, object]) -> int:
+    """The protocol version a coordinator speaks to this peer.
+
+    ``min(ours, theirs)``; a missing or malformed advert counts as
+    version 1, the lockstep protocol every peer understands.
+    """
+    proto = hello.get("proto", 1)
+    if not isinstance(proto, int) or isinstance(proto, bool) or proto < 1:
+        proto = 1
+    return min(PROTOCOL_VERSION, proto)
+
+
+def make_task_id(job_id: str, index: int) -> str:
+    """The job-scoped task id of one point of one service job."""
+    return f"{job_id}/{index}"
+
+
+def split_task_id(task_id: object) -> Optional[Tuple[str, int]]:
+    """Parse a job-scoped task id back to ``(job_id, index)``.
+
+    ``None`` for anything malformed (workers echo task ids verbatim, so a
+    bad one means a confused or hostile peer, not a crash).
+    """
+    if not isinstance(task_id, str):
+        return None
+    job_id, sep, index = task_id.rpartition("/")
+    if not sep or not job_id or not index.isdigit():
+        return None
+    return job_id, int(index)
 
 
 def hello_slots(hello: Dict[str, object]) -> int:

@@ -119,6 +119,11 @@ def _serve_inline(sock: socket.socket) -> int:
         if kind == "shutdown":
             _log(f"shutdown after {served} points")
             return 0
+        if kind == "welcome":
+            # A v3 coordinator (the sweep service) confirms the negotiated
+            # protocol version; a v2 coordinator never sends one.
+            _log(f"coordinator negotiated protocol v{frame.get('proto')}")
+            continue
         if kind != "point":
             _log(f"ignoring unexpected {kind!r} frame")
             continue
@@ -199,6 +204,9 @@ def _serve_pooled(sock: socket.socket, jobs: int) -> int:
                 # points are in flight; tear the pool down fast.
                 _log(f"shutdown after {served} points")
                 return 0
+            if kind == "welcome":
+                _log(f"coordinator negotiated protocol v{frame.get('proto')}")
+                continue
             if kind != "point":
                 _log(f"ignoring unexpected {kind!r} frame")
                 continue

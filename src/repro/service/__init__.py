@@ -1,0 +1,36 @@
+"""The always-on sweep service (``repro serve``) and its clients.
+
+The service owns a worker fleet (the same ``repro worker`` processes the
+distributed backend uses — protocol-negotiated, so v2 workers interop
+unchanged) and a named job queue with priorities and fair-share
+scheduling across submitters.  Jobs are declarative
+:class:`~repro.api.JobSpec` payloads — ``module:qualname`` function
+references, never pickled callables.
+
+- :mod:`repro.service.jobs` — the queue and scheduling policy (pure,
+  loop-free Python).
+- :mod:`repro.service.server` — the asyncio server behind ``repro
+  serve``: worker fleet, result streaming, SIGTERM drain.
+- :mod:`repro.service.client` — :class:`~repro.service.client.ServiceClient`
+  (the ``repro submit``/``status``/``result``/``cancel`` plumbing) and
+  :class:`~repro.service.client.ServiceBackend` (``--backend service``).
+"""
+
+from repro.service.client import (
+    ServiceBackend,
+    ServiceClient,
+    default_service_address,
+)
+from repro.service.jobs import JobQueue, ServiceError, ServiceJob
+from repro.service.server import SweepService, run_service
+
+__all__ = [
+    "JobQueue",
+    "ServiceBackend",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceJob",
+    "SweepService",
+    "default_service_address",
+    "run_service",
+]

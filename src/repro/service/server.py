@@ -1,0 +1,475 @@
+"""The always-on sweep service behind ``repro serve``.
+
+One asyncio event loop owns everything: the listening socket, one
+connection handler per peer, the worker fleet and the
+:class:`~repro.service.jobs.JobQueue`.  Peers self-identify by their first
+frame — workers send the same ``hello`` they send a sweep coordinator
+(an unmodified v2 ``repro worker`` joins the fleet untouched), clients
+send ``client_hello``.  Both get a ``welcome`` frame back carrying the
+negotiated protocol version.
+
+Per worker the server runs a *dispatch* task and a *receive* task.
+Dispatch pulls assignments from the queue (priority + fair share, see
+:mod:`repro.service.jobs`), keeps at most ``slots`` points outstanding
+(the same credit scheme the distributed backend uses) and tags each
+``point`` frame with a job-scoped ``"<job>/<index>"`` task id.  Receive
+matches ``result`` frames back by task id, settles the point and streams
+a ``point_result`` event to every watcher of that job.  When a worker
+connection drops, its in-flight points are requeued for the survivors —
+a killed worker never loses a point.
+
+Shutdown is two-tier: SIGTERM *drains* (refuse new submissions, finish
+every accepted job, then exit) while SIGINT *stops* (cancel unfinished
+jobs and exit now).  Both end with ``shutdown`` frames to the fleet so
+workers exit cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.api import JobSpec
+from repro.harness.wire import (
+    PROTOCOL_VERSION,
+    hello_slots,
+    make_task_id,
+    negotiate_proto,
+    parse_address,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.service.jobs import JobQueue, ServiceError, ServiceJob
+
+#: How long a new connection has to identify itself before being dropped.
+HELLO_TIMEOUT = 10.0
+
+
+class _WorkerLink:
+    """Server-side state of one connected worker."""
+
+    def __init__(self, key: int, label: str, slots: int, proto: int,
+                 writer: asyncio.StreamWriter) -> None:
+        self.key = key
+        self.label = label
+        self.slots = slots
+        self.proto = proto
+        self.writer = writer
+        self.credits = slots
+        #: task id -> (job_id, point index) for points on this connection
+        self.inflight: Dict[str, Tuple[str, int]] = {}
+        self.points_done = 0
+        self.closed = False
+        self.wake = asyncio.Event()
+
+
+class SweepService:
+    """The ``repro serve`` server.  Construct, then ``await serve()``."""
+
+    def __init__(self, bind: str = "127.0.0.1:0", max_retries: int = 3,
+                 quiet: bool = False) -> None:
+        self.bind = bind
+        self.queue = JobQueue(max_retries=max_retries)
+        self.quiet = quiet
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._workers: Dict[int, _WorkerLink] = {}
+        self._next_worker_key = 0
+        #: per-job event queues of connected ``watch`` streams
+        self._watchers: Dict[str, List[asyncio.Queue]] = {}
+        #: per-job "reached a terminal state" latches (``result`` waits here)
+        self._finished: Dict[str, asyncio.Event] = {}
+        self._closing: Optional[asyncio.Event] = None
+        #: live connection-handler tasks -> their writers, for clean shutdown
+        self._connections: Dict["asyncio.Task", asyncio.StreamWriter] = {}
+
+    # -- lifecycle --------------------------------------------------------- #
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the bound ``(host, port)``."""
+        self._closing = asyncio.Event()
+        host, port = parse_address(self.bind)
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  host, port)
+        bound = self._server.sockets[0].getsockname()
+        self.address = (host, bound[1])
+        self._log(f"listening on {host}:{bound[1]} "
+                  f"(protocol v{PROTOCOL_VERSION})")
+        return self.address
+
+    async def serve(self) -> None:
+        """Serve until a drain completes or :meth:`request_stop` fires."""
+        if self._server is None:
+            await self.start()
+        assert self._closing is not None
+        await self._closing.wait()
+        await self._shutdown()
+
+    def request_drain(self) -> None:
+        """SIGTERM: refuse new submissions, finish accepted jobs, exit.
+
+        Loop-thread only (signal handler or ``call_soon_threadsafe``).
+        """
+        if self.queue.draining:
+            return
+        self.queue.draining = True
+        self._log(f"draining: refusing new submissions, "
+                  f"{self.queue.unfinished()} job(s) still unfinished")
+        self._maybe_finish_drain()
+
+    def request_stop(self) -> None:
+        """SIGINT: cancel unfinished jobs and exit now.  Loop-thread only."""
+        self.queue.draining = True
+        for job in list(self.queue.jobs.values()):
+            if self.queue.cancel(job.job_id) is not None:
+                self._notify_terminal(job)
+        self._log("stopping")
+        if self._closing is not None:
+            self._closing.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for link in list(self._workers.values()):
+            link.closed = True
+            link.wake.set()
+            try:
+                await write_frame_async(link.writer, {"type": "shutdown"})
+            except (OSError, ConnectionError):
+                pass
+        # Closing every connection EOFs the handlers out of their reads, so
+        # they finish *normally* (requeue bookkeeping and all) instead of
+        # being cancelled mid-await when the event loop is torn down.
+        for writer in self._connections.values():
+            writer.close()
+        if self._connections:
+            await asyncio.wait(set(self._connections), timeout=5.0)
+        for task in list(self._connections):
+            if not task.done():  # e.g. a watch of a job that never ends
+                task.cancel()
+        self._log("stopped")
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"repro serve: {message}", file=sys.stderr, flush=True)
+
+    # -- connection intake ------------------------------------------------- #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = writer
+        try:
+            try:
+                first = await asyncio.wait_for(read_frame_async(reader),
+                                               timeout=HELLO_TIMEOUT)
+            except (asyncio.TimeoutError, ConnectionError, OSError,
+                    ValueError):
+                return
+            if first is None:
+                return
+            kind = first.get("type")
+            if kind == "hello":
+                await self._serve_worker(first, reader, writer)
+            elif kind == "client_hello":
+                await self._serve_client(first, reader, writer)
+            else:
+                await write_frame_async(
+                    writer, {"type": "error",
+                             "error": f"expected hello or client_hello, "
+                                      f"got {kind!r}"})
+        except (OSError, ConnectionError, ValueError):
+            pass  # a dropped peer is routine fleet churn, not a server error
+        finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    # -- workers ----------------------------------------------------------- #
+    async def _serve_worker(self, hello: Dict[str, object],
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        proto = negotiate_proto(hello)
+        slots = hello_slots(hello)
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        label = f"{peer[0]}:{peer[1]}/pid={hello.get('pid', '?')}"
+        self._next_worker_key += 1
+        link = _WorkerLink(self._next_worker_key, label, slots, proto, writer)
+        self._workers[link.key] = link
+        self._log(f"worker {label} joined: {slots} slot(s), protocol v{proto}")
+        try:
+            await write_frame_async(writer, {"type": "welcome", "proto": proto,
+                                             "role": "worker"})
+            receive = asyncio.ensure_future(self._worker_receive(link, reader))
+            dispatch = asyncio.ensure_future(self._worker_dispatch(link))
+            done, pending = await asyncio.wait(
+                {receive, dispatch}, return_when=asyncio.FIRST_COMPLETED)
+            link.closed = True
+            link.wake.set()
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            for task in done:
+                task.exception()  # retrieve, so nothing logs as unhandled
+        finally:
+            link.closed = True
+            self._workers.pop(link.key, None)
+            requeued = len(link.inflight)
+            for job, index, payload in self.queue.requeue_worker(link.key):
+                self._emit_point(job, index, payload)
+                requeued -= 1
+            self._log(f"worker {label} left after {link.points_done} "
+                      f"point(s); requeued {max(requeued, 0)} in-flight")
+            self._kick_all()
+
+    async def _worker_dispatch(self, link: _WorkerLink) -> None:
+        """Push assignments to one worker, ``slots`` at a time."""
+        while True:
+            link.wake.clear()
+            if link.closed:
+                return
+            while link.credits > 0 and not link.closed:
+                assignment = self.queue.next_assignment(link.key)
+                if assignment is None:
+                    break
+                job, index = assignment
+                task_id = make_task_id(job.job_id, index)
+                link.credits -= 1
+                link.inflight[task_id] = (job.job_id, index)
+                entry = job.spec.points[index]
+                await write_frame_async(
+                    link.writer,
+                    {"type": "point", "task_id": task_id,
+                     "point": entry["point"]})
+            await link.wake.wait()
+
+    async def _worker_receive(self, link: _WorkerLink,
+                              reader: asyncio.StreamReader) -> None:
+        """Settle results from one worker until its connection ends."""
+        while True:
+            try:
+                frame = await read_frame_async(reader)
+            except (ConnectionError, OSError, ValueError):
+                return
+            if frame is None:
+                return
+            if frame.get("type") != "result":
+                continue
+            task_id = frame.get("task_id")
+            entry = link.inflight.pop(task_id, None) \
+                if isinstance(task_id, str) else None
+            if entry is None:
+                continue  # stale or fabricated task id
+            link.credits += 1
+            link.points_done += 1
+            job_id, index = entry
+            job = self.queue.get(job_id)
+            if job is not None:
+                if frame.get("ok"):
+                    payload: Dict[str, object] = {
+                        "ok": True, "result": str(frame.get("result", ""))}
+                else:
+                    payload = {"ok": False,
+                               "error": str(frame.get("error",
+                                                      "unknown worker error"))}
+                if self.queue.complete(job, index, payload):
+                    self._emit_point(job, index, payload)
+            link.wake.set()  # a credit came back; dispatch may proceed
+
+    def _kick_all(self) -> None:
+        for link in self._workers.values():
+            link.wake.set()
+
+    # -- event fan-out ----------------------------------------------------- #
+    def _emit_point(self, job: ServiceJob, index: int,
+                    payload: Dict[str, object]) -> None:
+        event = {"type": "point_result", "job_id": job.job_id,
+                 "index": index}
+        event.update(payload)
+        for watcher in self._watchers.get(job.job_id, []):
+            watcher.put_nowait(event)
+        if job.state.terminal:
+            self._notify_terminal(job)
+
+    def _notify_terminal(self, job: ServiceJob) -> None:
+        event = {"type": "job_end", "job_id": job.job_id,
+                 "state": job.state.value, "error": job.error}
+        for watcher in self._watchers.get(job.job_id, []):
+            watcher.put_nowait(event)
+        self._finished.setdefault(job.job_id, asyncio.Event()).set()
+        self._log(f"job {job.job_id} ({job.spec.name}) {job.state.value}: "
+                  f"{job.completed}/{job.total} ok, {job.failed} failed")
+        self._maybe_finish_drain()
+
+    def _maybe_finish_drain(self) -> None:
+        if self.queue.draining and not self.queue.unfinished() \
+                and self._closing is not None:
+            self._closing.set()
+
+    # -- clients ----------------------------------------------------------- #
+    async def _serve_client(self, hello: Dict[str, object],
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        await write_frame_async(writer, {"type": "welcome",
+                                         "proto": negotiate_proto(hello),
+                                         "role": "client"})
+        while True:
+            frame = await read_frame_async(reader)
+            if frame is None:
+                return
+            kind = frame.get("type")
+            try:
+                if kind == "submit":
+                    await self._client_submit(frame, writer)
+                elif kind == "status":
+                    await self._client_status(frame, writer)
+                elif kind == "result":
+                    await self._client_result(frame, writer)
+                elif kind == "watch":
+                    await self._client_watch(frame, writer)
+                elif kind == "cancel":
+                    await self._client_cancel(frame, writer)
+                else:
+                    raise ServiceError(f"unknown request type {kind!r}")
+            except (ServiceError, ValueError) as error:
+                await write_frame_async(writer, {"type": "error",
+                                                 "error": str(error)})
+
+    async def _client_submit(self, frame: Dict[str, object],
+                             writer: asyncio.StreamWriter) -> None:
+        spec = JobSpec.from_json(frame.get("job"))  # ValueError -> error frame
+        job = self.queue.submit(spec)               # ServiceError while draining
+        self._finished.setdefault(job.job_id, asyncio.Event())
+        self._log(f"job {job.job_id} ({spec.name}) submitted by "
+                  f"{spec.submitter}: {job.total} point(s), "
+                  f"priority {spec.priority}")
+        if job.state.terminal:
+            self._notify_terminal(job)  # an empty job finishes at submission
+        self._kick_all()
+        await write_frame_async(writer, {"type": "submitted",
+                                         "job_id": job.job_id,
+                                         "status": job.status().to_json()})
+
+    async def _client_status(self, frame: Dict[str, object],
+                             writer: asyncio.StreamWriter) -> None:
+        target = frame.get("job")
+        statuses = self.queue.statuses(
+            str(target) if target is not None else None)
+        workers = [{"label": link.label, "slots": link.slots,
+                    "proto": link.proto, "inflight": len(link.inflight),
+                    "points_done": link.points_done}
+                   for link in self._workers.values()]
+        await write_frame_async(
+            writer, {"type": "status", "draining": self.queue.draining,
+                     "jobs": [status.to_json() for status in statuses],
+                     "workers": workers})
+
+    async def _client_result(self, frame: Dict[str, object],
+                             writer: asyncio.StreamWriter) -> None:
+        job_id = str(frame.get("job"))
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if not job.state.terminal:
+            await self._finished.setdefault(job_id, asyncio.Event()).wait()
+        points = []
+        for index, entry in enumerate(job.spec.points):
+            payload = job.results[index] or {
+                "ok": False, "error": "point was cancelled before it ran"}
+            record = {"index": index, "spec": entry.get("spec"),
+                      "point_id": entry.get("point_id"),
+                      "group": entry.get("group")}
+            record.update(payload)
+            points.append(record)
+        await write_frame_async(
+            writer, {"type": "result", "job_id": job.job_id,
+                     "state": job.state.value, "error": job.error,
+                     "meta": dict(job.spec.meta), "points": points})
+
+    async def _client_watch(self, frame: Dict[str, object],
+                            writer: asyncio.StreamWriter) -> None:
+        """Stream a job's events; the reply sequence ends with ``job_end``."""
+        job_id = str(frame.get("job"))
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        # Snapshot already-settled points and register the live queue in the
+        # same loop step, so nothing falls between backlog and stream; the
+        # `sent` set drops the duplicates that overlap produces.
+        events: asyncio.Queue = asyncio.Queue()
+        self._watchers.setdefault(job_id, []).append(events)
+        backlog = [(index, payload)
+                   for index, payload in enumerate(job.results)
+                   if payload is not None]
+        ended_already = job.state.terminal
+        sent = set()
+        try:
+            for index, payload in backlog:
+                sent.add(index)
+                event = {"type": "point_result", "job_id": job_id,
+                         "index": index}
+                event.update(payload)
+                await write_frame_async(writer, event)
+            if ended_already:
+                await write_frame_async(
+                    writer, {"type": "job_end", "job_id": job_id,
+                             "state": job.state.value, "error": job.error})
+                return
+            while True:
+                event = await events.get()
+                if event.get("type") == "point_result" \
+                        and event.get("index") in sent:
+                    continue
+                await write_frame_async(writer, event)
+                if event.get("type") == "job_end":
+                    return
+        finally:
+            watchers = self._watchers.get(job_id, [])
+            if events in watchers:
+                watchers.remove(events)
+
+    async def _client_cancel(self, frame: Dict[str, object],
+                             writer: asyncio.StreamWriter) -> None:
+        job_id = str(frame.get("job"))
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        cancelled = self.queue.cancel(job_id)
+        if cancelled is not None:
+            self._log(f"job {job_id} cancelled by client")
+            self._notify_terminal(cancelled)
+        await write_frame_async(writer, {"type": "cancelled",
+                                         "job_id": job_id,
+                                         "status": job.status().to_json()})
+
+
+def run_service(bind: str, max_retries: int = 3, quiet: bool = False,
+                ready_line: bool = True) -> int:
+    """Run a :class:`SweepService` until it drains or is stopped.
+
+    The blocking entry point behind ``repro serve``: installs SIGTERM →
+    drain and SIGINT → stop handlers (where the platform supports them)
+    and prints a parseable ``listening on HOST:PORT`` line to stdout so
+    scripts can discover an ephemeral port.
+    """
+    import contextlib
+    import signal
+
+    service = SweepService(bind=bind, max_retries=max_retries, quiet=quiet)
+
+    async def _main() -> None:
+        host, port = await service.start()
+        if ready_line:
+            print(f"listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signal.SIGTERM, service.request_drain)
+            loop.add_signal_handler(signal.SIGINT, service.request_stop)
+        await service.serve()
+
+    asyncio.run(_main())
+    return 0

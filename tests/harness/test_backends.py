@@ -211,6 +211,116 @@ class TestLocalBackends:
 
 
 # --------------------------------------------------------------------------- #
+# The streaming backend API: run_iter + cancel
+# --------------------------------------------------------------------------- #
+class TestRunIterAndCancel:
+    def test_serial_run_iter_streams_in_order(self):
+        pairs = list(SerialBackend().run_iter(_points([4, 2, 3])))
+        assert [index for index, _ in pairs] == [0, 1, 2]
+        assert [r.rows[0]["value"] for _, r in pairs] == [4, 2, 3]
+
+    def test_process_run_iter_yields_every_index_once(self):
+        points = _points(list(range(8)))
+        pairs = list(ProcessPoolBackend(jobs=4).run_iter(points))
+        assert sorted(index for index, _ in pairs) == list(range(8))
+        for index, result in pairs:
+            assert result.rows[0]["square"] == index * index
+
+    def test_legacy_run_only_backend_still_streams(self):
+        class LegacyBackend(ExecutionBackend):
+            name = "legacy"
+
+            def run(self, points):
+                return SerialBackend().run(points)
+
+        pairs = list(LegacyBackend().run_iter(_points([1, 2])))
+        assert [index for index, _ in pairs] == [0, 1]
+        # ... and the runner consumes it through the same streaming path
+        outcome = SweepRunner(backend=LegacyBackend()).run_points(_points([3]))
+        assert outcome.rows == [{"value": 3, "square": 9}]
+
+    def test_iter_only_backend_gets_run_shim_in_declaration_order(self):
+        class IterBackend(ExecutionBackend):
+            name = "iter-only"
+
+            def run_iter(self, points):
+                # completion order reversed on purpose
+                for index in reversed(range(len(points))):
+                    yield index, square_point(points[index].kwargs["value"])
+
+        results = IterBackend().run(_points([5, 6]))
+        assert [r.rows[0]["value"] for r in results] == [5, 6]
+
+    def test_run_shim_marks_unyielded_points_as_cancelled(self):
+        class PartialBackend(ExecutionBackend):
+            name = "partial"
+
+            def run_iter(self, points):
+                yield 0, square_point(points[0].kwargs["value"])
+
+        results = PartialBackend().run(_points([1, 2]))
+        assert isinstance(results[0], PointResult)
+        assert isinstance(results[1], PointFailure)
+        assert "cancelled" in results[1].error
+
+    def test_neither_hook_implemented_is_an_error(self):
+        class EmptyBackend(ExecutionBackend):
+            name = "empty"
+
+        with pytest.raises(NotImplementedError, match="neither"):
+            list(EmptyBackend().run_iter(_points([1])))
+
+    def test_serial_cancel_stops_at_the_next_point_boundary(self):
+        backend = SerialBackend()
+        iterator = backend.run_iter(_points([1, 2, 3]))
+        assert next(iterator)[0] == 0
+        backend.cancel()
+        assert backend.cancelled
+        assert list(iterator) == []
+
+    def test_process_cancel_stops_the_stream(self):
+        backend = ProcessPoolBackend(jobs=2)
+        iterator = backend.run_iter(_points(list(range(6))))
+        next(iterator)
+        backend.cancel()
+        assert len(list(iterator)) < 5  # the tail was abandoned
+
+    def test_runner_reports_cancelled_sweeps_and_keeps_cache(self, tmp_path):
+        class CancelAfterOne(ExecutionBackend):
+            name = "cancel-after-one"
+
+            def run_iter(self, points):
+                yield 0, square_point(points[0].kwargs["value"])
+                self.cancel()
+
+        cache = str(tmp_path / "cache")
+        backend = CancelAfterOne()
+        with pytest.raises(HarnessError, match="cancelled after 1 of 3"):
+            SweepRunner(cache_dir=cache,
+                        backend=backend).run_points(_points([1, 2, 3]))
+        # the completed point was cached before the cancel surfaced
+        outcome = SweepRunner(cache_dir=cache).run_points(_points([1]))
+        assert outcome.points_from_cache == 1
+
+    def test_distributed_cancel_abandons_in_flight_points(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     start_timeout=10.0)
+        host, port = backend.listen()
+        _start_worker_thread(host, port)
+        with backend:
+            iterator = backend.run_iter(_points(list(range(4))))
+            assert next(iterator) is not None
+            backend.cancel()
+            leftovers = list(iterator)
+        # nothing after the cancel is a real result: the distributed
+        # stream only reports already-received completions, never blocks
+        # on the abandoned tail
+        assert all(isinstance(result, (PointResult, PointFailure))
+                   for _, result in leftovers)
+        assert len(leftovers) < 4
+
+
+# --------------------------------------------------------------------------- #
 # Distributed backend
 # --------------------------------------------------------------------------- #
 class TestDistributedBackend:

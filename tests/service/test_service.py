@@ -1,0 +1,325 @@
+"""Integration tests for ``repro serve``: real sockets, real workers.
+
+Each test boots a :class:`~repro.service.server.SweepService` on an
+ephemeral localhost port inside a dedicated event-loop thread; workers
+are threads running the same ``run_worker`` loop the ``repro worker``
+subcommand runs, so the full v3 wire path (hello -> welcome negotiation,
+job-scoped task ids, credit flow, requeue) is exercised end to end.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import JobSpec, JobState
+from repro.harness import (
+    PointResult,
+    SerialBackend,
+    SweepPoint,
+    SweepRunner,
+    run_worker,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.wire import (
+    decode_result,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.harness.worker import execute_task
+from repro.service import (
+    ServiceBackend,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+)
+
+
+def square_point(value):
+    return PointResult(rows=[{"value": value, "square": value * value}],
+                       stats={"points.computed": 1})
+
+
+def _points(values, spec="svc"):
+    return [SweepPoint(spec=spec, point_id=f"value={v}", func=square_point,
+                       kwargs={"value": v}) for v in values]
+
+
+def _job(values, *, name="svc", submitter="tester", priority=0):
+    return JobSpec.from_points(_points(values), name=name,
+                               submitter=submitter, priority=priority)
+
+
+class _LiveService:
+    """A SweepService running on its own event-loop thread."""
+
+    def __init__(self, max_retries=3):
+        self.service = SweepService(bind="127.0.0.1:0",
+                                    max_retries=max_retries, quiet=True)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self._ready.wait(10):
+            raise RuntimeError("service did not start")
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._ready.set()
+        try:
+            self.loop.run_until_complete(self.service.serve())
+        finally:
+            self.loop.close()
+
+    @property
+    def address(self):
+        host, port = self.service.address
+        return f"{host}:{port}"
+
+    def signal(self, callback):
+        """Run ``callback`` on the service's loop (signal-handler stand-in)."""
+        self.loop.call_soon_threadsafe(callback)
+
+    def stop(self, timeout=10):
+        try:
+            self.signal(self.service.request_stop)
+        except RuntimeError:
+            pass  # loop already closed (the service drained on its own)
+        self.thread.join(timeout)
+
+
+@pytest.fixture()
+def live():
+    harness = _LiveService()
+    yield harness
+    harness.stop()
+
+
+def _start_worker(address, jobs=1):
+    thread = threading.Thread(target=run_worker, args=(address,),
+                              kwargs={"retry_seconds": 10.0, "jobs": jobs},
+                              daemon=True)
+    thread.start()
+    return thread
+
+
+# --------------------------------------------------------------------------- #
+# Wire v3: negotiation and job-scoped task ids
+# --------------------------------------------------------------------------- #
+class TestProtocol:
+    def test_v2_worker_negotiates_and_serves_job_scoped_ids(self, live):
+        # A hand-rolled v2 worker: v2 hello in, welcome with min(3, 2) out,
+        # then a point whose task id is the v3 job-scoped string — which a
+        # v2 worker echoes back opaquely, exactly like the real ones do.
+        sock = socket.create_connection(parse_address(live.address),
+                                        timeout=10.0)
+        try:
+            send_frame(sock, {"type": "hello", "pid": 1, "proto": 2,
+                              "slots": 1})
+            assert recv_frame(sock) == {"type": "welcome", "proto": 2,
+                                        "role": "worker"}
+            with ServiceClient(live.address) as client:
+                job_id = client.submit(_job([3]))
+                frame = recv_frame(sock)
+                assert frame["type"] == "point"
+                assert frame["task_id"] == f"{job_id}/0"
+                send_frame(sock, execute_task(frame["task_id"],
+                                              str(frame["point"])))
+                reply = client.result(job_id)
+            assert reply["state"] == "done"
+            result = decode_result(reply["points"][0]["result"])
+            assert result.rows == [{"value": 3, "square": 9}]
+        finally:
+            sock.close()
+
+    def test_v1_hello_counts_as_one_slot_lockstep(self, live):
+        sock = socket.create_connection(parse_address(live.address),
+                                        timeout=10.0)
+        try:
+            send_frame(sock, {"type": "hello", "pid": 1})  # no proto, no slots
+            assert recv_frame(sock) == {"type": "welcome", "proto": 1,
+                                        "role": "worker"}
+            with ServiceClient(live.address) as client:
+                job_id = client.submit(_job([1, 2]))
+                first = recv_frame(sock)
+                assert first["type"] == "point"
+                # one slot -> exactly one point outstanding; the second
+                # frame only arrives after the first result goes back.
+                send_frame(sock, execute_task(first["task_id"],
+                                              str(first["point"])))
+                second = recv_frame(sock)
+                assert second["task_id"] == f"{job_id}/1"
+                send_frame(sock, execute_task(second["task_id"],
+                                              str(second["point"])))
+                assert client.result(job_id)["state"] == "done"
+        finally:
+            sock.close()
+
+    def test_non_worker_garbage_is_rejected(self, live):
+        sock = socket.create_connection(parse_address(live.address),
+                                        timeout=10.0)
+        try:
+            send_frame(sock, {"type": "gibberish"})
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+        finally:
+            sock.close()
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent submitters over one fleet
+# --------------------------------------------------------------------------- #
+class TestConcurrentSweeps:
+    def test_two_submitters_byte_identical_to_serial(self, live):
+        _start_worker(live.address)
+        _start_worker(live.address)
+        points_a = _points(range(6), spec="sweep-a")
+        points_b = _points(range(100, 108), spec="sweep-b")
+
+        outcomes = {}
+
+        def _submit(key, points):
+            backend = ServiceBackend(connect=live.address, submitter=key)
+            runner = SweepRunner(backend=backend)
+            outcomes[key] = runner.run_points(list(points), spec_name=key)
+
+        threads = [threading.Thread(target=_submit, args=("a", points_a)),
+                   threading.Thread(target=_submit, args=("b", points_b))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert set(outcomes) == {"a", "b"}
+
+        serial = SweepRunner(backend=SerialBackend())
+        ref_a = serial.run_points(list(points_a), spec_name="a")
+        ref_b = serial.run_points(list(points_b), spec_name="b")
+        assert outcomes["a"].result == ref_a.result
+        assert outcomes["b"].result == ref_b.result
+        assert outcomes["a"].stats.to_dict() == ref_a.stats.to_dict()
+        assert outcomes["b"].stats.to_dict() == ref_b.stats.to_dict()
+
+    def test_service_backend_fills_and_uses_the_point_cache(self, live,
+                                                           tmp_path):
+        _start_worker(live.address)
+        cache_dir = str(tmp_path / "cache")
+        points = _points(range(4), spec="svc-cached")
+        service_runner = SweepRunner(
+            cache_dir=cache_dir, backend=ServiceBackend(connect=live.address))
+        first = service_runner.run_points(list(points), spec_name="svc-cached")
+        assert first.points_from_cache == 0
+        # a later *serial* run is served entirely from the cache the
+        # service-backed run wrote — the cache contract is backend-agnostic
+        serial_runner = SweepRunner(cache_dir=cache_dir,
+                                    backend=SerialBackend())
+        second = serial_runner.run_points(list(points),
+                                         spec_name="svc-cached")
+        assert second.points_from_cache == 4
+        assert second.result == first.result
+
+
+# --------------------------------------------------------------------------- #
+# Fleet churn and shutdown
+# --------------------------------------------------------------------------- #
+class TestResilience:
+    def test_killed_worker_mid_job_loses_no_points(self, live):
+        # A saboteur "worker" accepts one point and vanishes without a
+        # reply; the job must still finish completely once a real worker
+        # joins, via requeue of the lost point.
+        saboteur = socket.create_connection(parse_address(live.address),
+                                            timeout=10.0)
+        send_frame(saboteur, {"type": "hello", "pid": 666, "proto": 3,
+                              "slots": 1})
+        recv_frame(saboteur)  # welcome
+        with ServiceClient(live.address) as client:
+            job_id = client.submit(_job([1, 2, 3, 4]))
+            taken = recv_frame(saboteur)
+            assert taken["type"] == "point"
+            saboteur.close()  # dies mid-job, holding one point
+            _start_worker(live.address)
+            reply = client.result(job_id)
+        assert reply["state"] == "done"
+        values = sorted(decode_result(entry["result"]).rows[0]["square"]
+                        for entry in reply["points"])
+        assert values == [1, 4, 9, 16]
+
+    def test_cancel_settles_job_without_workers(self, live):
+        with ServiceClient(live.address) as client:
+            job_id = client.submit(_job([1, 2, 3]))
+            assert client.status(job_id)[0].state is JobState.QUEUED
+            status = client.cancel(job_id)
+            assert status.state is JobState.CANCELLED
+            reply = client.result(job_id)  # already terminal: no blocking
+        assert reply["state"] == "cancelled"
+        assert all(not entry["ok"] for entry in reply["points"])
+        assert "cancelled before it ran" in reply["points"][0]["error"]
+
+    def test_unknown_job_is_an_error(self, live):
+        with ServiceClient(live.address) as client:
+            with pytest.raises(ServiceError, match="unknown job"):
+                client.result("job-404")
+
+    def test_drain_refuses_submissions_finishes_jobs_then_exits(self):
+        harness = _LiveService()
+        try:
+            client = ServiceClient(harness.address)
+            job_id = client.submit(_job([5, 6]))  # queued; no workers yet
+            harness.signal(harness.service.request_drain)  # SIGTERM path
+            with pytest.raises(ServiceError, match="draining"):
+                client.submit(_job([7]))
+            assert client.status_payload().get("draining") is True
+            # the accepted job still runs to completion on a late worker ...
+            _start_worker(harness.address)
+            reply = client.result(job_id)
+            assert reply["state"] == "done"
+            client.close()
+            # ... and with every job settled the drain completes by itself
+            harness.thread.join(15)
+            assert not harness.thread.is_alive()
+        finally:
+            harness.stop()
+
+
+# --------------------------------------------------------------------------- #
+# CLI wiring: submit / status / result against a live service
+# --------------------------------------------------------------------------- #
+class TestServiceCli:
+    def test_submit_status_result_matches_local_sweep(self, live, capsys):
+        _start_worker(live.address)
+        base = ["--connect", live.address]
+        assert cli_main(["submit", "matmul", "--system", "cpu",
+                         "--grid", "size=4", *base]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("job-")
+
+        assert cli_main(["result", job_id, *base]) == 0
+        service_out = capsys.readouterr().out
+        # the same scenario swept locally renders byte-identically
+        assert cli_main(["sweep", "matmul", "--system", "cpu",
+                         "--grid", "size=4", "--no-cache"]) == 0
+        assert capsys.readouterr().out == service_out
+
+        assert cli_main(["status", "--json", *base]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"][0]["state"] == "done"
+        assert payload["jobs"][0]["total"] == 1
+        assert payload["workers"], "the worker fleet should be listed"
+
+        assert cli_main(["status", *base]) == 0
+        assert job_id in capsys.readouterr().out
+
+    def test_result_of_failed_job_names_the_point(self, live, capsys):
+        _start_worker(live.address)
+        spec = JobSpec.from_points(
+            [SweepPoint(spec="bad", point_id="p0",
+                        func="tests_no_such_module:missing", kwargs={})],
+            name="bad", submitter="cli-test")
+        with ServiceClient(live.address) as client:
+            job_id = client.submit(spec)
+        assert cli_main(["result", job_id, "--connect", live.address]) == 2
+        err = capsys.readouterr().err
+        assert "bad:p0" in err and "failed" in err
