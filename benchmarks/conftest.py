@@ -44,14 +44,38 @@ def record_figure():
     return _record
 
 
+TRAJECTORY_PATH = os.path.join(RESULTS_DIR, "trajectory.jsonl")
+
+
+def _append_trajectory(document: dict) -> None:
+    """Append one provenance-stamped record to ``trajectory.jsonl``.
+
+    The trajectory is the long-lived, append-only history of benchmark
+    numbers: one JSON line per recorded result, stamped like the result
+    store's provenance (release, git sha, host, timestamp), so rates can
+    be plotted across commits from the accumulated CI artifacts.
+    """
+    import repro
+    from repro.store import current_git_sha, utc_now_iso
+
+    record = dict(document)
+    record["repro_version"] = repro.__version__
+    record["git_sha"] = current_git_sha()
+    record["created_at"] = utc_now_iso()
+    with open(TRAJECTORY_PATH, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 @pytest.fixture
 def record_results():
     """Return a helper that saves machine-readable results to disk.
 
     Writes ``benchmarks/results/<name>.json`` next to the rendered text
-    tables.  Every document carries the host fingerprint and the git
-    revision so numbers archived from different runners (CI artifacts,
-    laptops) stay attributable and comparable.
+    tables and appends a provenance-stamped line to
+    ``benchmarks/results/trajectory.jsonl``.  Every document carries the
+    host fingerprint and the git revision so numbers archived from
+    different runners (CI artifacts, laptops) stay attributable and
+    comparable.
     """
     def _record(name: str, payload: dict) -> str:
         os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -68,6 +92,7 @@ def record_results():
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        _append_trajectory(document)
         return path
 
     return _record

@@ -8,9 +8,10 @@ a named registry entry that expands into independent
 pluggable :class:`~repro.harness.backends.ExecutionBackend` — sequentially,
 across a ``multiprocessing`` pool, or streamed over TCP to ``repro worker``
 processes on other hosts — merges their
-:class:`~repro.sim.stats.StatsRegistry` counters, and caches completed
-points to disk keyed by a hash of their full configuration (cache access is
-coordinator-side only; workers never touch it).
+:class:`~repro.sim.stats.StatsRegistry` counters, and persists completed
+points to a content-addressed, provenance-stamped result store
+(:mod:`repro.store`) keyed by a hash of their full configuration (store
+access is coordinator-side only; workers never touch it).
 
 ``python -m repro run figure5 --full --jobs 4`` drives it from the shell;
 ``python -m repro run table2 --backend distributed --workers 2`` fans out

@@ -45,7 +45,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.harness.spec import HarnessError, PointResult, SweepPoint, execute_point
 from repro.harness.wire import (
@@ -329,7 +329,10 @@ class _RunState:
         for index in range(len(points)):
             self.tasks.put(index)
         # Completion events in completion order, consumed by run_iter.
-        self.events: "queue.Queue[Tuple[int, BackendResult]]" = queue.Queue()
+        # Each carries the label of the worker that computed the result
+        # (None for coordinator-side failures), which provenance records.
+        self.events: "queue.Queue[Tuple[int, BackendResult, Optional[str]]]" \
+            = queue.Queue()
         self.lock = threading.Lock()
         self.outstanding = len(points)
         self.active_workers = 0
@@ -375,12 +378,13 @@ class _RunState:
         for session in sessions:
             session.join()
 
-    def complete(self, index: int, result: BackendResult) -> None:
+    def complete(self, index: int, result: BackendResult,
+                 worker: Optional[str] = None) -> None:
         with self.lock:
             if self.results[index] is not None:
                 return
             self.results[index] = result
-            self.events.put((index, result))
+            self.events.put((index, result, worker))
             self.outstanding -= 1
             finished = self.outstanding == 0
             workers = self.active_workers
@@ -588,11 +592,12 @@ class _WorkerSession:
                         str(reply.get("result", "")))
                 except Exception as error:  # noqa: BLE001
                     result = _failure(point, error)
-                state.complete(task_id, result)
+                state.complete(task_id, result, worker=self.label)
             else:
                 state.complete(task_id, PointFailure(
                     spec=point.spec, point_id=point.point_id,
-                    error=str(reply.get("error", "unknown worker error"))))
+                    error=str(reply.get("error", "unknown worker error"))),
+                    worker=self.label)
         self._park()
 
     # ------------------------------------------------------------------ #
@@ -689,6 +694,8 @@ class DistributedBackend(ExecutionBackend):
         #: Per-worker throughput of the most recent :meth:`run`, in
         #: connection-finish order (see :class:`WorkerRunStats`).
         self.last_run_worker_stats: List[WorkerRunStats] = []
+        #: run_iter index -> worker label, for provenance (see SweepRunner)
+        self.last_point_workers: Dict[int, str] = {}
 
     # ------------------------------------------------------------------ #
     # Connection management
@@ -804,6 +811,7 @@ class DistributedBackend(ExecutionBackend):
             self._start_session(conn, slots, state, admitted=True, label=label)
         received = 0
         cancelled = False
+        self.last_point_workers = {}
         try:
             while received < len(points):
                 if self.cancelled:
@@ -816,10 +824,12 @@ class DistributedBackend(ExecutionBackend):
                     state.cancel_pending()
                     return
                 try:
-                    index, result = state.events.get(timeout=0.1)
+                    index, result, worker = state.events.get(timeout=0.1)
                 except queue.Empty:
                     continue
                 received += 1
+                if worker is not None:
+                    self.last_point_workers[index] = worker
                 yield index, result
         finally:
             with self._ready:

@@ -40,8 +40,13 @@ Examples::
     python -m repro result job-1
     python -m repro run figure5 --backend service   # same fleet, same output
 
-    python -m repro cache info
+    # result store: inspect, prune, verify, sync between hosts
+    python -m repro cache info --json
     python -m repro cache clear figure5
+    python -m repro cache push /mnt/shared/repro-store
+    python -m repro cache pull /mnt/shared/repro-store figure5
+    python -m repro cache gc --max-age-days 30 --dry-run
+    python -m repro cache verify
 
 ``--full`` selects each sweep's larger parameter grid (the same grids the
 ``REPRO_FULL_SWEEP=1`` environment variable selects).  ``--backend``
@@ -72,12 +77,7 @@ from repro.harness.backends import (
     default_bind,
     default_service_address,
 )
-from repro.harness.runner import (
-    SweepRunner,
-    cache_clear,
-    cache_info,
-    default_cache_dir,
-)
+from repro.harness.runner import SweepRunner, default_cache_dir
 from repro.harness.spec import HarnessError, get_spec, spec_names
 from repro.harness.worker import run_worker
 
@@ -236,6 +236,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "before it settles as failed (default: 3)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-job/per-worker log lines")
+    serve.add_argument("--cache-dir", default=None,
+                       help=f"result store every successful point is recorded "
+                            f"to, with its job id and submitter in the "
+                            f"provenance (default: $REPRO_CACHE_DIR or "
+                            f"{default_cache_dir()!r})")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="do not record results to a store")
 
     submit = sub.add_parser(
         "submit", help="submit a job to a running 'repro serve' and return")
@@ -272,14 +279,70 @@ def _build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job", help="job id, as printed by 'repro submit'")
     _add_service_options(cancel)
 
-    cache = sub.add_parser("cache", help="inspect or prune the point cache")
-    cache.add_argument("action", choices=("info", "clear"),
-                       help="'info' summarises entries; 'clear' deletes them")
-    cache.add_argument("sweeps", nargs="*",
-                       help="limit the action to these sweeps (default: all)")
-    cache.add_argument("--cache-dir", default=None,
-                       help=f"cache directory (default: $REPRO_CACHE_DIR or "
-                            f"{default_cache_dir()!r})")
+    cache = sub.add_parser(
+        "cache", help="inspect, prune, sync or verify the result store")
+    cache_sub = cache.add_subparsers(dest="action", required=True)
+
+    def _store_dir_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache-dir", default=None,
+            help=f"store directory (default: $REPRO_CACHE_DIR or "
+                 f"{default_cache_dir()!r})")
+
+    cache_info_cmd = cache_sub.add_parser(
+        "info", help="summarise the store's entries per sweep")
+    cache_info_cmd.add_argument("sweeps", nargs="*",
+                                help="limit to these sweeps (default: all)")
+    cache_info_cmd.add_argument("--json", action="store_true",
+                                help="emit a machine-readable JSON object "
+                                     "(includes quarantine and orphaned tmp "
+                                     "counts)")
+    _store_dir_flag(cache_info_cmd)
+
+    cache_clear_cmd = cache_sub.add_parser(
+        "clear", help="delete cached entries")
+    cache_clear_cmd.add_argument("sweeps", nargs="*",
+                                 help="limit to these sweeps (default: all)")
+    _store_dir_flag(cache_clear_cmd)
+
+    cache_push = cache_sub.add_parser(
+        "push", help="copy entries into another store (idempotent, by "
+                     "content address)")
+    cache_push.add_argument("dest", metavar="DEST",
+                            help="destination store directory (e.g. a "
+                                 "shared mount)")
+    cache_push.add_argument("sweeps", nargs="*",
+                            help="limit to these sweeps (default: all)")
+    _store_dir_flag(cache_push)
+
+    cache_pull = cache_sub.add_parser(
+        "pull", help="copy entries from another store into this one")
+    cache_pull.add_argument("src", metavar="SRC",
+                            help="source store directory")
+    cache_pull.add_argument("sweeps", nargs="*",
+                            help="limit to these sweeps (default: all)")
+    _store_dir_flag(cache_pull)
+
+    cache_gc = cache_sub.add_parser(
+        "gc", help="prune entries by sweep/age/version; always collects "
+                   "unreferenced objects and stale tmp files")
+    cache_gc.add_argument("sweeps", nargs="*",
+                          help="prune only these sweeps' entries")
+    cache_gc.add_argument("--max-age-days", type=float, default=None,
+                          metavar="DAYS",
+                          help="prune entries whose provenance is older "
+                               "than this")
+    cache_gc.add_argument("--version", default=None, metavar="X.Y.Z",
+                          help="prune entries computed by this repro "
+                               "release ('legacy' selects migrated entries)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, remove nothing")
+    _store_dir_flag(cache_gc)
+
+    cache_verify = cache_sub.add_parser(
+        "verify", help="re-hash every object against its content-address "
+                       "name")
+    _store_dir_flag(cache_verify)
     return parser
 
 
@@ -516,8 +579,11 @@ def _sweep(args: argparse.Namespace) -> int:
 def _serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_service
 
+    cache_dir = None if args.no_cache \
+        else (args.cache_dir or default_cache_dir())
     return run_service(args.bind or default_bind(),
-                       max_retries=args.max_retries, quiet=args.quiet)
+                       max_retries=args.max_retries, quiet=args.quiet,
+                       cache_dir=cache_dir)
 
 
 def _submit(args: argparse.Namespace) -> int:
@@ -642,8 +708,59 @@ def _cancel(args: argparse.Namespace) -> int:
 # cache
 # --------------------------------------------------------------------------- #
 def _cache(args: argparse.Namespace) -> int:
+    from repro.store import FileStore
+
     cache_dir = args.cache_dir or default_cache_dir()
-    infos = cache_info(cache_dir)
+    store = FileStore(cache_dir)
+
+    if args.action == "verify":
+        report = store.verify()
+        if report.ok:
+            print(f"cache {cache_dir}: {report.objects} object(s) verified")
+            return 0
+        for object_hash in report.mismatched:
+            print(f"repro: object {object_hash} does not match its hash",
+                  file=sys.stderr)
+        for marker in report.dangling:
+            print(f"repro: entry {marker} points at a missing object",
+                  file=sys.stderr)
+        print(f"cache {cache_dir}: {len(report.mismatched)} corrupt, "
+              f"{len(report.dangling)} dangling of "
+              f"{report.objects} object(s)")
+        return 1
+
+    if args.action in ("push", "pull"):
+        other = FileStore(args.dest if args.action == "push" else args.src)
+        specs = args.sweeps or None
+        if args.action == "push":
+            report = store.push(other, specs=specs)
+            arrow = "->"
+        else:
+            report = store.pull(other, specs=specs)
+            arrow = "<-"
+        line = (f"cache {cache_dir} {arrow} {other.root}: "
+                f"{report.entries_copied} entries copied, "
+                f"{report.entries_skipped} up to date, "
+                f"{report.objects_copied} object(s) transferred")
+        if report.corrupt_skipped:
+            line += f", {report.corrupt_skipped} corrupt skipped"
+        print(line)
+        return 0
+
+    if args.action == "gc":
+        report = store.gc(specs=args.sweeps or None,
+                          max_age_days=args.max_age_days,
+                          version=args.version, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"cache {cache_dir}: {verb} {report.entries_removed} "
+              f"entries, {report.objects_removed} object(s) "
+              f"({report.bytes_freed / 1024:.1f} KiB) and "
+              f"{report.tmp_removed} tmp file(s)")
+        return 0
+
+    # info / clear
+    store_info = store.info()
+    infos = store_info.specs
     known = {info.spec for info in infos}
     missing = [name for name in args.sweeps if name not in known]
     if missing:
@@ -652,20 +769,42 @@ def _cache(args: argparse.Namespace) -> int:
     if args.sweeps:
         infos = [info for info in infos if info.spec in args.sweeps]
     if args.action == "info":
+        if args.json:
+            payload = {
+                "root": store_info.root,
+                "entries": sum(info.entries for info in infos),
+                "objects": store_info.objects,
+                "objects_bytes": store_info.objects_bytes,
+                "quarantined": store_info.quarantined,
+                "quarantined_bytes": store_info.quarantined_bytes,
+                "orphan_tmp": store_info.orphan_tmp,
+                "specs": [{"spec": info.spec, "entries": info.entries,
+                           "bytes": info.bytes} for info in infos],
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
         if not infos:
             print(f"cache {cache_dir}: empty")
-            return 0
-        total_entries = sum(info.entries for info in infos)
-        total_bytes = sum(info.bytes for info in infos)
-        width = max(len(info.spec) for info in infos)
-        print(f"cache {cache_dir}:")
-        for info in infos:
-            print(f"  {info.spec:{width}s}  {info.entries:5d} entries  "
-                  f"{info.bytes / 1024:8.1f} KiB")
-        print(f"  {'total':{width}s}  {total_entries:5d} entries  "
-              f"{total_bytes / 1024:8.1f} KiB")
+        else:
+            total_entries = sum(info.entries for info in infos)
+            total_bytes = sum(info.bytes for info in infos)
+            width = max(len(info.spec) for info in infos)
+            print(f"cache {cache_dir}:")
+            for info in infos:
+                print(f"  {info.spec:{width}s}  {info.entries:5d} entries  "
+                      f"{info.bytes / 1024:8.1f} KiB")
+            print(f"  {'total':{width}s}  {total_entries:5d} entries  "
+                  f"{total_bytes / 1024:8.1f} KiB")
+        if store_info.quarantined:
+            print(f"  quarantine: {store_info.quarantined} file(s), "
+                  f"{store_info.quarantined_bytes / 1024:.1f} KiB "
+                  f"(under {os.path.join(cache_dir, 'quarantine')})")
+        if store_info.orphan_tmp:
+            print(f"  orphaned tmp files: {store_info.orphan_tmp} "
+                  f"(an interrupted writer; 'repro cache gc' removes them)")
         return 0
-    removed = cache_clear(cache_dir, specs=args.sweeps or None)
+    removed = store.clear(specs=args.sweeps or None) \
+        if os.path.isdir(cache_dir) else 0
     print(f"cache {cache_dir}: removed {removed} entries")
     return 0
 

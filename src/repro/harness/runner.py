@@ -1,4 +1,4 @@
-"""Sweep execution over pluggable backends, with per-point disk caching.
+"""Sweep execution over pluggable backends, with a durable result store.
 
 :class:`SweepRunner` executes the :class:`~repro.harness.spec.SweepPoint` s
 of a sweep through an :class:`~repro.harness.backends.ExecutionBackend` —
@@ -6,11 +6,14 @@ in-process, across a ``multiprocessing`` pool, or streamed over TCP to
 ``repro worker`` processes on other hosts; every point is an independent
 full-chip simulation, so the sweep parallelises embarrassingly — and merges
 the per-point stats into one :class:`~repro.sim.stats.StatsRegistry`.
-Completed points can be cached to disk keyed by a hash of the spec name,
-point function and its full configuration, so re-running a sweep only
-simulates points whose configuration changed.  Cache reads and writes
-happen here, on the coordinator side, never in backend workers — remote
-workers do not need (or race on) ``.repro-cache/``.
+Completed points are persisted to a :class:`~repro.store.ResultStore`
+(content-addressed objects + per-spec index, see :mod:`repro.store`),
+keyed by a hash of the spec name, point function and full configuration
+and stamped with a typed :class:`~repro.store.Provenance` record, so
+re-running a sweep only simulates points whose configuration changed —
+on this host or on any host the store was ``repro cache push``-ed to.
+Store reads and writes happen here, on the coordinator side, never in
+backend workers — remote workers do not need (or race on) the store.
 
 Row order is always the declaration order of the points, independent of
 backend or worker count, so parallel and distributed runs render
@@ -19,10 +22,8 @@ byte-identical tables to sequential ones.
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -41,6 +42,30 @@ from repro.harness.spec import (
     point_func_ref,
 )
 from repro.sim.stats import StatsRegistry
+from repro.store import (
+    CacheSpecInfo,
+    FileStore,
+    Provenance,
+    ResultStore,
+    StoreEntry,
+    canonical_repr,
+    kwargs_digest,
+    point_cache_key,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheSpecInfo",
+    "DEFAULT_CACHE_DIR",
+    "SweepOutcome",
+    "SweepRunner",
+    "cache_clear",
+    "cache_info",
+    "canonical_repr",
+    "default_cache_dir",
+    "point_cache_key",
+    "point_seed",
+]
 
 #: Environment variable naming the default cache directory for the CLI.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -52,116 +77,33 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
 
 
-def canonical_repr(value: object) -> str:
-    """A content-based serialization that is stable across processes.
-
-    ``repr`` alone is not canonical for every configuration value: sets
-    iterate in hash order (which ``PYTHONHASHSEED`` perturbs between
-    processes for strings) and dicts iterate in insertion order, so two
-    equal configurations could serialize differently and miss each other's
-    cache entries.  Sets are therefore emitted in sorted element order,
-    dict items in sorted key order, and dataclasses are recursed into so
-    the same rules apply to nested fields.  Distinct container types keep
-    distinct markers so ``[1, 2]``, ``(1, 2)`` and ``{1, 2}`` never
-    collide.
-    """
-    if isinstance(value, dict):
-        items = sorted(((canonical_repr(k), canonical_repr(v))
-                        for k, v in value.items()), key=lambda kv: kv[0])
-        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
-    if isinstance(value, frozenset):
-        return "frozenset{" + ",".join(sorted(map(canonical_repr, value))) + "}"
-    if isinstance(value, set):
-        return "set{" + ",".join(sorted(map(canonical_repr, value))) + "}"
-    if isinstance(value, list):
-        return "[" + ",".join(map(canonical_repr, value)) + "]"
-    if isinstance(value, tuple):
-        return "(" + ",".join(map(canonical_repr, value)) + ")"
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = ",".join(
-            f"{field.name}={canonical_repr(getattr(value, field.name))}"
-            for field in dataclasses.fields(value))
-        return f"{type(value).__qualname__}({fields})"
-    return repr(value)
-
-
-def point_cache_key(point: SweepPoint) -> str:
-    """A stable hash of everything that determines a point's result.
-
-    The key covers the spec name, the point function's ``module:qualname``
-    *reference* (:func:`~repro.harness.spec.point_func_ref` — identical
-    whether the point carries the name or the callable) and the
-    :func:`canonical_repr` of its keyword arguments, so any parameter
-    change (sizes, cache geometry, seeds, ...) changes the key while equal
-    configurations hash identically in every process — even for kwargs
-    containing sets or dicts, whose plain ``repr`` depends on hash seed or
-    insertion order.
-    """
-    from repro import __version__
-
-    payload = "\x1f".join((
-        __version__,
-        point.spec,
-        point.point_id,
-        point_func_ref(point),
-        canonical_repr(point.kwargs),
-    ))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-@dataclass
-class CacheSpecInfo:
-    """Cache usage of one sweep's subdirectory."""
-
-    spec: str
-    entries: int
-    bytes: int
+def point_seed(point: SweepPoint) -> Optional[int]:
+    """The workload input seed a point carries, if any (for provenance)."""
+    seed = point.kwargs.get("seed")
+    if isinstance(seed, int) and not isinstance(seed, bool):
+        return seed
+    return None
 
 
 def cache_info(cache_dir: str) -> List[CacheSpecInfo]:
-    """Per-sweep entry counts and sizes under ``cache_dir`` (sorted by spec)."""
-    if not os.path.isdir(cache_dir):
-        return []
-    infos = []
-    for spec in sorted(os.listdir(cache_dir)):
-        spec_dir = os.path.join(cache_dir, spec)
-        if not os.path.isdir(spec_dir):
-            continue
-        entries = [name for name in os.listdir(spec_dir)
-                   if name.endswith(".json")]
-        size = sum(os.path.getsize(os.path.join(spec_dir, name))
-                   for name in entries)
-        infos.append(CacheSpecInfo(spec=spec, entries=len(entries), bytes=size))
-    return infos
+    """Per-sweep entry counts and sizes under ``cache_dir`` (sorted by spec).
+
+    Opening the store migrates a legacy flat cache in place; a directory
+    that does not exist is simply reported empty (and not created).
+    """
+    return FileStore(cache_dir).info().specs
 
 
 def cache_clear(cache_dir: str, specs: Optional[List[str]] = None) -> int:
     """Delete cached point entries; returns how many entries were removed.
 
-    With ``specs`` only those sweeps' subdirectories are pruned, otherwise
-    the whole cache is.  Only the harness's own ``<spec>/<hash>.json``
-    layout is touched — anything else in the directory is left alone.
+    With ``specs`` only those sweeps' index entries are pruned, otherwise
+    every entry is.  Objects left unreferenced and stale tmp files are
+    collected too; quarantined files and anything foreign are left alone.
     """
     if not os.path.isdir(cache_dir):
         return 0
-    removed = 0
-    for spec in sorted(os.listdir(cache_dir)):
-        spec_dir = os.path.join(cache_dir, spec)
-        if not os.path.isdir(spec_dir) or (specs and spec not in specs):
-            continue
-        for name in os.listdir(spec_dir):
-            if name.endswith(".json") or name.endswith(".json.tmp"):
-                try:
-                    os.remove(os.path.join(spec_dir, name))
-                except OSError:
-                    continue
-                if name.endswith(".json"):
-                    removed += 1
-        try:
-            os.rmdir(spec_dir)
-        except OSError:
-            pass  # leftover foreign files keep the directory alive
-    return removed
+    return FileStore(cache_dir).clear(specs=specs)
 
 
 @dataclass
@@ -173,6 +115,7 @@ class SweepOutcome:
     stats: StatsRegistry         #: merged counters from every point
     points_total: int
     points_from_cache: int
+    points_uncacheable: int = 0  #: results JSON cannot round-trip losslessly
 
     @property
     def rows(self) -> List[Dict[str, object]]:
@@ -183,7 +126,7 @@ class SweepOutcome:
 
 
 class SweepRunner:
-    """Executes sweep points, optionally in parallel and with a disk cache.
+    """Executes sweep points, optionally in parallel and with a result store.
 
     Parameters
     ----------
@@ -192,93 +135,87 @@ class SweepRunner:
         what unit tests want; experiment CLIs pass ``--jobs N``.  Ignored
         when an explicit ``backend`` is given.
     cache_dir:
-        Directory for per-point result JSON.  ``None`` disables caching
-        entirely (again the library/test default; the CLI turns it on).
+        Directory for the on-disk result store.  ``None`` disables
+        persistence entirely (again the library/test default; the CLI
+        turns it on).  Shorthand for ``store=FileStore(cache_dir)``.
     backend:
         An :class:`~repro.harness.backends.ExecutionBackend` to execute
         points with.  Defaults to
         :class:`~repro.harness.backends.SerialBackend` for ``jobs=1`` and
         :class:`~repro.harness.backends.ProcessPoolBackend` otherwise, so
         existing ``SweepRunner(jobs=N)`` callers keep their behaviour.
+    store:
+        An explicit :class:`~repro.store.ResultStore`; takes precedence
+        over ``cache_dir``.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
-                 backend: Optional[ExecutionBackend] = None) -> None:
+                 backend: Optional[ExecutionBackend] = None,
+                 store: Optional[ResultStore] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache_dir = cache_dir
+        if store is None and cache_dir is not None:
+            store = FileStore(cache_dir)
+        self.store = store
         if backend is None:
             backend = ProcessPoolBackend(jobs) if jobs > 1 else SerialBackend()
         self.backend = backend
 
     # ------------------------------------------------------------------ #
-    # Cache
+    # Store access
     # ------------------------------------------------------------------ #
-    def _cache_path(self, point: SweepPoint) -> Optional[str]:
-        if self.cache_dir is None:
-            return None
-        return os.path.join(self.cache_dir, point.spec,
-                            point_cache_key(point) + ".json")
-
     def _cache_load(self, point: SweepPoint) -> Optional[PointResult]:
-        path = self._cache_path(point)
-        if path is None or not os.path.exists(path):
+        if self.store is None:
             return None
-        try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-            rows = payload["rows"]
-            stats = payload.get("stats", {})
-            if not isinstance(rows, list) or not isinstance(stats, dict):
-                return None
-            return PointResult(rows=rows, stats=stats)
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
-            return None  # treat a corrupt entry as a miss and recompute
+        entry = self.store.load(point.spec, point_cache_key(point))
+        if entry is None:
+            return None
+        return PointResult(rows=entry.rows, stats=entry.stats)
 
-    def _cache_store(self, point: SweepPoint, result: PointResult) -> None:
-        path = self._cache_path(point)
-        if path is None:
-            return
+    def _cache_store(self, point: SweepPoint, result: PointResult,
+                     worker: Optional[str] = None,
+                     duration_s: Optional[float] = None) -> bool:
+        """Persist one completed point; ``False`` when it is uncacheable."""
+        if self.store is None:
+            return True
+        provenance = Provenance.collect(
+            spec=point.spec, point_id=point.point_id,
+            func=point_func_ref(point),
+            kwargs_digest=kwargs_digest(point.kwargs),
+            seed=point_seed(point), backend=self.backend.name,
+            worker=worker, duration_s=duration_s)
+        entry = StoreEntry(point_id=point.point_id, rows=result.rows,
+                           stats=result.stats, provenance=provenance)
         try:
-            payload = {"point_id": point.point_id, "rows": result.rows,
-                       "stats": result.stats}
-            text = json.dumps(payload)
-            reloaded = json.loads(text)
-            if reloaded["rows"] != result.rows or \
-                    reloaded["stats"] != result.stats:
-                # JSON would distort the result on reload (tuples become
-                # lists, int keys become strings, ...): caching it would
-                # make a warm run render differently from a cold one, so
-                # such points are simply recomputed every run.
-                return
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            tmp = path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except (OSError, TypeError, ValueError):
-            pass  # a point with unserialisable rows simply isn't cached
+            stored = self.store.store(point.spec, point_cache_key(point),
+                                      entry)
+        except OSError:
+            return True  # a full/read-only disk degrades to no caching
+        return stored is not None
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run_points(self, points: List[SweepPoint],
                    spec_name: str = "adhoc") -> SweepOutcome:
-        """Execute ``points`` (cache-aware, possibly in parallel)."""
+        """Execute ``points`` (store-aware, possibly in parallel)."""
         results: List[Optional[PointResult]] = [self._cache_load(p) for p in points]
         cached = sum(1 for r in results if r is not None)
         pending = [(i, p) for i, p in enumerate(points) if results[i] is None]
+        uncacheable = 0
 
         if pending:
             pending_points = [p for _, p in pending]
             # Consume the backend's completion stream: each result is
-            # cached the moment it arrives, so a sweep interrupted (or
+            # stored the moment it arrives, so a sweep interrupted (or
             # cancelled) partway only re-simulates what is actually
             # missing — failing the sweep at the end cannot lose the
             # points that did complete.
             failure: Optional[HarnessError] = None
             seen: "set[int]" = set()
+            started = time.monotonic()
             for offset, result in self.backend.run_iter(pending_points):
                 if not isinstance(offset, int) or not 0 <= offset < len(pending) \
                         or offset in seen:
@@ -300,7 +237,11 @@ class SweepRunner:
                         f"{point.spec}:{point.point_id}; expected PointResult")
                     continue
                 results[index] = result
-                self._cache_store(point, result)
+                if not self._cache_store(
+                        point, result,
+                        worker=self._point_worker(offset),
+                        duration_s=round(time.monotonic() - started, 6)):
+                    uncacheable += 1
             if len(seen) != len(pending):
                 if getattr(self.backend, "cancelled", False):
                     raise HarnessError(
@@ -322,10 +263,31 @@ class SweepRunner:
             stats.add("harness.points")
             stats.add("harness.rows", len(result.rows))
         stats.add("harness.points_from_cache", cached)
+        if uncacheable:
+            # A point whose result JSON cannot round-trip losslessly is
+            # recomputed every run; surface that instead of silently
+            # burning the simulation time forever (`--stats` shows it).
+            stats.add("harness.points_uncacheable", uncacheable)
 
         return SweepOutcome(spec=spec_name, result=default_combine(groups),
                             stats=stats, points_total=len(points),
-                            points_from_cache=cached)
+                            points_from_cache=cached,
+                            points_uncacheable=uncacheable)
+
+    def _point_worker(self, offset: int) -> Optional[str]:
+        """The worker label a backend attributed to a pending point.
+
+        Backends that fan points out to named workers (distributed,
+        service) expose ``last_point_workers`` — a dict from the
+        ``run_iter`` index to the worker's label — which provenance
+        records.  Local backends simply have no entry.
+        """
+        workers = getattr(self.backend, "last_point_workers", None)
+        if isinstance(workers, dict):
+            label = workers.get(offset)
+            if isinstance(label, str):
+                return label
+        return None
 
     def run_spec(self, spec: SweepSpec, full: bool = False,
                  **overrides: object) -> SweepOutcome:

@@ -185,10 +185,13 @@ class ServiceBackend(ExecutionBackend):
         self.timeout = timeout
         self._job_lock = threading.Lock()
         self._job_id: Optional[str] = None
+        #: run_iter index -> worker label, for provenance (see SweepRunner)
+        self.last_point_workers: Dict[int, str] = {}
 
     def run_iter(self, points: Sequence[SweepPoint]
                  ) -> Iterator[Tuple[int, BackendResult]]:
         points = list(points)
+        self.last_point_workers = {}
         if not points:
             return
         spec = JobSpec.from_points(points, name=points[0].spec,
@@ -209,6 +212,9 @@ class ServiceBackend(ExecutionBackend):
                     if not isinstance(index, int) \
                             or not 0 <= index < len(points):
                         continue
+                    worker = frame.get("worker")
+                    if isinstance(worker, str):
+                        self.last_point_workers[index] = worker
                     yield index, self._decode(points[index], frame)
             finally:
                 with self._job_lock:

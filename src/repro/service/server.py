@@ -28,11 +28,16 @@ from __future__ import annotations
 
 import asyncio
 import sys
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.api import JobSpec
+from repro.harness.runner import point_seed
+from repro.harness.spec import point_func_ref
 from repro.harness.wire import (
     PROTOCOL_VERSION,
+    decode_point,
+    decode_result,
     hello_slots,
     make_task_id,
     negotiate_proto,
@@ -41,6 +46,14 @@ from repro.harness.wire import (
     write_frame_async,
 )
 from repro.service.jobs import JobQueue, ServiceError, ServiceJob
+from repro.store import (
+    FileStore,
+    Provenance,
+    ResultStore,
+    StoreEntry,
+    kwargs_digest,
+    point_cache_key,
+)
 
 #: How long a new connection has to identify itself before being dropped.
 HELLO_TIMEOUT = 10.0
@@ -57,8 +70,9 @@ class _WorkerLink:
         self.proto = proto
         self.writer = writer
         self.credits = slots
-        #: task id -> (job_id, point index) for points on this connection
-        self.inflight: Dict[str, Tuple[str, int]] = {}
+        #: task id -> (job_id, point index, dispatch instant) for points
+        #: on this connection
+        self.inflight: Dict[str, Tuple[str, int, float]] = {}
         self.points_done = 0
         self.closed = False
         self.wake = asyncio.Event()
@@ -68,10 +82,16 @@ class SweepService:
     """The ``repro serve`` server.  Construct, then ``await serve()``."""
 
     def __init__(self, bind: str = "127.0.0.1:0", max_retries: int = 3,
-                 quiet: bool = False) -> None:
+                 quiet: bool = False,
+                 store: Optional[ResultStore] = None) -> None:
         self.bind = bind
         self.queue = JobQueue(max_retries=max_retries)
         self.quiet = quiet
+        #: Result store every successful point is recorded to (with its
+        #: job id, submitter and worker in the provenance), so the fleet's
+        #: output survives the job — a coordinator that later runs the
+        #: same points against this store gets them all from cache.
+        self.store = store
         self.address: Optional[Tuple[str, int]] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._workers: Dict[int, _WorkerLink] = {}
@@ -239,7 +259,7 @@ class SweepService:
                 job, index = assignment
                 task_id = make_task_id(job.job_id, index)
                 link.credits -= 1
-                link.inflight[task_id] = (job.job_id, index)
+                link.inflight[task_id] = (job.job_id, index, time.monotonic())
                 entry = job.spec.points[index]
                 await write_frame_async(
                     link.writer,
@@ -266,23 +286,56 @@ class SweepService:
                 continue  # stale or fabricated task id
             link.credits += 1
             link.points_done += 1
-            job_id, index = entry
+            job_id, index, started = entry
             job = self.queue.get(job_id)
             if job is not None:
                 if frame.get("ok"):
                     payload: Dict[str, object] = {
-                        "ok": True, "result": str(frame.get("result", ""))}
+                        "ok": True, "result": str(frame.get("result", "")),
+                        "worker": link.label}
                 else:
                     payload = {"ok": False,
                                "error": str(frame.get("error",
                                                       "unknown worker error"))}
                 if self.queue.complete(job, index, payload):
+                    if payload["ok"]:
+                        self._store_result(
+                            job, index, str(payload["result"]),
+                            worker=link.label,
+                            duration_s=round(time.monotonic() - started, 6))
                     self._emit_point(job, index, payload)
             link.wake.set()  # a credit came back; dispatch may proceed
 
     def _kick_all(self) -> None:
         for link in self._workers.values():
             link.wake.set()
+
+    def _store_result(self, job: ServiceJob, index: int, blob: str,
+                      worker: str, duration_s: Optional[float]) -> None:
+        """Record one successful point in the service's result store.
+
+        Best-effort: a store failure (full disk, unpicklable payload from
+        a hostile worker) is logged and the job proceeds — durability is
+        an amenity of the service, not a correctness requirement.
+        """
+        if self.store is None:
+            return
+        try:
+            point = decode_point(str(job.spec.points[index]["point"]))
+            result = decode_result(blob)
+            provenance = Provenance.collect(
+                spec=point.spec, point_id=point.point_id,
+                func=point_func_ref(point),
+                kwargs_digest=kwargs_digest(point.kwargs),
+                seed=point_seed(point), backend="service", worker=worker,
+                duration_s=duration_s, job_id=job.job_id,
+                submitter=job.spec.submitter)
+            entry = StoreEntry(point_id=point.point_id, rows=result.rows,
+                               stats=result.stats, provenance=provenance)
+            self.store.store(point.spec, point_cache_key(point), entry)
+        except Exception as error:  # noqa: BLE001 - never take the job down
+            self._log(f"store write failed for {job.job_id}[{index}]: "
+                      f"{type(error).__name__}: {error}")
 
     # -- event fan-out ----------------------------------------------------- #
     def _emit_point(self, job: ServiceJob, index: int,
@@ -448,18 +501,22 @@ class SweepService:
 
 
 def run_service(bind: str, max_retries: int = 3, quiet: bool = False,
-                ready_line: bool = True) -> int:
+                ready_line: bool = True,
+                cache_dir: Optional[str] = None) -> int:
     """Run a :class:`SweepService` until it drains or is stopped.
 
     The blocking entry point behind ``repro serve``: installs SIGTERM →
     drain and SIGINT → stop handlers (where the platform supports them)
     and prints a parseable ``listening on HOST:PORT`` line to stdout so
-    scripts can discover an ephemeral port.
+    scripts can discover an ephemeral port.  With ``cache_dir`` the
+    service records every successful point into that result store.
     """
     import contextlib
     import signal
 
-    service = SweepService(bind=bind, max_retries=max_retries, quiet=quiet)
+    store = FileStore(cache_dir) if cache_dir else None
+    service = SweepService(bind=bind, max_retries=max_retries, quiet=quiet,
+                           store=store)
 
     async def _main() -> None:
         host, port = await service.start()

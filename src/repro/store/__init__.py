@@ -1,0 +1,56 @@
+"""Content-addressed result store with provenance.
+
+The sweep harness's point cache, promoted to a shareable artifact store:
+results live as content-addressed objects (``objects/<hh>/<hash>.json``)
+behind a per-spec index of configuration keys, every entry carries a
+typed :class:`~repro.store.provenance.Provenance` record (release, git
+sha, spec/point, function reference, kwargs digest, seed, backend,
+worker, host, duration, timestamp, service job/submitter), corrupt
+entries are quarantined instead of silently dropped, and stores sync
+between hosts with ``repro cache push``/``pull`` (idempotent by content
+address).  ``repro cache gc`` prunes by age/spec/version; ``repro cache
+verify`` re-hashes objects against their names.
+
+:class:`~repro.store.filesystem.FileStore` is the filesystem
+implementation; :class:`~repro.store.filesystem.ResultStore` is the
+protocol the :class:`~repro.harness.runner.SweepRunner` consumes, so
+S3-style or database stores can slot in behind the same harness.
+"""
+
+from repro.store.filesystem import (
+    CacheSpecInfo,
+    FileStore,
+    GcReport,
+    ResultStore,
+    StoreEntry,
+    StoreError,
+    StoreInfo,
+    SyncReport,
+    VerifyReport,
+)
+from repro.store.keys import (
+    KEY_SCHEMA,
+    canonical_repr,
+    kwargs_digest,
+    point_cache_key,
+)
+from repro.store.provenance import Provenance, current_git_sha, utc_now_iso
+
+__all__ = [
+    "KEY_SCHEMA",
+    "CacheSpecInfo",
+    "FileStore",
+    "GcReport",
+    "Provenance",
+    "ResultStore",
+    "StoreEntry",
+    "StoreError",
+    "StoreInfo",
+    "SyncReport",
+    "VerifyReport",
+    "canonical_repr",
+    "current_git_sha",
+    "kwargs_digest",
+    "point_cache_key",
+    "utc_now_iso",
+]

@@ -1,0 +1,696 @@
+"""Content-addressed, provenance-carrying result store on a filesystem.
+
+Layout (everything under one root directory, shareable over any mounted
+or synced filesystem)::
+
+    <root>/
+      objects/<hh>/<hash>.json   # one result entry; <hash> = sha256 of
+                                 # the file's exact bytes, <hh> its first
+                                 # two hex digits (git-style fan-out)
+      index/<spec>/<key>.json    # point key -> object hash (+ point id)
+      quarantine/                # corrupt objects/markers, moved aside
+
+An *object* is the JSON document ``{"point_id", "rows", "stats",
+"provenance"}`` serialized deterministically (insertion-ordered keys —
+row key order is rendered column order — and no whitespace), so its
+content hash is reproducible.  The *index* maps a
+point's configuration key (:func:`~repro.store.keys.point_cache_key`) to
+the object holding its latest result; re-running a point writes a new
+object (fresh provenance) and atomically repoints the marker — the old
+object becomes unreferenced until ``gc`` collects it.
+
+Every write is tmp-file + ``os.replace`` with a per-process-unique tmp
+name, so any number of concurrent writers (two coordinators sharing a
+mount, the sweep service, CI) can write one store without torn reads:
+readers only ever see absent files or complete ones.  A corrupt or
+truncated entry — hash mismatch, undecodable JSON, wrong shape — is
+*quarantined* (moved to ``quarantine/``, visible in ``repro cache
+info``) instead of silently ignored, and the point recomputes.
+
+A legacy flat ``.repro-cache/<spec>/<hash>.json`` directory is migrated
+in place the first time a store opens it: each readable legacy entry is
+rewrapped as an object (provenance marked ``migrated``) under its
+original key — the key schema is frozen (:data:`~repro.store.keys.KEY_SCHEMA`),
+so migrated entries keep serving warm hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.store.provenance import Provenance
+
+try:  # pragma: no cover - typing fallback for very old interpreters
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+_OBJECTS = "objects"
+_INDEX = "index"
+_QUARANTINE = "quarantine"
+_HEX_NAME = re.compile(r"^[0-9a-f]{64}\.json$")
+
+_tmp_counter = itertools.count()
+
+
+class StoreError(ReproError):
+    """The result store was misused or its layout is unusable."""
+
+
+@dataclass
+class StoreEntry:
+    """One point result plus its provenance, as stored."""
+
+    point_id: str
+    rows: List[Dict[str, object]]
+    stats: Dict[str, object]
+    provenance: Provenance
+
+
+@dataclass
+class CacheSpecInfo:
+    """Entry count and referenced bytes of one spec's index."""
+
+    spec: str
+    entries: int
+    bytes: int
+
+
+@dataclass
+class StoreInfo:
+    """What ``repro cache info`` reports."""
+
+    root: str
+    specs: List[CacheSpecInfo] = field(default_factory=list)
+    objects: int = 0
+    objects_bytes: int = 0
+    quarantined: int = 0
+    quarantined_bytes: int = 0
+    orphan_tmp: int = 0
+
+    @property
+    def entries(self) -> int:
+        return sum(info.entries for info in self.specs)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of re-hashing every object against its name."""
+
+    objects: int = 0
+    mismatched: List[str] = field(default_factory=list)  #: object hashes
+    dangling: List[str] = field(default_factory=list)    #: spec/key markers
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatched and not self.dangling
+
+
+@dataclass
+class GcReport:
+    """What a ``gc`` pass removed (or would remove, when ``dry_run``)."""
+
+    entries_removed: int = 0
+    objects_removed: int = 0
+    tmp_removed: int = 0
+    bytes_freed: int = 0
+    dry_run: bool = False
+
+
+@dataclass
+class SyncReport:
+    """What a ``push``/``pull`` copied between two stores."""
+
+    entries_copied: int = 0
+    entries_skipped: int = 0
+    objects_copied: int = 0
+    objects_skipped: int = 0
+    corrupt_skipped: int = 0
+
+
+class ResultStore(Protocol):
+    """What a :class:`~repro.harness.runner.SweepRunner` needs of a store."""
+
+    def load(self, spec: str, key: str) -> Optional[StoreEntry]:
+        """The entry stored under ``(spec, key)``, or ``None``."""
+
+    def store(self, spec: str, key: str, entry: StoreEntry) -> Optional[str]:
+        """Persist ``entry``; returns its content hash, or ``None`` when
+        the entry cannot round-trip through the store losslessly."""
+
+
+def _object_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _encode_object(entry: StoreEntry) -> Optional[bytes]:
+    """Deterministic object bytes, or ``None`` if JSON would distort them.
+
+    Rows and stats must survive a JSON round trip *exactly* (tuples
+    become lists, int keys become strings, ...): caching a lossy entry
+    would make a warm run render differently from a cold one, so such
+    points are simply recomputed every run — and counted, see
+    ``harness.points_uncacheable``.
+
+    Keys are *not* sorted: a row's key order is its rendered column
+    order, so sorting would make a warm run render differently from a
+    cold one.  Identical in-memory entries still serialize to identical
+    bytes (JSON preserves insertion order), which is all content
+    addressing needs.
+    """
+    payload = {"point_id": entry.point_id, "rows": entry.rows,
+               "stats": entry.stats,
+               "provenance": entry.provenance.to_json()}
+    try:
+        text = json.dumps(payload, separators=(",", ":"))
+        reloaded = json.loads(text)
+    except (TypeError, ValueError):
+        return None
+    if reloaded["rows"] != entry.rows or reloaded["stats"] != entry.stats:
+        return None
+    return text.encode("utf-8")
+
+
+def _decode_object(data: bytes) -> StoreEntry:
+    """Parse object bytes; raises ``ValueError`` on any shape problem."""
+    payload = json.loads(data.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("object is not a JSON object")
+    rows = payload.get("rows")
+    stats = payload.get("stats", {})
+    if not isinstance(rows, list) or not isinstance(stats, dict):
+        raise ValueError("object rows/stats have the wrong shape")
+    provenance = Provenance.from_json(payload.get("provenance"))
+    return StoreEntry(point_id=str(payload.get("point_id", "")), rows=rows,
+                      stats=stats, provenance=provenance)
+
+
+class FileStore:
+    """The filesystem :class:`ResultStore` (see the module docstring).
+
+    Purely lazy: constructing one touches nothing; the first operation
+    that needs the directory opens it (migrating a legacy layout if one
+    is found), and read-only operations on a store that does not exist
+    simply report it empty.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._opened = False
+
+    # ------------------------------------------------------------------ #
+    # Paths and plumbing
+    # ------------------------------------------------------------------ #
+    def _object_path(self, object_hash: str) -> str:
+        return os.path.join(self.root, _OBJECTS, object_hash[:2],
+                            object_hash + ".json")
+
+    def _marker_path(self, spec: str, key: str) -> str:
+        return os.path.join(self.root, _INDEX, spec, key + ".json")
+
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.root, _QUARANTINE)
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.{os.getpid()}-{next(_tmp_counter)}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt file aside so ``info`` can report it.
+
+        Losing the race against a concurrent quarantine (or repair) of
+        the same file is fine — the goal is only that the bad bytes stop
+        being served and stay inspectable.
+        """
+        try:
+            os.makedirs(self._quarantine_dir(), exist_ok=True)
+            target = os.path.join(self._quarantine_dir(),
+                                  os.path.basename(path))
+            if os.path.exists(target):  # a second corrupt copy; keep both
+                target = (f"{target}.{os.getpid()}-"
+                          f"{next(_tmp_counter)}.dup")
+            os.replace(path, target)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Opening and legacy migration
+    # ------------------------------------------------------------------ #
+    def _open(self) -> None:
+        """Adopt the directory, migrating a legacy flat cache if present."""
+        if self._opened:
+            return
+        self._opened = True
+        if not os.path.isdir(self.root):
+            return
+        if os.path.isdir(os.path.join(self.root, _OBJECTS)) or \
+                os.path.isdir(os.path.join(self.root, _INDEX)):
+            return  # already the content-addressed layout
+        self._migrate_legacy()
+
+    def _legacy_entries(self) -> Iterator[Tuple[str, str]]:
+        """``(spec, filename)`` pairs of the old ``<spec>/<hash>.json``."""
+        for spec in sorted(os.listdir(self.root)):
+            spec_dir = os.path.join(self.root, spec)
+            if spec in (_OBJECTS, _INDEX, _QUARANTINE) or \
+                    not os.path.isdir(spec_dir):
+                continue
+            for name in sorted(os.listdir(spec_dir)):
+                yield spec, name
+
+    def _migrate_legacy(self) -> None:
+        """Rewrap every legacy entry as an object + index marker, in place.
+
+        Legacy entries carry no provenance; the synthesized record is
+        marked ``migrated`` with the file's mtime as ``created_at`` and
+        ``"legacy"`` placeholders for the unknowable fields.  Unreadable
+        legacy files are quarantined, stale ``.tmp`` files dropped.  Two
+        stores racing to migrate one directory is safe: every per-file
+        step tolerates the file having been moved by the other.
+        """
+        from datetime import datetime, timezone
+
+        for spec, name in list(self._legacy_entries()):
+            path = os.path.join(self.root, spec, name)
+            if name.endswith(".tmp"):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                continue
+            if not _HEX_NAME.match(name):
+                continue  # foreign file; leave it alone
+            key = name[:-len(".json")]
+            try:
+                with open(path, "rb") as handle:
+                    payload = json.loads(handle.read().decode("utf-8"))
+                rows = payload["rows"]
+                stats = payload.get("stats", {})
+                if not isinstance(rows, list) or not isinstance(stats, dict):
+                    raise ValueError("legacy entry rows/stats malformed")
+                created = datetime.fromtimestamp(
+                    os.path.getmtime(path),
+                    timezone.utc).replace(microsecond=0).isoformat()
+            except OSError:
+                continue  # lost a migration race; nothing to do
+            except (ValueError, KeyError, TypeError):
+                self._quarantine(path)
+                continue
+            provenance = Provenance(
+                repro_version="legacy", git_sha="unknown", spec=spec,
+                point_id=str(payload.get("point_id", "")), func="legacy",
+                kwargs_digest="legacy", backend="legacy", host="unknown",
+                created_at=created, migrated=True)
+            entry = StoreEntry(point_id=str(payload.get("point_id", "")),
+                               rows=rows, stats=stats, provenance=provenance)
+            if self._store_entry(spec, key, entry) is not None:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        # Drop the now-empty legacy spec directories.
+        for spec in sorted(os.listdir(self.root)):
+            if spec in (_OBJECTS, _INDEX, _QUARANTINE):
+                continue
+            try:
+                os.rmdir(os.path.join(self.root, spec))
+            except OSError:
+                pass  # foreign files keep the directory alive
+
+    # ------------------------------------------------------------------ #
+    # ResultStore: load / store
+    # ------------------------------------------------------------------ #
+    def load(self, spec: str, key: str) -> Optional[StoreEntry]:
+        self._open()
+        marker = self._marker_path(spec, key)
+        try:
+            with open(marker, "rb") as handle:
+                pointer = json.loads(handle.read().decode("utf-8"))
+            object_hash = pointer["object"]
+            if not isinstance(object_hash, str) or len(object_hash) != 64:
+                raise ValueError("marker does not name an object")
+        except OSError:
+            return None  # no entry
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(marker)
+            return None
+        path = self._object_path(object_hash)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._remove_marker(marker)
+            return None  # dangling marker (object gc'd or never synced)
+        if _object_hash(data) != object_hash:
+            self._quarantine(path)
+            self._remove_marker(marker)
+            return None
+        try:
+            return _decode_object(data)
+        except ValueError:
+            self._quarantine(path)
+            self._remove_marker(marker)
+            return None
+
+    def store(self, spec: str, key: str, entry: StoreEntry) -> Optional[str]:
+        self._open()
+        return self._store_entry(spec, key, entry)
+
+    def _store_entry(self, spec: str, key: str,
+                     entry: StoreEntry) -> Optional[str]:
+        data = _encode_object(entry)
+        if data is None:
+            return None
+        object_hash = _object_hash(data)
+        path = self._object_path(object_hash)
+        if not os.path.exists(path):  # content-addressed: write once
+            self._write_atomic(path, data)
+        marker = {"object": object_hash, "point_id": entry.point_id}
+        self._write_atomic(
+            self._marker_path(spec, key),
+            json.dumps(marker, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8"))
+        return object_hash
+
+    def _remove_marker(self, marker: str) -> None:
+        try:
+            os.remove(marker)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+    def specs(self) -> List[str]:
+        self._open()
+        index = os.path.join(self.root, _INDEX)
+        if not os.path.isdir(index):
+            return []
+        return sorted(name for name in os.listdir(index)
+                      if os.path.isdir(os.path.join(index, name)))
+
+    def markers(self, specs: Optional[List[str]] = None
+                ) -> Iterator[Tuple[str, str, str]]:
+        """``(spec, key, object_hash)`` for every (valid) index marker."""
+        for spec in self.specs():
+            if specs and spec not in specs:
+                continue
+            spec_dir = os.path.join(self.root, _INDEX, spec)
+            for name in sorted(os.listdir(spec_dir)):
+                if not _HEX_NAME.match(name):
+                    continue
+                try:
+                    with open(os.path.join(spec_dir, name), "rb") as handle:
+                        pointer = json.loads(handle.read().decode("utf-8"))
+                    object_hash = pointer["object"]
+                    if not isinstance(object_hash, str) \
+                            or len(object_hash) != 64:
+                        raise ValueError
+                except OSError:
+                    continue
+                except (ValueError, KeyError, TypeError):
+                    self._quarantine(os.path.join(spec_dir, name))
+                    continue
+                yield spec, name[:-len(".json")], object_hash
+
+    def object_hashes(self) -> Iterator[str]:
+        """Every object present, by content hash."""
+        objects = os.path.join(self.root, _OBJECTS)
+        if not os.path.isdir(objects):
+            return
+        for prefix in sorted(os.listdir(objects)):
+            prefix_dir = os.path.join(objects, prefix)
+            if not os.path.isdir(prefix_dir):
+                continue
+            for name in sorted(os.listdir(prefix_dir)):
+                if _HEX_NAME.match(name):
+                    yield name[:-len(".json")]
+
+    def read_object(self, object_hash: str) -> Optional[StoreEntry]:
+        """Load one object by content hash (no index involvement)."""
+        try:
+            with open(self._object_path(object_hash), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            return _decode_object(data)
+        except ValueError:
+            return None
+
+    def _tmp_files(self) -> List[str]:
+        found = []
+        for root, _, names in os.walk(self.root):
+            found.extend(os.path.join(root, name) for name in names
+                         if name.endswith(".tmp"))
+        return found
+
+    # ------------------------------------------------------------------ #
+    # info / clear / verify / gc / push / pull
+    # ------------------------------------------------------------------ #
+    def info(self) -> StoreInfo:
+        self._open()
+        report = StoreInfo(root=self.root)
+        if not os.path.isdir(self.root):
+            return report
+        sizes: Dict[str, int] = {}
+        for object_hash in self.object_hashes():
+            try:
+                sizes[object_hash] = os.path.getsize(
+                    self._object_path(object_hash))
+            except OSError:
+                continue
+        report.objects = len(sizes)
+        report.objects_bytes = sum(sizes.values())
+        per_spec: Dict[str, CacheSpecInfo] = {}
+        for spec, _key, object_hash in self.markers():
+            info = per_spec.setdefault(spec, CacheSpecInfo(spec, 0, 0))
+            info.entries += 1
+            info.bytes += sizes.get(object_hash, 0)
+        report.specs = [per_spec[spec] for spec in sorted(per_spec)]
+        quarantine = self._quarantine_dir()
+        if os.path.isdir(quarantine):
+            for name in os.listdir(quarantine):
+                try:
+                    report.quarantined_bytes += os.path.getsize(
+                        os.path.join(quarantine, name))
+                    report.quarantined += 1
+                except OSError:
+                    continue
+        report.orphan_tmp = len(self._tmp_files())
+        return report
+
+    def clear(self, specs: Optional[List[str]] = None) -> int:
+        """Delete index entries (all, or just ``specs``'); returns the
+        count.  Unreferenced objects and stale tmp files go with them."""
+        self._open()
+        removed = 0
+        for spec in self.specs():
+            if specs and spec not in specs:
+                continue
+            spec_dir = os.path.join(self.root, _INDEX, spec)
+            for name in os.listdir(spec_dir):
+                if not _HEX_NAME.match(name):
+                    continue
+                try:
+                    os.remove(os.path.join(spec_dir, name))
+                except OSError:
+                    continue
+                removed += 1
+            try:
+                os.rmdir(spec_dir)
+            except OSError:
+                pass
+        self._sweep_unreferenced()
+        for tmp in self._tmp_files():
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        return removed
+
+    def _sweep_unreferenced(self) -> Tuple[int, int]:
+        """Drop objects no index marker references; ``(count, bytes)``."""
+        referenced = {object_hash
+                      for _spec, _key, object_hash in self.markers()}
+        removed = 0
+        freed = 0
+        for object_hash in list(self.object_hashes()):
+            if object_hash in referenced:
+                continue
+            path = self._object_path(object_hash)
+            try:
+                size = os.path.getsize(path)
+                os.remove(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+            try:
+                os.rmdir(os.path.dirname(path))
+            except OSError:
+                pass
+        return removed, freed
+
+    def verify(self) -> VerifyReport:
+        """Re-hash every object against its name; list index markers that
+        point at missing objects."""
+        self._open()
+        report = VerifyReport()
+        present = set()
+        for object_hash in self.object_hashes():
+            report.objects += 1
+            present.add(object_hash)
+            try:
+                with open(self._object_path(object_hash), "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                report.mismatched.append(object_hash)
+                continue
+            if _object_hash(data) != object_hash:
+                report.mismatched.append(object_hash)
+        for spec, key, object_hash in self.markers():
+            if object_hash not in present:
+                report.dangling.append(f"{spec}/{key}")
+        return report
+
+    def gc(self, specs: Optional[List[str]] = None,
+           max_age_days: Optional[float] = None,
+           version: Optional[str] = None,
+           dry_run: bool = False) -> GcReport:
+        """Prune entries by spec / age / producing version.
+
+        With no filters at all this is a pure vacuum: unreferenced
+        objects and orphaned tmp files are collected, index entries are
+        untouched.  ``dry_run`` reports what would go without removing
+        anything.
+        """
+        self._open()
+        report = GcReport(dry_run=dry_run)
+        filtered = bool(specs or max_age_days is not None
+                        or version is not None)
+        doomed: List[str] = []
+        if filtered:
+            for spec, key, object_hash in self.markers(specs=specs):
+                if max_age_days is not None or version is not None:
+                    entry = self.read_object(object_hash)
+                    provenance = entry.provenance if entry else None
+                    if version is not None and (
+                            provenance is None
+                            or provenance.repro_version != version):
+                        continue
+                    if max_age_days is not None:
+                        age = provenance.age_days if provenance else None
+                        if age is None or age <= max_age_days:
+                            continue
+                doomed.append(self._marker_path(spec, key))
+        report.entries_removed = len(doomed)
+        tmp_files = self._tmp_files()
+        report.tmp_removed = len(tmp_files)
+        if dry_run:
+            # Estimate the object sweep without mutating anything.
+            doomed_set = set(doomed)
+            survivors = {object_hash
+                         for spec, key, object_hash in self.markers()
+                         if self._marker_path(spec, key) not in doomed_set}
+            for object_hash in self.object_hashes():
+                if object_hash not in survivors:
+                    report.objects_removed += 1
+                    try:
+                        report.bytes_freed += os.path.getsize(
+                            self._object_path(object_hash))
+                    except OSError:
+                        pass
+            return report
+        for marker in doomed:
+            self._remove_marker(marker)
+        removed, freed = self._sweep_unreferenced()
+        report.objects_removed = removed
+        report.bytes_freed = freed
+        for tmp in tmp_files:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        return report
+
+    def push(self, dest: "FileStore",
+             specs: Optional[List[str]] = None) -> SyncReport:
+        """Copy entries into ``dest``, skipping hashes already present.
+
+        Content addressing makes this idempotent: objects are compared
+        by name (their hash), markers by the object they point to, so a
+        second push of an unchanged store copies nothing.  A source
+        object whose bytes no longer match its name is quarantined here
+        and *not* propagated.
+        """
+        self._open()
+        dest._open()
+        report = SyncReport()
+        copied_objects = set()
+        for spec, key, object_hash in self.markers(specs=specs):
+            src_path = self._object_path(object_hash)
+            dest_path = dest._object_path(object_hash)
+            if not os.path.exists(dest_path):
+                try:
+                    with open(src_path, "rb") as handle:
+                        data = handle.read()
+                except OSError:
+                    continue  # racing writer removed it; marker is stale
+                if _object_hash(data) != object_hash:
+                    self._quarantine(src_path)
+                    self._remove_marker(self._marker_path(spec, key))
+                    report.corrupt_skipped += 1
+                    continue
+                dest._write_atomic(dest_path, data)
+                report.objects_copied += 1
+                copied_objects.add(object_hash)
+            elif object_hash not in copied_objects:
+                report.objects_skipped += 1
+            dest_marker = dest._marker_path(spec, key)
+            existing = None
+            try:
+                with open(dest_marker, "rb") as handle:
+                    existing = json.loads(handle.read().decode("utf-8"))
+            except (OSError, ValueError):
+                existing = None
+            if isinstance(existing, dict) \
+                    and existing.get("object") == object_hash:
+                report.entries_skipped += 1
+                continue
+            try:
+                with open(self._marker_path(spec, key), "rb") as handle:
+                    marker_bytes = handle.read()
+            except OSError:
+                continue
+            dest._write_atomic(dest_marker, marker_bytes)
+            report.entries_copied += 1
+        return report
+
+    def pull(self, src: "FileStore",
+             specs: Optional[List[str]] = None) -> SyncReport:
+        """Copy entries from ``src`` into this store (see :meth:`push`)."""
+        return src.push(self, specs=specs)
+
+
+__all__ = [
+    "CacheSpecInfo",
+    "FileStore",
+    "GcReport",
+    "ResultStore",
+    "StoreEntry",
+    "StoreError",
+    "StoreInfo",
+    "SyncReport",
+    "VerifyReport",
+]

@@ -1,0 +1,96 @@
+"""Point keys: the stable identity of one sweep point's configuration.
+
+A point's *key* answers "is this the same simulation?" — it hashes the
+spec name, point id, the function's ``module:qualname`` reference and a
+canonical serialization of the keyword arguments, so any parameter change
+(sizes, cache geometry, seeds, ...) changes the key while equal
+configurations hash identically in every process.  The key is what the
+:class:`~repro.store.filesystem.FileStore` index maps to a content
+address; the *content* hash of the stored entry is a separate thing
+(see :mod:`repro.store.filesystem`).
+
+Keys embed :data:`KEY_SCHEMA`, **not** the live package version.  Up to
+repro 1.5 the key hashed ``repro.__version__`` directly, which invalidated
+every cache entry on every release even when results were unchanged.  The
+store records the exact producing release in each entry's
+:class:`~repro.store.provenance.Provenance` instead (prunable with
+``repro cache gc --version``), so the key schema only changes when the key
+*computation itself* changes.  ``KEY_SCHEMA`` is frozen at ``"1.5.0"`` —
+the release whose key function this store inherited — so entries migrated
+from a legacy ``.repro-cache/`` keep their exact keys and stay warm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.harness.spec import SweepPoint, point_func_ref
+
+#: Frozen key-schema tag (see module docstring).  Bump only when the key
+#: computation changes incompatibly — never for ordinary releases.
+KEY_SCHEMA = "1.5.0"
+
+
+def canonical_repr(value: object) -> str:
+    """A content-based serialization that is stable across processes.
+
+    ``repr`` alone is not canonical for every configuration value: sets
+    iterate in hash order (which ``PYTHONHASHSEED`` perturbs between
+    processes for strings) and dicts iterate in insertion order, so two
+    equal configurations could serialize differently and miss each other's
+    cache entries.  Sets are therefore emitted in sorted element order,
+    dict items in sorted key order, and dataclasses are recursed into so
+    the same rules apply to nested fields.  Distinct container types keep
+    distinct markers so ``[1, 2]``, ``(1, 2)`` and ``{1, 2}`` never
+    collide.
+    """
+    if isinstance(value, dict):
+        items = sorted(((canonical_repr(k), canonical_repr(v))
+                        for k, v in value.items()), key=lambda kv: kv[0])
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, frozenset):
+        return "frozenset{" + ",".join(sorted(map(canonical_repr, value))) + "}"
+    if isinstance(value, set):
+        return "set{" + ",".join(sorted(map(canonical_repr, value))) + "}"
+    if isinstance(value, list):
+        return "[" + ",".join(map(canonical_repr, value)) + "]"
+    if isinstance(value, tuple):
+        return "(" + ",".join(map(canonical_repr, value)) + ")"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{field.name}={canonical_repr(getattr(value, field.name))}"
+            for field in dataclasses.fields(value))
+        return f"{type(value).__qualname__}({fields})"
+    return repr(value)
+
+
+def kwargs_digest(kwargs: dict) -> str:
+    """SHA-256 of the canonical kwargs serialization (a provenance field).
+
+    Two entries with equal digests were configured identically; the digest
+    lets provenance records compare configurations without storing the
+    full (possibly large) kwargs blob in every entry.
+    """
+    return hashlib.sha256(
+        canonical_repr(kwargs).encode("utf-8")).hexdigest()
+
+
+def point_cache_key(point: SweepPoint) -> str:
+    """A stable hash of everything that determines a point's result.
+
+    The key covers the spec name, the point function's ``module:qualname``
+    *reference* (:func:`~repro.harness.spec.point_func_ref` — identical
+    whether the point carries the name or the callable) and the
+    :func:`canonical_repr` of its keyword arguments — even for kwargs
+    containing sets or dicts, whose plain ``repr`` depends on hash seed or
+    insertion order.
+    """
+    payload = "\x1f".join((
+        KEY_SCHEMA,
+        point.spec,
+        point.point_id,
+        point_func_ref(point),
+        canonical_repr(point.kwargs),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,168 @@
+"""Typed provenance: who computed a stored result, how, where, and when.
+
+Every entry in a :class:`~repro.store.filesystem.FileStore` carries one
+:class:`Provenance` record, so a result pulled from a shared store (or
+dug out of a CI artifact months later) stays attributable: the exact
+repro release and git revision that produced it, the point's identity
+(spec, point id, function reference, configuration digest, seed), and
+the execution context (backend, worker, host, wall-clock, and — for
+results computed through ``repro serve`` — the job id and submitter).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+from dataclasses import dataclass, fields
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+_git_sha_cache: Optional[str] = None
+
+
+def current_git_sha() -> str:
+    """The repository revision of the running checkout (cached).
+
+    ``"unknown"`` when git (or the repository) is unavailable — an
+    installed package, a bare container — so provenance stays writable
+    everywhere.
+    """
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True, text=True, check=True,
+                timeout=10).stdout.strip() or "unknown"
+        except Exception:  # noqa: BLE001 - any failure means "no git here"
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
+def utc_now_iso() -> str:
+    """The current instant as an ISO-8601 UTC timestamp (``...Z``-less)."""
+    return datetime.now(timezone.utc).replace(microsecond=0).isoformat()
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """The full lineage of one stored point result.
+
+    ``duration_s`` is the coordinator-observed completion latency: the
+    seconds between the sweep's pending batch starting to execute and
+    this point's result arriving back at the coordinator.  On parallel
+    backends that is an upper bound on the point's own compute time, but
+    it is measured at the only place every backend shares.
+    """
+
+    repro_version: str          #: release that computed the result
+    git_sha: str                #: checkout revision (``"unknown"`` if no git)
+    spec: str                   #: sweep/spec name
+    point_id: str               #: point identity within the spec
+    func: str                   #: ``module:qualname`` function reference
+    kwargs_digest: str          #: sha256 of the canonical kwargs serialization
+    seed: Optional[int] = None  #: workload input seed, when the point has one
+    backend: str = "serial"     #: executing backend's name
+    worker: Optional[str] = None    #: worker label (distributed/service)
+    host: str = "unknown"       #: coordinator hostname
+    duration_s: Optional[float] = None  #: see class docstring
+    created_at: str = ""        #: ISO-8601 UTC creation instant
+    job_id: Optional[str] = None     #: service job, when run via ``repro serve``
+    submitter: Optional[str] = None  #: service submitter identity
+    migrated: bool = False      #: entry rescued from a legacy ``.repro-cache``
+
+    @classmethod
+    def collect(cls, *, spec: str, point_id: str, func: str,
+                kwargs_digest: str, seed: Optional[int] = None,
+                backend: str = "serial", worker: Optional[str] = None,
+                duration_s: Optional[float] = None,
+                job_id: Optional[str] = None,
+                submitter: Optional[str] = None,
+                migrated: bool = False) -> "Provenance":
+        """Build a record, filling in the ambient fields (version, git
+        sha, host, timestamp) from the running process."""
+        from repro import __version__
+
+        try:
+            host = socket.gethostname()
+        except OSError:
+            host = "unknown"
+        return cls(repro_version=__version__, git_sha=current_git_sha(),
+                   spec=spec, point_id=point_id, func=func,
+                   kwargs_digest=kwargs_digest, seed=seed, backend=backend,
+                   worker=worker, host=host, duration_s=duration_s,
+                   created_at=utc_now_iso(), job_id=job_id,
+                   submitter=submitter, migrated=migrated)
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-ready dict; ``None`` optionals are omitted."""
+        payload: Dict[str, object] = {
+            "repro_version": self.repro_version, "git_sha": self.git_sha,
+            "spec": self.spec, "point_id": self.point_id, "func": self.func,
+            "kwargs_digest": self.kwargs_digest, "backend": self.backend,
+            "host": self.host, "created_at": self.created_at,
+        }
+        for name in ("seed", "worker", "duration_s", "job_id", "submitter"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.migrated:
+            payload["migrated"] = True
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: object) -> "Provenance":
+        """Inverse of :meth:`to_json`; raises ``ValueError`` on bad shapes."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"provenance must be a JSON object, got "
+                f"{type(payload).__name__}")
+        known = {field.name for field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"provenance has unknown fields: {sorted(unknown)}")
+        for name in ("repro_version", "git_sha", "spec", "point_id", "func",
+                     "kwargs_digest", "backend", "host", "created_at"):
+            if not isinstance(payload.get(name), str):
+                raise ValueError(f"provenance field {name!r} must be a string")
+        seed = payload.get("seed")
+        if seed is not None and (not isinstance(seed, int)
+                                 or isinstance(seed, bool)):
+            raise ValueError("provenance field 'seed' must be an integer")
+        duration = payload.get("duration_s")
+        if duration is not None and not isinstance(duration, (int, float)):
+            raise ValueError("provenance field 'duration_s' must be a number")
+        for name in ("worker", "job_id", "submitter"):
+            value = payload.get(name)
+            if value is not None and not isinstance(value, str):
+                raise ValueError(
+                    f"provenance field {name!r} must be a string")
+        return cls(
+            repro_version=payload["repro_version"],
+            git_sha=payload["git_sha"], spec=payload["spec"],
+            point_id=payload["point_id"], func=payload["func"],
+            kwargs_digest=payload["kwargs_digest"], seed=seed,
+            backend=payload["backend"], worker=payload.get("worker"),
+            host=payload["host"],
+            duration_s=float(duration) if duration is not None else None,
+            created_at=payload["created_at"], job_id=payload.get("job_id"),
+            submitter=payload.get("submitter"),
+            migrated=bool(payload.get("migrated", False)))
+
+    @property
+    def age_days(self) -> Optional[float]:
+        """Days since ``created_at``; ``None`` if the timestamp is absent
+        or unparseable (legacy or hand-edited entries)."""
+        if not self.created_at:
+            return None
+        try:
+            created = datetime.fromisoformat(self.created_at)
+        except ValueError:
+            return None
+        if created.tzinfo is None:
+            created = created.replace(tzinfo=timezone.utc)
+        delta = datetime.now(timezone.utc) - created
+        return delta.total_seconds() / 86400.0

@@ -1,5 +1,6 @@
 """Tests for the declarative sweep harness (spec registry, runner, cache, CLI)."""
 
+import hashlib
 import json
 import os
 
@@ -194,12 +195,16 @@ class TestCache:
         runner = SweepRunner(cache_dir=cache)
         runner.run_points(_points([7]))
         (path,) = [os.path.join(root, name)
-                   for root, _, names in os.walk(cache) for name in names]
+                   for root, _, names in os.walk(os.path.join(cache, "objects"))
+                   for name in names]
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(corrupt)
         outcome = runner.run_points(_points([7]))
         assert outcome.points_from_cache == 0
         assert outcome.rows == [{"value": 7, "square": 49}]
+        # The damaged object was quarantined for inspection, not dropped.
+        quarantine = os.path.join(cache, "quarantine")
+        assert os.listdir(quarantine)
 
     def test_json_lossy_rows_not_cached(self, tmp_path):
         # A tuple would reload from JSON as a list, making a warm run render
@@ -217,10 +222,20 @@ class TestCache:
         cache = str(tmp_path / "cache")
         SweepRunner(cache_dir=cache).run_points(_points([9]))
         (path,) = [os.path.join(root, name)
-                   for root, _, names in os.walk(cache) for name in names]
+                   for root, _, names in os.walk(os.path.join(cache, "objects"))
+                   for name in names]
         with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
         assert payload["rows"] == [{"value": 9, "square": 81}]
+        # The object is named by the sha256 of its exact bytes and carries
+        # a provenance record naming the release that computed it.
+        with open(path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        assert os.path.basename(path) == f"{digest}.json"
+        import repro
+
+        assert payload["provenance"]["repro_version"] == repro.__version__
+        assert payload["provenance"]["backend"] == "serial"
 
 
 class TestExperimentSpecs:
@@ -381,3 +396,75 @@ class TestCacheCLI:
         captured = capsys.readouterr()
         assert "no entries for: figure99" in captured.err
         assert "removed 0 entries" in captured.out
+
+    def test_info_json_reports_store_health(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        orphan = os.path.join(cache, "index", "stale.json.1-1.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("interrupted write")
+        capsys.readouterr()
+        assert cli_main(["cache", "info", "--json", "--cache-dir", cache]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["objects"] == 1
+        assert payload["orphan_tmp"] == 1
+        assert payload["quarantined"] == 0
+        assert payload["specs"] == [{"spec": "table2", "entries": 1,
+                                     "bytes": payload["objects_bytes"]}]
+
+    def test_push_pull_between_stores(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        self._populate(a)
+        capsys.readouterr()
+        assert cli_main(["cache", "push", b, "--cache-dir", a]) == 0
+        assert "1 entries copied" in capsys.readouterr().out
+        assert cli_main(["cache", "push", b, "--cache-dir", a]) == 0
+        assert "0 entries copied, 1 up to date" in capsys.readouterr().out
+        c = str(tmp_path / "c")
+        assert cli_main(["cache", "pull", b, "--cache-dir", c]) == 0
+        assert "1 entries copied" in capsys.readouterr().out
+        self._populate(c)
+        assert "0 simulated, 1 cached" in capsys.readouterr().err
+
+    def test_verify_detects_tampering(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        capsys.readouterr()
+        assert cli_main(["cache", "verify", "--cache-dir", cache]) == 0
+        assert "1 object(s) verified" in capsys.readouterr().out
+        (path,) = [os.path.join(root, name)
+                   for root, _, names in os.walk(os.path.join(cache, "objects"))
+                   for name in names]
+        with open(path, "ab") as handle:
+            handle.write(b"tamper")
+        assert cli_main(["cache", "verify", "--cache-dir", cache]) == 1
+        captured = capsys.readouterr()
+        assert "does not match its hash" in captured.err
+
+    def test_gc_dry_run_then_real(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        capsys.readouterr()
+        assert cli_main(["cache", "gc", "table2", "--dry-run",
+                         "--cache-dir", cache]) == 0
+        assert "would remove 1 entries" in capsys.readouterr().out
+        assert cli_main(["cache", "info", "--cache-dir", cache]) == 0
+        assert "1 entries" in capsys.readouterr().out  # dry run kept it
+        assert cli_main(["cache", "gc", "table2", "--cache-dir", cache]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert cli_main(["cache", "info", "--cache-dir", cache]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_gc_by_version_spares_other_releases(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(cache)
+        capsys.readouterr()
+        assert cli_main(["cache", "gc", "--version", "0.0.1",
+                         "--cache-dir", cache]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        import repro
+
+        assert cli_main(["cache", "gc", "--version", repro.__version__,
+                         "--cache-dir", cache]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out

@@ -220,6 +220,46 @@ class TestConcurrentSweeps:
                                          spec_name="svc-cached")
         assert second.points_from_cache == 4
         assert second.result == first.result
+        # The coordinator-side store attributes each point to the worker
+        # the service reported in its point_result frame.
+        from repro.store import FileStore, point_cache_key
+
+        store = FileStore(cache_dir)
+        assert store.verify().ok
+        for point in points:
+            record = store.load("svc-cached",
+                                point_cache_key(point)).provenance
+            assert record.backend == "service"
+            assert record.worker and "pid=" in record.worker
+
+    def test_service_records_provenance_in_its_own_store(self, live,
+                                                         tmp_path):
+        from repro.store import FileStore, point_cache_key
+
+        store = FileStore(str(tmp_path / "serve-store"))
+        live.service.store = store
+        _start_worker(live.address)
+        points = _points(range(3), spec="svc-stored")
+        spec = JobSpec.from_points(points, name="svc-stored",
+                                   submitter="alice@laptop")
+        with ServiceClient(live.address) as client:
+            job_id = client.submit(spec)
+            reply = client.result(job_id)
+        assert reply.get("state") == "done"
+        # Every point is in the service's store, attributed to the job.
+        assert store.verify().ok
+        for point in points:
+            entry = store.load("svc-stored", point_cache_key(point))
+            record = entry.provenance
+            assert record.job_id == job_id
+            assert record.submitter == "alice@laptop"
+            assert record.backend == "service"
+            assert record.worker and "pid=" in record.worker
+            assert record.duration_s is not None
+        # A coordinator pointed at the same store re-runs for free.
+        outcome = SweepRunner(store=store).run_points(list(points),
+                                                      spec_name="svc-stored")
+        assert outcome.points_from_cache == 3
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,417 @@
+"""Tests for the content-addressed result store (:mod:`repro.store`)."""
+
+import hashlib
+import json
+import multiprocessing
+import os
+
+import pytest
+
+import repro
+from repro.harness.spec import PointResult, SweepPoint
+from repro.harness.runner import SweepRunner, point_seed
+from repro.store import (
+    FileStore,
+    KEY_SCHEMA,
+    Provenance,
+    StoreEntry,
+    kwargs_digest,
+    point_cache_key,
+)
+
+
+def square_point(value, seed=None):
+    return PointResult(rows=[{"value": value, "square": value * value}],
+                       stats={"points.computed": 1})
+
+
+def _points(values, spec="test"):
+    return [SweepPoint(spec=spec, point_id=f"value={v}", func=square_point,
+                       kwargs={"value": v}) for v in values]
+
+
+def _entry(point_id="p", rows=None, stats=None, **prov):
+    provenance = Provenance.collect(
+        spec=prov.pop("spec", "test"), point_id=point_id,
+        func="tests:square_point", kwargs_digest="0" * 64, **prov)
+    return StoreEntry(point_id=point_id,
+                      rows=rows if rows is not None else [{"x": 1}],
+                      stats=stats if stats is not None else {},
+                      provenance=provenance)
+
+
+class TestProvenance:
+    def test_round_trip(self):
+        record = Provenance.collect(
+            spec="figure5", point_id="size=8", func="m:f",
+            kwargs_digest="ab" * 32, seed=7, backend="distributed",
+            worker="127.0.0.1:9/pid=12", duration_s=1.25,
+            job_id="job-3", submitter="ci@host")
+        assert Provenance.from_json(record.to_json()) == record
+
+    def test_collect_fills_ambient_fields(self):
+        record = Provenance.collect(spec="t", point_id="p", func="m:f",
+                                    kwargs_digest="0" * 64)
+        assert record.repro_version == repro.__version__
+        assert record.host
+        assert record.created_at
+        assert record.age_days is not None and record.age_days < 1.0
+
+    def test_none_optionals_omitted_from_json(self):
+        record = Provenance.collect(spec="t", point_id="p", func="m:f",
+                                    kwargs_digest="0" * 64)
+        payload = record.to_json()
+        for absent in ("seed", "worker", "duration_s", "job_id",
+                       "submitter", "migrated"):
+            assert absent not in payload
+
+    @pytest.mark.parametrize("mangle", [
+        lambda p: p.pop("spec"),
+        lambda p: p.update(spec=5),
+        lambda p: p.update(seed="seven"),
+        lambda p: p.update(duration_s="fast"),
+        lambda p: p.update(surprise=True),
+        lambda p: None or [],  # replaced below: non-dict payload
+    ])
+    def test_from_json_rejects_bad_shapes(self, mangle):
+        payload = Provenance.collect(spec="t", point_id="p", func="m:f",
+                                     kwargs_digest="0" * 64).to_json()
+        result = mangle(payload)
+        bad = result if isinstance(result, list) else payload
+        with pytest.raises(ValueError):
+            Provenance.from_json(bad)
+
+    def test_point_seed_extraction(self):
+        with_seed = SweepPoint(spec="t", point_id="p", func=square_point,
+                               kwargs={"value": 1, "seed": 42})
+        without = SweepPoint(spec="t", point_id="p", func=square_point,
+                             kwargs={"value": 1})
+        boolean = SweepPoint(spec="t", point_id="p", func=square_point,
+                             kwargs={"value": 1, "seed": True})
+        assert point_seed(with_seed) == 42
+        assert point_seed(without) is None
+        assert point_seed(boolean) is None
+
+
+class TestLayout:
+    def test_object_named_by_content_hash(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        object_hash = store.store("test", "a" * 64, _entry())
+        path = store._object_path(object_hash)
+        with open(path, "rb") as handle:
+            assert hashlib.sha256(handle.read()).hexdigest() == object_hash
+        assert path.endswith(
+            os.path.join("objects", object_hash[:2], object_hash + ".json"))
+
+    def test_identical_results_share_one_object(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        entry = _entry()
+        first = store.store("test", "a" * 64, entry)
+        second = store.store("test", "b" * 64, entry)
+        assert first == second
+        assert len(list(store.object_hashes())) == 1
+        assert store.info().entries == 2
+
+    def test_load_round_trip(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        entry = _entry(rows=[{"v": 3}], stats={"n": 1.5})
+        store.store("test", "c" * 64, entry)
+        loaded = store.load("test", "c" * 64)
+        assert loaded.rows == [{"v": 3}]
+        assert loaded.stats == {"n": 1.5}
+        assert loaded.provenance == entry.provenance
+        assert store.load("test", "d" * 64) is None
+
+    def test_key_schema_is_frozen(self):
+        # The key must NOT embed the live release: bumping __version__
+        # would otherwise invalidate every cache on upgrade, including
+        # freshly migrated legacy entries.  The producing release lives
+        # in the provenance instead (prunable via `cache gc --version`).
+        assert KEY_SCHEMA == "1.5.0"
+        assert repro.__version__ != KEY_SCHEMA  # the point of freezing it
+
+    def test_store_refuses_lossy_entries(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        assert store.store("test", "e" * 64,
+                           _entry(rows=[{"pair": (1, 2)}])) is None
+        assert store.load("test", "e" * 64) is None
+
+
+class TestQuarantine:
+    def _stored(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        object_hash = store.store("test", "a" * 64, _entry())
+        return store, object_hash
+
+    def test_truncated_object_quarantined(self, tmp_path):
+        store, object_hash = self._stored(tmp_path)
+        path = store._object_path(object_hash)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        assert store.load("test", "a" * 64) is None
+        info = store.info()
+        assert info.quarantined == 1
+        assert info.entries == 0  # the marker went with it
+
+    def test_corrupt_marker_quarantined(self, tmp_path):
+        store, _ = self._stored(tmp_path)
+        marker = store._marker_path("test", "a" * 64)
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("{broken")
+        assert store.load("test", "a" * 64) is None
+        assert store.info().quarantined == 1
+
+    def test_verify_reports_tampered_object(self, tmp_path):
+        store, object_hash = self._stored(tmp_path)
+        path = store._object_path(object_hash)
+        with open(path, "ab") as handle:
+            handle.write(b" ")
+        report = store.verify()
+        assert not report.ok
+        assert report.mismatched == [object_hash]
+
+    def test_verify_reports_dangling_marker(self, tmp_path):
+        store, object_hash = self._stored(tmp_path)
+        os.remove(store._object_path(object_hash))
+        report = store.verify()
+        assert not report.ok
+        assert report.dangling == [f"test/{'a' * 64}"]
+
+    def test_orphan_tmp_reported(self, tmp_path):
+        store, _ = self._stored(tmp_path)
+        orphan = os.path.join(store.root, "objects", "zz.json.1-2.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("half a write")
+        assert store.info().orphan_tmp == 1
+        store.gc()
+        assert not os.path.exists(orphan)
+
+
+class TestLegacyMigration:
+    def _write_legacy(self, root, spec, key, payload):
+        os.makedirs(os.path.join(root, spec), exist_ok=True)
+        with open(os.path.join(root, spec, key + ".json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(payload if isinstance(payload, str)
+                         else json.dumps(payload))
+
+    def test_legacy_entries_keep_serving_warm_hits(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        # Write a legacy flat entry under the *current* key (the schema is
+        # frozen, so the key a 1.5.0 runner computed is the key this
+        # release computes).
+        point = _points([7])[0]
+        key = point_cache_key(point)
+        self._write_legacy(cache, "test", key,
+                           {"point_id": point.point_id,
+                            "rows": [{"value": 7, "square": 49}],
+                            "stats": {"points.computed": 1}})
+        outcome = SweepRunner(cache_dir=cache).run_points([point])
+        assert outcome.points_from_cache == 1
+        assert outcome.rows == [{"value": 7, "square": 49}]
+        # The flat layout is gone; what remains is content-addressed.
+        assert not os.path.isdir(os.path.join(cache, "test"))
+        loaded = FileStore(cache).load("test", key)
+        assert loaded.provenance.migrated
+        assert loaded.provenance.repro_version == "legacy"
+
+    def test_corrupt_legacy_entry_quarantined(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._write_legacy(cache, "test", "f" * 64, "{not json")
+        info = FileStore(cache).info()
+        assert info.entries == 0
+        assert info.quarantined == 1
+
+    def test_legacy_tmp_files_dropped(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._write_legacy(cache, "test", "a" * 64,
+                           {"point_id": "p", "rows": [], "stats": {}})
+        tmp = os.path.join(cache, "test", "b" * 64 + ".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write("interrupted")
+        info = FileStore(cache).info()
+        assert info.entries == 1
+        assert info.orphan_tmp == 0
+
+    def test_foreign_files_left_alone(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._write_legacy(cache, "test", "a" * 64,
+                           {"point_id": "p", "rows": [], "stats": {}})
+        notes = os.path.join(cache, "test", "NOTES.txt")
+        with open(notes, "w", encoding="utf-8") as handle:
+            handle.write("hands off")
+        FileStore(cache).info()
+        assert os.path.exists(notes)
+
+
+def _concurrent_writer(cache, start, stop, out):
+    runner = SweepRunner(cache_dir=cache)
+    outcome = runner.run_points(_points(list(range(start, stop))))
+    out.put(len(outcome.rows))
+
+
+class TestConcurrency:
+    def test_two_runners_share_one_store(self, tmp_path):
+        # Two coordinator processes writing one store concurrently, with
+        # overlapping point sets: no torn reads, no lost entries, and a
+        # follow-up run is fully warm.
+        cache = str(tmp_path / "store")
+        out = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(target=_concurrent_writer,
+                                    args=(cache, 0, 30, out)),
+            multiprocessing.Process(target=_concurrent_writer,
+                                    args=(cache, 15, 45, out)),
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert sorted([out.get(), out.get()]) == [30, 30]
+        store = FileStore(cache)
+        assert store.info().entries == 45
+        assert store.verify().ok
+        outcome = SweepRunner(cache_dir=cache).run_points(
+            _points(list(range(45))))
+        assert outcome.points_from_cache == 45
+
+    def test_reader_never_sees_partial_files(self, tmp_path):
+        # The tmp+rename discipline means a load either misses or returns
+        # a full entry; simulate the torn state a crashed writer leaves.
+        store = FileStore(str(tmp_path / "store"))
+        store.store("test", "a" * 64, _entry())
+        torn = store._object_path("b" * 64) + ".123-4.tmp"
+        os.makedirs(os.path.dirname(torn), exist_ok=True)
+        with open(torn, "w", encoding="utf-8") as handle:
+            handle.write('{"point_id": "half')
+        assert store.load("test", "b" * 64) is None
+        assert store.load("test", "a" * 64) is not None
+        assert store.info().orphan_tmp == 1
+
+
+class TestSync:
+    def test_push_pull_round_trip_idempotent(self, tmp_path):
+        a = FileStore(str(tmp_path / "a"))
+        b = FileStore(str(tmp_path / "b"))
+        for index, value in enumerate([1, 2, 3]):
+            a.store("test", f"{index}{'a' * 63}",
+                    _entry(point_id=f"p{index}", rows=[{"v": value}]))
+        first = a.push(b)
+        assert first.entries_copied == 3 and first.objects_copied == 3
+        again = a.push(b)
+        assert again.entries_copied == 0 and again.objects_copied == 0
+        assert again.entries_skipped == 3
+        back = a.pull(b)  # b has nothing a lacks
+        assert back.entries_copied == 0
+        assert b.verify().ok
+        assert [e.rows for _, k, h in b.markers()
+                for e in [b.read_object(h)]] == [[{"v": 1}], [{"v": 2}],
+                                                 [{"v": 3}]]
+
+    def test_push_filters_by_spec(self, tmp_path):
+        a = FileStore(str(tmp_path / "a"))
+        b = FileStore(str(tmp_path / "b"))
+        a.store("keep", "a" * 64, _entry(spec="keep"))
+        a.store("skip", "b" * 64, _entry(spec="skip"))
+        a.push(b, specs=["keep"])
+        assert [info.spec for info in b.info().specs] == ["keep"]
+
+    def test_push_quarantines_corrupt_source(self, tmp_path):
+        a = FileStore(str(tmp_path / "a"))
+        b = FileStore(str(tmp_path / "b"))
+        object_hash = a.store("test", "a" * 64, _entry())
+        with open(a._object_path(object_hash), "ab") as handle:
+            handle.write(b"!")
+        report = a.push(b)
+        assert report.corrupt_skipped == 1
+        assert b.info().entries == 0
+        assert a.info().quarantined == 1
+
+    def test_updated_entry_repoints_destination(self, tmp_path):
+        a = FileStore(str(tmp_path / "a"))
+        b = FileStore(str(tmp_path / "b"))
+        a.store("test", "a" * 64, _entry(rows=[{"v": 1}]))
+        a.push(b)
+        a.store("test", "a" * 64, _entry(rows=[{"v": 2}]))
+        report = a.push(b)
+        assert report.entries_copied == 1
+        assert b.load("test", "a" * 64).rows == [{"v": 2}]
+
+
+class TestGc:
+    def test_gc_by_version(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        store.store("test", "a" * 64, _entry())
+        old = _entry(point_id="old", rows=[{"v": 9}])
+        object.__setattr__(old.provenance, "repro_version", "0.9.0")
+        store.store("test", "b" * 64, old)
+        report = store.gc(version="0.9.0")
+        assert report.entries_removed == 1
+        assert report.objects_removed == 1
+        assert store.load("test", "a" * 64) is not None
+        assert store.load("test", "b" * 64) is None
+
+    def test_gc_by_age(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        stale = _entry(point_id="stale")
+        object.__setattr__(stale.provenance, "created_at",
+                           "2020-01-01T00:00:00+00:00")
+        store.store("test", "a" * 64, stale)
+        store.store("test", "b" * 64, _entry(point_id="fresh"))
+        report = store.gc(max_age_days=30)
+        assert report.entries_removed == 1
+        assert store.load("test", "b" * 64) is not None
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        store.store("test", "a" * 64, _entry())
+        report = store.gc(specs=["test"], dry_run=True)
+        assert report.dry_run
+        assert report.entries_removed == 1
+        assert report.objects_removed == 1
+        assert store.load("test", "a" * 64) is not None
+
+    def test_gc_without_filters_only_vacuums(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        store.store("test", "a" * 64, _entry(rows=[{"v": 1}]))
+        # Repoint the entry; the first object becomes unreferenced.
+        store.store("test", "a" * 64, _entry(rows=[{"v": 2}]))
+        report = store.gc()
+        assert report.entries_removed == 0
+        assert report.objects_removed == 1
+        assert store.load("test", "a" * 64).rows == [{"v": 2}]
+
+
+class TestRunnerIntegration:
+    def test_provenance_recorded_by_serial_runner(self, tmp_path):
+        cache = str(tmp_path / "store")
+        point = SweepPoint(spec="test", point_id="value=3", func=square_point,
+                           kwargs={"value": 3, "seed": 11})
+        SweepRunner(cache_dir=cache).run_points([point])
+        entry = FileStore(cache).load("test", point_cache_key(point))
+        record = entry.provenance
+        assert record.spec == "test"
+        assert record.point_id == "value=3"
+        assert record.backend == "serial"
+        assert record.seed == 11
+        assert record.repro_version == repro.__version__
+        assert record.kwargs_digest == kwargs_digest(point.kwargs)
+        assert record.duration_s is not None and record.duration_s >= 0.0
+
+    def test_uncacheable_points_counted(self, tmp_path):
+        def tuple_row_point(value):
+            return PointResult(rows=[{"pair": (value, value + 1)}])
+
+        cache = str(tmp_path / "store")
+        point = SweepPoint(spec="test", point_id="p", func=tuple_row_point,
+                           kwargs={"value": 4})
+        outcome = SweepRunner(cache_dir=cache).run_points([point])
+        assert outcome.points_uncacheable == 1
+        assert outcome.stats.get("harness.points_uncacheable") == 1
+        cacheable = SweepRunner(cache_dir=cache).run_points(_points([5]))
+        assert cacheable.points_uncacheable == 0
+        assert cacheable.stats.get("harness.points_uncacheable") == 0
+        assert "harness.points_uncacheable" not in cacheable.stats
