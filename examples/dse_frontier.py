@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space exploration through ``repro.dse``: a tiny Pareto frontier.
+
+The paper's CCSVM chip is one point in a large memory-hierarchy space;
+``repro.dse`` searches that space.  This script explores a deliberately
+tiny slice of it — MTTOP L1 size x shared-L2 size on the scaled-down
+``ccsvm-small`` preset, running a small matmul — under an SRAM budget,
+and prints the (time, SRAM) Pareto frontier:
+
+* the **space** is pure data: two typed axes over dotted config paths,
+  a fidelity ladder over the matmul size (successive halving's rungs);
+* the **budget** prunes the biggest shapes before any simulation;
+* **successive halving** measures every surviving shape at the low
+  fidelity rung, keeps the better half, and cancels in-flight points of
+  eliminated shapes the moment the cut is decided;
+* the **frontier** is the set of shapes nothing else beats on both time
+  and SRAM at once.
+
+The equivalent shell form (spaces usually live in TOML files)::
+
+    python -m repro dse --space shapes.toml --strategy halving \
+        --budget sram=256KiB --objective time --cost sram
+
+Run with::
+
+    PYTHONPATH=src python examples/dse_frontier.py
+"""
+
+from repro.dse import (
+    Budget,
+    CategoricalAxis,
+    Explorer,
+    Fidelity,
+    ShapeSpace,
+    SuccessiveHalving,
+)
+
+KB = 1024
+
+space = ShapeSpace(
+    name="dse-example",
+    workload="matmul",
+    system="ccsvm-small",
+    axes=(
+        CategoricalAxis("mttop.l1_size_bytes", (4 * KB, 8 * KB)),
+        CategoricalAxis("l2.total_size_bytes", (64 * KB, 128 * KB, 256 * KB)),
+    ),
+    fidelity=Fidelity(param="size", values=(4, 8)),
+)
+
+# 6 shapes declared; the budget prunes those whose total on-chip SRAM
+# (L1s + L2 + TLBs) cannot fit — without simulating them.
+explorer = Explorer(space,
+                    budget=Budget(sram_bytes=256 * KB),
+                    objective="time_ms", cost="sram_bytes")
+exploration = explorer.explore(SuccessiveHalving(eta=2))
+
+print(exploration.result.render(
+    title="matmul on ccsvm-small: time vs on-chip SRAM"))
+stats = exploration.stats
+print(f"\n{stats.shapes_total} shapes declared, "
+      f"{stats.shapes_pruned} pruned by the budget, "
+      f"{stats.points_simulated} points simulated, "
+      f"{stats.points_cancelled} cancelled early")
+for pruned in exploration.pruned:
+    print(f"  pruned {pruned.shape.shape_id}: {pruned.reason}")

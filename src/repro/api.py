@@ -501,6 +501,20 @@ class ResultSet:
         """The values of one column across all rows."""
         return [row[name] for row in self.rows if name in row]
 
+    def sorted(self, *names: str) -> "ResultSet":
+        """Rows sorted by the given columns, per group (stable).
+
+        Missing columns sort before present ones, so heterogeneous rows
+        keep a deterministic order (the DSE frontier sorts its rows by
+        cost then objective this way).
+        """
+        def key(row: Dict[str, object]):
+            return tuple((name in row, row.get(name)) for name in names)
+
+        return ResultSet(groups={group: sorted(rows, key=key)
+                                 for group, rows in self.groups.items()},
+                         stats=dict(self.stats))
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.coherence.protocol import CoherentMemorySystem, L2Bank
-from repro.config import CCSVMSystemConfig, ccsvm_system
+from repro.config import CCSVMSystemConfig, ConfigurationError, ccsvm_system
 from repro.core.access import CoreMemoryPort
 from repro.mem.assemble import build_ccsvm_l1, build_l2_banks, build_l3_level
 from repro.core.consistency import SequentialConsistencyChecker
@@ -87,6 +87,17 @@ class CCSVMChip:
                  engine_scheduler: str = "heap",
                  fast_access_path: bool = True) -> None:
         self.config = config if config is not None else ccsvm_system()
+        if self.config.mttop.write_through:
+            # The config field exists (the paper discusses write-through
+            # MTTOP L1s as an open challenge, Section 6.1) but every
+            # modeled transaction path assumes write-back caches (Section
+            # 3.2.2).  Refuse to build rather than silently simulate the
+            # wrong machine.
+            raise ConfigurationError(
+                "mttop.write_through=true is not modeled: the simulated "
+                "CCSVM chip implements write-back MTTOP L1s only (paper "
+                "Section 3.2.2); write-through L1s are an unimplemented "
+                "feature")
         self.fast_access_path = fast_access_path
         self.stats = StatsRegistry()
         self.engine = Engine(max_steps=max_engine_steps,

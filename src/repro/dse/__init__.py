@@ -1,0 +1,91 @@
+"""``repro.dse`` — budget-aware design-space exploration.
+
+The paper compares exactly two machines; PR 5 turned their memory
+hierarchies into pure configuration, and this package turns that
+configuration into a *searchable space*:
+
+- :mod:`repro.dse.budget` — SRAM/area/latency cost model and
+  admissibility ceilings that prune unbuildable or over-budget shapes
+  before any simulation.
+- :mod:`repro.dse.space` — typed axes (categorical, sized, boolean) over
+  dotted config paths; every shape becomes an ordinary one-point
+  :class:`repro.api.Scenario`, never per-shape code.
+- :mod:`repro.dse.search` — grid, seeded-random and successive-halving
+  strategies over an :class:`~repro.dse.search.Explorer` that serves
+  measurements from the :mod:`repro.store` cache and cancels dominated
+  in-flight points through the streaming backend API.
+- :mod:`repro.dse.frontier` — Pareto extraction over (objective, cost),
+  returned as a typed :class:`repro.api.ResultSet`.
+
+The CLI front door is ``repro dse --space shapes.toml --strategy
+halving --budget sram=4MiB``; see ``examples/dse_frontier.py`` for the
+library API.
+"""
+
+from repro.dse.budget import (
+    Admissibility,
+    Budget,
+    BudgetError,
+    LevelCost,
+    SramLevel,
+    area_mm2,
+    latency_ns,
+    sram_bytes,
+    sram_levels,
+)
+from repro.dse.frontier import FrontierError, frontier_result, pareto
+from repro.dse.search import (
+    DseError,
+    Exploration,
+    ExploreStats,
+    Explorer,
+    GridSearch,
+    PrunedShape,
+    RandomSearch,
+    STRATEGY_NAMES,
+    SuccessiveHalving,
+    create_strategy,
+)
+from repro.dse.space import (
+    BoolAxis,
+    CategoricalAxis,
+    Fidelity,
+    Shape,
+    ShapeSpace,
+    SizeAxis,
+    SpaceError,
+    space_from_file,
+)
+
+__all__ = [
+    "Admissibility",
+    "BoolAxis",
+    "Budget",
+    "BudgetError",
+    "CategoricalAxis",
+    "DseError",
+    "Exploration",
+    "ExploreStats",
+    "Explorer",
+    "Fidelity",
+    "FrontierError",
+    "GridSearch",
+    "LevelCost",
+    "PrunedShape",
+    "RandomSearch",
+    "STRATEGY_NAMES",
+    "Shape",
+    "ShapeSpace",
+    "SizeAxis",
+    "SpaceError",
+    "SramLevel",
+    "SuccessiveHalving",
+    "area_mm2",
+    "create_strategy",
+    "frontier_result",
+    "latency_ns",
+    "pareto",
+    "space_from_file",
+    "sram_bytes",
+    "sram_levels",
+]

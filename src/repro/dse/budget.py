@@ -1,0 +1,276 @@
+"""Budget model for design-space exploration: SRAM, area and latency costs.
+
+The paper's two machines are single points in a much larger
+memory-hierarchy space; exploring it means knowing which shapes are even
+*buildable* before burning simulation time on them.  Following the lumos
+``HeterogSys`` pattern (a system budget — area, power, bandwidth — that
+constrains which core mixes are admissible), this module prices a
+configuration's on-chip SRAM:
+
+- :func:`sram_levels` enumerates every SRAM structure of a
+  :class:`~repro.config.CCSVMSystemConfig` or
+  :class:`~repro.config.APUSystemConfig` — per-core L1s, the shared L2
+  (or private L2s), the optional L3, GPU local stores, TLB arrays — as
+  typed :class:`SramLevel` records;
+- :class:`LevelCost` turns a level into mm² (linear in capacity with an
+  associativity penalty) and an access-latency estimate (logarithmic in
+  capacity: each doubling adds decode/wordline depth);
+- :class:`Budget` holds the chip-wide ceilings (total SRAM bytes, area)
+  and :meth:`Budget.check` returns a typed :class:`Admissibility` verdict
+  — the pruning gate the search strategies consult *before* any point is
+  dispatched.
+
+Costs are deliberately simple analytical functions (this is a behavioural
+simulator, not a floorplanner); what matters for the search is that they
+are deterministic, monotone in capacity, and cheap enough to evaluate for
+every shape in a space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import (
+    KB,
+    MB,
+    APUSystemConfig,
+    CCSVMSystemConfig,
+    parse_size,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "TLB_ENTRY_BYTES",
+    "Admissibility",
+    "Budget",
+    "BudgetError",
+    "LevelCost",
+    "SramLevel",
+    "area_mm2",
+    "latency_ns",
+    "sram_bytes",
+    "sram_levels",
+]
+
+
+class BudgetError(ReproError):
+    """A budget declaration or admissibility query was invalid."""
+
+
+#: Bytes one TLB entry occupies (virtual tag + physical frame + flags).
+TLB_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SramLevel:
+    """One SRAM structure of a system configuration.
+
+    ``size_bytes`` is the capacity of a single instance; ``instances``
+    counts how many the chip carries (e.g. one L1 per core).
+    """
+
+    name: str             #: dotted label, e.g. ``"cpu.l1"`` or ``"l2"``
+    size_bytes: int       #: capacity per instance
+    associativity: int    #: set associativity (1 for direct-mapped arrays)
+    instances: int = 1    #: copies of this structure on the chip
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity across every instance."""
+        return self.size_bytes * self.instances
+
+
+@dataclass(frozen=True)
+class LevelCost:
+    """Per-level cost functions: capacity → area, capacity → latency.
+
+    Area grows linearly with capacity (``sram_mm2_per_mib``) with a small
+    relative penalty per extra way (comparators, wider tag arrays);
+    latency grows with ``log2`` of the capacity (every doubling adds one
+    stage of decode/wordline depth).  The defaults are loosely calibrated
+    to a ~32 nm node — the A8-3850's — but the *absolute* numbers matter
+    far less than the ordering they induce over shapes.
+    """
+
+    sram_mm2_per_mib: float = 1.2       #: SRAM array area per MiB
+    assoc_penalty_per_way: float = 0.02  #: relative area per way beyond 1
+    latency_base_ns: float = 0.3        #: access latency of a tiny array
+    latency_ns_per_doubling: float = 0.12  #: added per capacity doubling
+
+    def level_area_mm2(self, level: SramLevel) -> float:
+        """Area of every instance of ``level``, in mm²."""
+        mib = level.size_bytes / MB
+        ways = max(level.associativity - 1, 0)
+        scale = 1.0 + self.assoc_penalty_per_way * ways
+        return level.instances * mib * self.sram_mm2_per_mib * scale
+
+    def level_latency_ns(self, level: SramLevel) -> float:
+        """Estimated access latency of one instance of ``level``, in ns."""
+        doublings = math.log2(max(level.size_bytes / KB, 1.0))
+        return self.latency_base_ns \
+            + self.latency_ns_per_doubling * max(doublings, 0.0)
+
+
+def sram_levels(config: object) -> Tuple[SramLevel, ...]:
+    """Every SRAM structure of ``config``, in a stable declaration order.
+
+    Understands both of the paper's system shapes; any other configuration
+    type raises :class:`BudgetError` (the budget model prices memory
+    hierarchies, not arbitrary dataclasses).
+    """
+    levels: List[SramLevel] = []
+    if isinstance(config, CCSVMSystemConfig):
+        levels.append(SramLevel("cpu.l1", config.cpu.l1_size_bytes,
+                                config.cpu.l1_associativity,
+                                config.cpu.count))
+        levels.append(SramLevel("mttop.l1", config.mttop.l1_size_bytes,
+                                config.mttop.l1_associativity,
+                                config.mttop.count))
+        levels.append(SramLevel("l2", config.l2.total_size_bytes,
+                                config.l2.associativity))
+        if config.l3.enabled:
+            levels.append(SramLevel("l3", config.l3.total_size_bytes,
+                                    config.l3.associativity))
+        if config.tlb_enabled:
+            levels.append(SramLevel(
+                "cpu.tlb", config.cpu.tlb_entries * TLB_ENTRY_BYTES, 1,
+                config.cpu.count))
+            levels.append(SramLevel(
+                "mttop.tlb", config.mttop.tlb_entries * TLB_ENTRY_BYTES, 1,
+                config.mttop.count))
+        return tuple(levels)
+    if isinstance(config, APUSystemConfig):
+        levels.append(SramLevel("cpu.l1", config.cpu.l1_size_bytes,
+                                config.cpu.l1_associativity,
+                                config.cpu.count))
+        l2_instances = 1 if config.cpu.l2_shared else config.cpu.count
+        levels.append(SramLevel("cpu.l2", config.cpu.l2_size_bytes,
+                                config.cpu.l2_associativity, l2_instances))
+        levels.append(SramLevel("gpu.local", config.gpu.local_memory_bytes,
+                                1, config.gpu.simd_units))
+        levels.append(SramLevel(
+            "cpu.tlb", config.cpu.tlb_entries * TLB_ENTRY_BYTES, 1,
+            config.cpu.count))
+        return tuple(levels)
+    raise BudgetError(
+        f"cannot price SRAM of a {type(config).__name__}; expected a "
+        "CCSVMSystemConfig or APUSystemConfig")
+
+
+def sram_bytes(config: object) -> int:
+    """Total on-chip SRAM of ``config``, in bytes."""
+    return sum(level.total_bytes for level in sram_levels(config))
+
+
+def area_mm2(config: object, cost: Optional[LevelCost] = None) -> float:
+    """Total SRAM area of ``config``, in mm²."""
+    cost = cost or LevelCost()
+    return sum(cost.level_area_mm2(level) for level in sram_levels(config))
+
+
+def latency_ns(config: object, cost: Optional[LevelCost] = None) -> float:
+    """Summed per-level access-latency estimate of ``config``, in ns.
+
+    A scalar proxy for how *deep* the hierarchy is: a hit walks one level,
+    a miss walks several, so the sum over levels bounds the walk and
+    orders shapes by their worst-case on-chip traversal.
+    """
+    cost = cost or LevelCost()
+    return sum(cost.level_latency_ns(level) for level in sram_levels(config))
+
+
+@dataclass(frozen=True)
+class Admissibility:
+    """The verdict of one budget check, with the measured costs."""
+
+    admissible: bool
+    sram_bytes: int
+    area_mm2: float
+    reason: Optional[str] = None  #: set when inadmissible
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Chip-wide ceilings a shape must fit under to be simulated at all.
+
+    ``None`` ceilings are unconstrained; an empty budget admits every
+    shape (but still prices it, so cost metrics stay available to the
+    frontier).
+    """
+
+    sram_bytes: Optional[int] = None  #: total on-chip SRAM ceiling
+    area_mm2: Optional[float] = None  #: total SRAM area ceiling (mm²)
+    cost: LevelCost = field(default_factory=LevelCost)
+
+    #: The keys :meth:`parse` accepts on the ``--budget`` flag.
+    KEYS = ("sram", "area")
+
+    @classmethod
+    def parse(cls, pairs: Sequence[str],
+              cost: Optional[LevelCost] = None) -> "Budget":
+        """Build a budget from CLI pairs like ``["sram=4MiB", "area=50"]``.
+
+        Each element may itself be comma-separated (``"sram=4MiB,area=50"``)
+        so the flag works both repeated and inline.  ``sram`` values take
+        the usual size suffixes (:func:`repro.config.parse_size`); ``area``
+        is mm² as a plain number.
+        """
+        values: dict = {}
+        for chunk in pairs:
+            for pair in chunk.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                key, sep, value = pair.partition("=")
+                key = key.strip().lower()
+                if not sep or not key or key not in cls.KEYS:
+                    raise BudgetError(
+                        f"--budget expects KEY=VALUE with KEY one of "
+                        f"{', '.join(cls.KEYS)}; got {pair!r}")
+                try:
+                    if key == "sram":
+                        values["sram_bytes"] = parse_size(value)
+                    else:
+                        values["area_mm2"] = float(value)
+                except ValueError:
+                    raise BudgetError(
+                        f"--budget {key}: cannot parse {value!r}") from None
+        return cls(cost=cost or LevelCost(), **values)
+
+    def describe(self) -> str:
+        """A short human-readable rendering (for summaries and errors)."""
+        parts = []
+        if self.sram_bytes is not None:
+            parts.append(f"sram<={self.sram_bytes / KB:.0f}KiB")
+        if self.area_mm2 is not None:
+            parts.append(f"area<={self.area_mm2:g}mm2")
+        return ",".join(parts) or "unconstrained"
+
+    def check(self, config: object) -> Admissibility:
+        """Price ``config`` and test it against every ceiling."""
+        total = sram_bytes(config)
+        area = area_mm2(config, self.cost)
+        if self.sram_bytes is not None and total > self.sram_bytes:
+            return Admissibility(
+                False, total, area,
+                reason=f"total SRAM {total / KB:.0f}KiB exceeds the "
+                       f"budget's {self.sram_bytes / KB:.0f}KiB")
+        if self.area_mm2 is not None and area > self.area_mm2:
+            return Admissibility(
+                False, total, area,
+                reason=f"SRAM area {area:.2f}mm2 exceeds the budget's "
+                       f"{self.area_mm2:g}mm2")
+        return Admissibility(True, total, area)
+
+
+def costs(config: object,
+          cost: Optional[LevelCost] = None) -> Mapping[str, object]:
+    """Every cost metric of ``config``, keyed by frontier column name."""
+    cost = cost or LevelCost()
+    return {
+        "sram_bytes": sram_bytes(config),
+        "area_mm2": round(area_mm2(config, cost), 4),
+        "latency_ns": round(latency_ns(config, cost), 4),
+    }

@@ -1,0 +1,81 @@
+"""Pareto-frontier extraction over (performance, cost) measurements.
+
+The output of a design-space search is not "the best shape" — with two
+objectives there rarely is one — but the set of shapes no other shape
+beats on *both* axes at once.  :func:`pareto` partitions measurement
+rows into that frontier and the dominated remainder;
+:func:`frontier_result` wraps the partition as a typed
+:class:`repro.api.ResultSet` (groups ``frontier`` and, on request,
+``dominated``) so the CLI renders, filters and serialises it exactly
+like any sweep's results.
+
+Both metrics are minimised.  Domination is strict: row *b* dominates
+row *a* iff ``b.objective <= a.objective`` and ``b.cost <= a.cost`` with
+at least one strict inequality — so ties survive together on the
+frontier rather than knocking each other out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.api import ResultSet
+from repro.errors import ReproError
+
+__all__ = ["FrontierError", "frontier_result", "pareto"]
+
+
+class FrontierError(ReproError):
+    """Frontier extraction was asked for columns the rows do not carry."""
+
+
+def _metric(row: Dict[str, object], column: str) -> float:
+    try:
+        value = row[column]
+    except KeyError:
+        raise FrontierError(
+            f"measurement row has no {column!r} column; columns: "
+            f"{', '.join(sorted(map(str, row)))}") from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FrontierError(
+            f"frontier metric {column!r} must be numeric, got "
+            f"{type(value).__name__} ({value!r})")
+    return float(value)
+
+
+def _dominates(b: Tuple[float, float], a: Tuple[float, float]) -> bool:
+    return b[0] <= a[0] and b[1] <= a[1] and (b[0] < a[0] or b[1] < a[1])
+
+
+def pareto(rows: Sequence[Dict[str, object]], objective: str, cost: str
+           ) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Split ``rows`` into (frontier, dominated), both metrics minimised.
+
+    The frontier is sorted by (cost, objective, original position) —
+    cheapest first, so rendered frontiers read as a price ladder; the
+    dominated rows keep their original order.  Input order only breaks
+    exact metric ties, so the partition is deterministic for any
+    deterministic measurement set.
+    """
+    metrics = [( _metric(row, objective), _metric(row, cost))
+               for row in rows]
+    frontier: List[Tuple[float, float, int]] = []
+    dominated: List[Dict[str, object]] = []
+    for position, point in enumerate(metrics):
+        if any(_dominates(other, point)
+               for index, other in enumerate(metrics) if index != position):
+            dominated.append(rows[position])
+        else:
+            frontier.append((point[1], point[0], position))
+    frontier.sort()
+    return [rows[position] for _, _, position in frontier], dominated
+
+
+def frontier_result(rows: Sequence[Dict[str, object]], objective: str,
+                    cost: str, include_dominated: bool = False) -> ResultSet:
+    """Wrap the Pareto partition of ``rows`` as a typed :class:`ResultSet`."""
+    front, rest = pareto(rows, objective, cost)
+    groups: Dict[str, List[Dict[str, object]]] = {"frontier": front}
+    if include_dominated:
+        groups["dominated"] = rest
+    return ResultSet(groups=groups)

@@ -1,0 +1,563 @@
+"""Search strategies over a shape space: grid, random, successive halving.
+
+The :class:`Explorer` is the coordinator: it prunes inadmissible shapes
+against the :class:`~repro.dse.budget.Budget` *before* any simulation,
+serves every (shape, fidelity) measurement from the
+:mod:`repro.store` result store when it can, dispatches the rest through
+an ordinary :class:`~repro.harness.backends.ExecutionBackend`, and
+stamps each fresh result with provenance exactly like
+:class:`~repro.harness.runner.SweepRunner` does — a DSE point and a
+sweep point are indistinguishable in the cache.
+
+Three strategies:
+
+- :class:`GridSearch` measures every admissible shape at full fidelity.
+- :class:`RandomSearch` measures a seeded sample of them.
+- :class:`SuccessiveHalving` climbs the space's fidelity ladder,
+  keeping the best ``ceil(n / eta)`` shapes per rung.  It consumes the
+  backend's streaming ``run_iter`` results and, the moment every
+  measurement it still *needs* has resolved, calls ``backend.cancel()``
+  — in-flight points of eliminated shapes are abandoned, which is the
+  entire payoff of PR 7's cancellable backend API.  Each rung's batch
+  also carries *speculative* next-rung points for the current
+  survivors, so the next rung is usually already warm when the cut is
+  decided.
+
+Determinism: a rung's cut depends only on the complete set of rung
+scores (ties broken by shape index), never on completion order, and
+speculative results of eliminated shapes are discarded from ranking
+even when they happened to complete — so the frontier is byte-identical
+across backends, worker counts and cancel timing.  Warm reruns serve
+every needed point from the store and dispatch nothing at all.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import ResultSet
+from repro.dse.budget import Budget, costs as budget_costs
+from repro.dse.frontier import frontier_result
+from repro.dse.space import Shape, ShapeSpace
+from repro.errors import ReproError
+from repro.harness.backends import (
+    ExecutionBackend,
+    PointFailure,
+    SerialBackend,
+)
+from repro.harness.spec import PointResult, SweepPoint, point_func_ref
+from repro.store import (
+    FileStore,
+    Provenance,
+    ResultStore,
+    StoreEntry,
+    kwargs_digest,
+    point_cache_key,
+)
+
+__all__ = [
+    "DseError",
+    "Exploration",
+    "ExploreStats",
+    "Explorer",
+    "GridSearch",
+    "PrunedShape",
+    "RandomSearch",
+    "STRATEGY_NAMES",
+    "SuccessiveHalving",
+    "create_strategy",
+]
+
+
+class DseError(ReproError):
+    """A design-space exploration was declared or executed inconsistently."""
+
+
+@dataclass
+class PrunedShape:
+    """A shape the explorer refused to simulate, and why."""
+
+    shape: Shape
+    reason: str
+
+
+@dataclass
+class ExploreStats:
+    """Counters one exploration accumulated (rendered by ``--stats``)."""
+
+    shapes_total: int = 0
+    shapes_pruned: int = 0       #: inadmissible/unbuildable, never simulated
+    points_cached: int = 0       #: needed measurements served by the store
+    points_simulated: int = 0    #: measurements actually executed
+    points_cancelled: int = 0    #: dispatched but abandoned by cancel()
+    points_discarded: int = 0    #: completed speculatively, shape eliminated
+    cancels: int = 0             #: backend.cancel() calls issued
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f"dse.{name}": value
+                for name, value in vars(self).items()}
+
+
+@dataclass
+class _ShapeState:
+    """One admissible shape with its built config and cost metrics."""
+
+    shape: Shape
+    config: object
+    costs: Dict[str, object]
+
+
+@dataclass
+class Exploration:
+    """Everything one exploration produced."""
+
+    result: ResultSet            #: frontier (and optionally dominated) rows
+    rows: List[Dict[str, object]]  #: every final measurement row
+    pruned: List[PrunedShape]
+    stats: ExploreStats
+
+
+def _score(row: Dict[str, object], objective: str) -> float:
+    try:
+        value = row[objective]
+    except KeyError:
+        raise DseError(
+            f"measurement row has no objective column {objective!r}; "
+            f"columns: {', '.join(sorted(map(str, row)))}") from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DseError(
+            f"objective {objective!r} must be numeric, got "
+            f"{type(value).__name__} ({value!r})")
+    return float(value)
+
+
+class Explorer:
+    """Budget-aware measurement coordinator for one shape space.
+
+    Parameters
+    ----------
+    space:
+        The :class:`~repro.dse.space.ShapeSpace` to explore.
+    budget:
+        Admissibility ceilings; the default admits every buildable shape
+        (shapes whose configuration will not even construct — unknown
+        override path, invalid field value — are always pruned).
+    objective:
+        Result-row column to minimise (``time_ms``, ``dram_accesses``).
+    cost:
+        Cost metric to minimise, one of the :func:`repro.dse.budget.costs`
+        keys (``sram_bytes``, ``area_mm2``, ``latency_ns``).
+    backend:
+        Execution backend for fresh points (default: serial).
+    store / cache_dir:
+        The result store warm searches read and every fresh measurement
+        is written to (``store`` wins; ``None``/``None`` disables
+        persistence, mainly for tests).
+    """
+
+    def __init__(self, space: ShapeSpace, budget: Optional[Budget] = None,
+                 objective: str = "time_ms", cost: str = "sram_bytes",
+                 backend: Optional[ExecutionBackend] = None,
+                 store: Optional[ResultStore] = None,
+                 cache_dir: Optional[str] = None) -> None:
+        self.space = space
+        self.budget = budget if budget is not None else Budget()
+        self.objective = objective
+        valid_costs = ("sram_bytes", "area_mm2", "latency_ns")
+        if cost not in valid_costs:
+            raise DseError(f"unknown cost metric {cost!r}; valid metrics: "
+                           f"{', '.join(valid_costs)}")
+        self.cost = cost
+        self.backend = backend if backend is not None else SerialBackend()
+        if store is None and cache_dir is not None:
+            store = FileStore(cache_dir)
+        self.store = store
+        self.stats = ExploreStats()
+        self._points: Dict[Tuple[int, Optional[int]], SweepPoint] = {}
+
+    # ------------------------------------------------------------------ #
+    # Admissibility
+    # ------------------------------------------------------------------ #
+    def admissible(self) -> Tuple[List[_ShapeState], List[PrunedShape]]:
+        """Split the space's shapes into buildable-and-in-budget vs pruned.
+
+        Pruning happens entirely from configuration dataclasses — no
+        point is dispatched, no workload runs — which is the budget
+        model's whole purpose.
+        """
+        states: List[_ShapeState] = []
+        pruned: List[PrunedShape] = []
+        for shape in self.space.shapes():
+            try:
+                config = self.space.config(shape)
+            except ReproError as error:
+                pruned.append(PrunedShape(shape, f"unbuildable: {error}"))
+                continue
+            try:
+                verdict = self.budget.check(config)
+            except ReproError as error:
+                pruned.append(PrunedShape(shape, str(error)))
+                continue
+            if not verdict.admissible:
+                pruned.append(PrunedShape(shape, verdict.reason or
+                                          "over budget"))
+                continue
+            states.append(_ShapeState(shape, config,
+                                      dict(budget_costs(config,
+                                                        self.budget.cost))))
+        self.stats.shapes_total = len(states) + len(pruned)
+        self.stats.shapes_pruned = len(pruned)
+        return states, pruned
+
+    # ------------------------------------------------------------------ #
+    # Store plumbing (mirrors SweepRunner's, point for point)
+    # ------------------------------------------------------------------ #
+    def point_for(self, shape: Shape, rung: Optional[int]) -> SweepPoint:
+        """The sweep point measuring ``shape`` at fidelity rung ``rung``."""
+        key = (shape.index, rung)
+        if key not in self._points:
+            fid_value = None if rung is None \
+                else self.space.fidelity.values[rung]  # type: ignore[union-attr]
+            points = self.space.scenario(shape, fid_value).points()
+            self._points[key] = points[0]
+        return self._points[key]
+
+    def _load(self, point: SweepPoint) -> Optional[Dict[str, object]]:
+        if self.store is None:
+            return None
+        entry = self.store.load(point.spec, point_cache_key(point))
+        if entry is None or not entry.rows:
+            return None
+        return dict(entry.rows[0])
+
+    def _store(self, point: SweepPoint, result: PointResult,
+               worker: Optional[str] = None,
+               duration_s: Optional[float] = None) -> None:
+        if self.store is None:
+            return
+        from repro.harness.runner import point_seed
+
+        provenance = Provenance.collect(
+            spec=point.spec, point_id=point.point_id,
+            func=point_func_ref(point),
+            kwargs_digest=kwargs_digest(point.kwargs),
+            seed=point_seed(point), backend=self.backend.name,
+            worker=worker, duration_s=duration_s)
+        entry = StoreEntry(point_id=point.point_id, rows=result.rows,
+                           stats=result.stats, provenance=provenance)
+        try:
+            self.store.store(point.spec, point_cache_key(point), entry)
+        except OSError:
+            pass  # a full/read-only disk degrades to no caching
+
+    def _point_worker(self, offset: int) -> Optional[str]:
+        workers = getattr(self.backend, "last_point_workers", None)
+        if isinstance(workers, dict):
+            label = workers.get(offset)
+            if isinstance(label, str):
+                return label
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def final_rung(self) -> Optional[int]:
+        """The full-fidelity rung index (``None`` without a ladder)."""
+        if self.space.fidelity is None:
+            return None
+        return len(self.space.fidelity.values) - 1
+
+    def measure(self, states: Sequence[_ShapeState], rung: Optional[int]
+                ) -> Dict[int, Dict[str, object]]:
+        """Measure every state at ``rung``; store-first, one batch for
+        the rest.  Returns rows keyed by shape index."""
+        rows: Dict[int, Dict[str, object]] = {}
+        pending: List[_ShapeState] = []
+        for state in states:
+            row = self._load(self.point_for(state.shape, rung))
+            if row is not None:
+                rows[state.shape.index] = row
+                self.stats.points_cached += 1
+            else:
+                pending.append(state)
+        if not pending:
+            return rows
+        points = [self.point_for(state.shape, rung) for state in pending]
+        self.backend.reset()
+        failure: Optional[DseError] = None
+        seen = 0
+        started = time.monotonic()
+        for offset, result in self.backend.run_iter(points):
+            seen += 1
+            state = pending[offset]
+            if isinstance(result, PointFailure):
+                failure = failure or DseError(
+                    f"shape {state.shape.shape_id!r} failed on the "
+                    f"{self.backend.name} backend: {result.error}")
+                continue
+            self.stats.points_simulated += 1
+            self._store(points[offset], result,
+                        worker=self._point_worker(offset),
+                        duration_s=round(time.monotonic() - started, 6))
+            rows[state.shape.index] = dict(result.rows[0])
+        if failure is not None:
+            raise failure
+        if seen != len(pending):
+            raise DseError(
+                f"the {self.backend.name} backend returned {seen} results "
+                f"for {len(pending)} points")
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Exploration
+    # ------------------------------------------------------------------ #
+    def _row(self, state: _ShapeState,
+             measured: Dict[str, object],
+             fidelity_value: Optional[object]) -> Dict[str, object]:
+        row: Dict[str, object] = {"system": state.shape.system}
+        for path, value in state.shape.settings:
+            if path != "system":
+                row[path] = value
+        if self.space.fidelity is not None and fidelity_value is not None:
+            row[self.space.fidelity.param] = fidelity_value
+        row[self.objective] = _score(measured, self.objective)
+        row[self.cost] = state.costs[self.cost]
+        return row
+
+    def explore(self, strategy: "SearchStrategy",
+                include_dominated: bool = False) -> Exploration:
+        """Run ``strategy`` over the space and extract the Pareto frontier."""
+        states, pruned = self.admissible()
+        if not states:
+            reasons = "; ".join(f"{p.shape.shape_id}: {p.reason}"
+                                for p in pruned[:5])
+            raise DseError(
+                f"no admissible shape in space {self.space.name!r} under "
+                f"budget {self.budget.describe()} "
+                f"({len(pruned)} pruned: {reasons})")
+        rung = self.final_rung()
+        fidelity_value = None if rung is None \
+            else self.space.fidelity.values[rung]  # type: ignore[union-attr]
+        selected = strategy.run(self, states)
+        rows = [self._row(state, measured, fidelity_value)
+                for state, measured in selected]
+        result = frontier_result(rows, self.objective, self.cost,
+                                 include_dominated=include_dominated)
+        result.stats = self.stats.to_dict()
+        return Exploration(result=result, rows=rows, pruned=pruned,
+                           stats=self.stats)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+class SearchStrategy:
+    """Protocol: pick shapes and return their full-fidelity measurements.
+
+    ``run`` receives the admissible shape states (in shape-index order)
+    and returns ``(state, measured_row)`` pairs — the measurements the
+    frontier is computed over, always at the space's highest fidelity.
+    """
+
+    name = "strategy"
+
+    def run(self, explorer: Explorer, states: List[_ShapeState]
+            ) -> List[Tuple[_ShapeState, Dict[str, object]]]:
+        raise NotImplementedError
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive: measure every admissible shape at full fidelity."""
+
+    name = "grid"
+
+    def run(self, explorer: Explorer, states: List[_ShapeState]
+            ) -> List[Tuple[_ShapeState, Dict[str, object]]]:
+        rung = explorer.final_rung()
+        rows = explorer.measure(states, rung)
+        return [(state, rows[state.shape.index]) for state in states]
+
+
+class RandomSearch(SearchStrategy):
+    """Measure a seeded uniform sample of the admissible shapes.
+
+    The sample depends only on ``seed`` and the admissible shape count,
+    so a fixed seed reproduces the exact same subset (and frontier) on
+    every run, warm or cold.
+    """
+
+    name = "random"
+
+    def __init__(self, samples: int, seed: int = 0) -> None:
+        if samples < 1:
+            raise DseError(f"random search needs samples >= 1, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def run(self, explorer: Explorer, states: List[_ShapeState]
+            ) -> List[Tuple[_ShapeState, Dict[str, object]]]:
+        count = min(self.samples, len(states))
+        chosen = sorted(random.Random(self.seed).sample(range(len(states)),
+                                                        count))
+        picked = [states[index] for index in chosen]
+        rung = explorer.final_rung()
+        rows = explorer.measure(picked, rung)
+        return [(state, rows[state.shape.index]) for state in picked]
+
+
+class SuccessiveHalving(SearchStrategy):
+    """Early-stopping search up the space's fidelity ladder.
+
+    Every surviving shape is measured at each rung; after each non-final
+    rung only the best ``ceil(n / eta)`` (by objective, ties broken by
+    shape index) are promoted.  A rung's dispatch batch front-loads the
+    rung's own missing measurements and *speculatively* appends the
+    survivors' next-rung points; once every measurement the cut still
+    needs has resolved, the backend is cancelled — points belonging to
+    eliminated shapes stop mid-flight instead of burning simulation
+    time.  Speculative results that did complete are stored (warming
+    later searches) but never influence the current ranking.
+    """
+
+    name = "halving"
+
+    def __init__(self, eta: int = 2) -> None:
+        if eta < 2:
+            raise DseError(f"halving needs eta >= 2, got {eta}")
+        self.eta = eta
+
+    def run(self, explorer: Explorer, states: List[_ShapeState]
+            ) -> List[Tuple[_ShapeState, Dict[str, object]]]:
+        if explorer.space.fidelity is None:
+            raise DseError(
+                f"successive halving needs a fidelity ladder; space "
+                f"{explorer.space.name!r} declares none (add a [fidelity] "
+                "table, or use --strategy grid/random)")
+        rung_count = len(explorer.space.fidelity.values)
+        survivors = list(states)
+        scores: Dict[int, Dict[str, object]] = {}
+        for rung in range(rung_count):
+            last = rung == rung_count - 1
+            scores = self._run_rung(explorer, survivors, rung, last)
+            if not last:
+                survivors = self._cut(explorer, survivors, scores)
+        return [(state, scores[state.shape.index]) for state in survivors]
+
+    # ------------------------------------------------------------------ #
+    def _cut(self, explorer: Explorer, survivors: List[_ShapeState],
+             scores: Dict[int, Dict[str, object]]) -> List[_ShapeState]:
+        keep = max(1, math.ceil(len(survivors) / self.eta))
+        ranked = sorted(
+            survivors,
+            key=lambda state: (_score(scores[state.shape.index],
+                                      explorer.objective),
+                               state.shape.index))
+        kept = {state.shape.index for state in ranked[:keep]}
+        # Preserve shape-index order so every later batch is ordered
+        # identically no matter how this rung's results arrived.
+        return [state for state in survivors if state.shape.index in kept]
+
+    def _run_rung(self, explorer: Explorer, survivors: List[_ShapeState],
+                  rung: int, last: bool) -> Dict[int, Dict[str, object]]:
+        scores: Dict[int, Dict[str, object]] = {}
+        missing: List[_ShapeState] = []
+        for state in survivors:
+            row = explorer._load(explorer.point_for(state.shape, rung))
+            if row is not None:
+                scores[state.shape.index] = row
+                explorer.stats.points_cached += 1
+            else:
+                missing.append(state)
+        if not missing:
+            # Fully warm rung: nothing dispatched, nothing to cancel.
+            return scores
+
+        # The batch: this rung's missing points first, then speculative
+        # next-rung points for every current survivor (they resolve to
+        # cache hits on the next rung if their shape is promoted).
+        batch: List[Tuple[_ShapeState, int]] = [(state, rung)
+                                                for state in missing]
+        if not last:
+            for state in survivors:
+                if explorer._load(explorer.point_for(state.shape,
+                                                     rung + 1)) is None:
+                    batch.append((state, rung + 1))
+        points = [explorer.point_for(state.shape, point_rung)
+                  for state, point_rung in batch]
+
+        explorer.backend.reset()
+        resolved: set = set()
+        needed: Optional[set] = None if not last else set(range(len(missing)))
+        kept_indices: Optional[set] = None
+        cancelled = False
+        started = time.monotonic()
+        for offset, result in explorer.backend.run_iter(points):
+            resolved.add(offset)
+            state, point_rung = batch[offset]
+            if isinstance(result, PointFailure):
+                if point_rung == rung:
+                    explorer.backend.cancel()
+                    raise DseError(
+                        f"shape {state.shape.shape_id!r} failed on the "
+                        f"{explorer.backend.name} backend at fidelity rung "
+                        f"{rung}: {result.error}")
+                # A speculative failure only matters if the shape is
+                # promoted — and then the next rung re-dispatches the
+                # point and fails it as a needed one.
+                continue
+            explorer.stats.points_simulated += 1
+            explorer._store(points[offset], result,
+                            worker=explorer._point_worker(offset),
+                            duration_s=round(time.monotonic() - started, 6))
+            if point_rung == rung:
+                scores[state.shape.index] = dict(result.rows[0])
+            if needed is None and len(scores) == len(survivors):
+                # Every rung score is in: the cut is decided; all that
+                # is still needed are the promoted shapes' speculative
+                # points already in this batch.
+                kept_indices = {
+                    kept.shape.index
+                    for kept in self._cut(explorer, survivors, scores)}
+                needed = {index for index, (entry_state, entry_rung)
+                          in enumerate(batch)
+                          if entry_rung == rung
+                          or entry_state.shape.index in kept_indices}
+            if needed is not None and not cancelled \
+                    and needed <= resolved and len(resolved) < len(points):
+                explorer.backend.cancel()
+                explorer.stats.cancels += 1
+                cancelled = True
+        explorer.stats.points_cancelled += len(points) - len(resolved)
+        if kept_indices is not None:
+            explorer.stats.points_discarded += sum(
+                1 for index in resolved
+                if batch[index][1] != rung
+                and batch[index][0].shape.index not in kept_indices)
+        if len(scores) != len(survivors):
+            raise DseError(
+                f"the {explorer.backend.name} backend stopped after "
+                f"{len(resolved)} of {len(points)} points with fidelity "
+                f"rung {rung} still unmeasured")
+        return scores
+
+
+STRATEGY_NAMES = ("grid", "random", "halving")
+
+
+def create_strategy(name: str, samples: Optional[int] = None,
+                    seed: int = 0, eta: int = 2) -> SearchStrategy:
+    """Build a strategy from CLI-ish parameters (``repro dse --strategy``)."""
+    if name == "grid":
+        return GridSearch()
+    if name == "random":
+        if samples is None:
+            raise DseError("random search needs --samples")
+        return RandomSearch(samples=samples, seed=seed)
+    if name == "halving":
+        return SuccessiveHalving(eta=eta)
+    raise DseError(f"unknown search strategy {name!r}; valid strategies: "
+                   f"{', '.join(STRATEGY_NAMES)}")

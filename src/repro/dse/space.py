@@ -1,0 +1,444 @@
+"""Typed shape spaces: parameter axes that generate Scenarios, not code.
+
+A :class:`ShapeSpace` declares the memory-hierarchy design space to
+explore as *data*: a workload, a base system preset, and a list of typed
+axes — categorical choices, size ranges stepped in KiB/MiB, boolean
+toggles — each addressing a dotted configuration path
+(:func:`repro.config.apply_overrides`).  The cartesian product of the
+axes yields :class:`Shape` s; each shape becomes an ordinary one-point
+:class:`repro.api.Scenario` through the existing preset registry and
+override machinery, so *no per-shape code ever exists* and every
+simulated point flows through the same cache, provenance and backend
+paths as any sweep.
+
+Spaces load from TOML/JSON files (``repro dse --space shapes.toml``)
+through the same document reader scenario files use::
+
+    # shapes.toml
+    name = "l1-vs-l2"
+    workload = "matmul"
+    system = "ccsvm-small"
+
+    [params]
+    size = 8
+
+    [fidelity]
+    param = "size"
+    values = [4, 8]
+
+    [[axes]]
+    path = "mttop.l1_size_bytes"
+    kind = "size"
+    min = "4KiB"
+    max = "16KiB"
+    factor = 2
+
+    [[axes]]
+    path = "l2.total_size_bytes"
+    kind = "categorical"
+    values = ["128KiB", "256KiB"]
+
+The optional ``[fidelity]`` table names one workload parameter with an
+ordered low→high value ladder — the rungs successive halving climbs; the
+full-fidelity (last) value is what grid and random search measure at.
+An axis may also address the special path ``"system"`` to make the
+preset itself a dimension of the space.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api import Scenario
+from repro.config import apply_overrides, override_applies, parse_size
+from repro.errors import ReproError
+from repro.scenario_io import load_document
+from repro.systems import get_system
+
+__all__ = [
+    "BoolAxis",
+    "CategoricalAxis",
+    "Fidelity",
+    "Shape",
+    "ShapeSpace",
+    "SizeAxis",
+    "SpaceError",
+    "space_from_file",
+]
+
+
+class SpaceError(ReproError):
+    """A shape space was declared inconsistently."""
+
+
+#: Axis path that selects the system preset instead of a config field.
+SYSTEM_PATH = "system"
+
+
+@dataclass(frozen=True)
+class CategoricalAxis:
+    """An explicit, ordered list of choices for one dotted path."""
+
+    path: str
+    choices: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise SpaceError(f"axis {self.path!r} has no choices")
+
+    def values(self) -> Tuple[object, ...]:
+        return self.choices
+
+
+@dataclass(frozen=True)
+class SizeAxis:
+    """A byte-size range stepped additively (``step``) or geometrically
+    (``factor``) — exactly one of the two.
+
+    Bounds and step accept the usual size suffixes (``"128KiB"``,
+    ``"4MiB"``) via :func:`repro.config.parse_size`; generated values are
+    plain ints, inclusive of both bounds when the stepping lands on them.
+    """
+
+    path: str
+    minimum: int
+    maximum: int
+    step: Optional[int] = None
+    factor: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.step is None) == (self.factor is None):
+            raise SpaceError(
+                f"size axis {self.path!r} needs exactly one of step=/factor=")
+        if self.minimum <= 0 or self.maximum < self.minimum:
+            raise SpaceError(
+                f"size axis {self.path!r} needs 0 < min <= max, got "
+                f"min={self.minimum}, max={self.maximum}")
+        if self.step is not None and self.step <= 0:
+            raise SpaceError(f"size axis {self.path!r} needs a positive step")
+        if self.factor is not None and self.factor < 2:
+            raise SpaceError(f"size axis {self.path!r} needs factor >= 2")
+
+    def values(self) -> Tuple[int, ...]:
+        sizes: List[int] = []
+        size = self.minimum
+        while size <= self.maximum:
+            sizes.append(size)
+            size = size + self.step if self.step is not None \
+                else size * self.factor
+        return tuple(sizes)
+
+
+@dataclass(frozen=True)
+class BoolAxis:
+    """A boolean toggle: the axis always contributes (False, True)."""
+
+    path: str
+
+    def values(self) -> Tuple[bool, ...]:
+        return (False, True)
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """An ordered low→high ladder over one workload parameter.
+
+    The rungs of successive halving: survivors are re-measured at each
+    successive value, losers are cancelled.  ``full`` (the last value) is
+    the fidelity every strategy's final frontier is measured at.
+    """
+
+    param: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SpaceError("a fidelity ladder needs at least one value")
+        if len(set(map(repr, self.values))) != len(self.values):
+            raise SpaceError("fidelity values must be distinct")
+
+    @property
+    def full(self) -> object:
+        """The highest-fidelity rung."""
+        return self.values[-1]
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One point of the design space: a preset plus concrete axis values.
+
+    ``settings`` keeps every axis assignment in declaration order
+    (including a ``system`` axis, if any); ``overrides`` is the subset
+    that is dotted-path configuration overrides.  ``shape_id`` is the
+    stable human-readable identity used in logs and result rows.
+    """
+
+    index: int
+    system: str
+    settings: Tuple[Tuple[str, object], ...]
+    overrides: Dict[str, object] = field(hash=False)
+    shape_id: str = ""
+
+
+class ShapeSpace:
+    """A declared design space: workload, base system, axes, fidelity.
+
+    Parameters
+    ----------
+    workload:
+        Registry name of the workload every shape runs.
+    system:
+        Base preset name used when no ``system`` axis is declared.
+    axes:
+        The typed axes, in declaration order (the rightmost varies
+        fastest in :meth:`shapes`).
+    params:
+        Fixed workload parameters shared by every shape.
+    overrides:
+        Base dotted-path overrides shared by every shape; paths that do
+        not resolve on a given shape's system are skipped for that shape
+        (heterogeneous spaces), exactly like scenario overrides.
+    fidelity:
+        Optional :class:`Fidelity` ladder (required by halving).
+    seed:
+        Workload input seed shared by every shape.
+    name:
+        Space name — the sweep/cache spec name of every generated point.
+    """
+
+    def __init__(self, workload: str, system: Optional[str] = None,
+                 axes: Sequence[object] = (),
+                 params: Optional[Mapping[str, object]] = None,
+                 overrides: Optional[Mapping[str, object]] = None,
+                 fidelity: Optional[Fidelity] = None,
+                 seed: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        self.workload = workload
+        self.system = system
+        self.axes = tuple(axes)
+        self.params = dict(params or {})
+        self.overrides = dict(overrides or {})
+        self.fidelity = fidelity
+        self.seed = seed
+        self.name = name if name is not None else f"dse-{workload}"
+
+        paths = [getattr(axis, "path", None) for axis in self.axes]
+        if any(path is None for path in paths):
+            raise SpaceError("every axis needs a dotted 'path'")
+        duplicates = {path for path in paths if paths.count(path) > 1}
+        if duplicates:
+            raise SpaceError(
+                f"duplicate axis paths: {', '.join(sorted(duplicates))}")
+        self._has_system_axis = SYSTEM_PATH in paths
+        if not self._has_system_axis and self.system is None:
+            raise SpaceError(
+                "a shape space needs a 'system' (or a system axis)")
+        if self._has_system_axis:
+            axis = self.axes[paths.index(SYSTEM_PATH)]
+            if not isinstance(axis, CategoricalAxis):
+                raise SpaceError("a 'system' axis must be categorical")
+            for preset in axis.values():
+                get_system(str(preset))   # raises on unknown preset
+        elif self.system is not None:
+            get_system(self.system)
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+    def shapes(self) -> List[Shape]:
+        """Every shape, in cartesian-product order (rightmost fastest)."""
+        if not self.axes:
+            raise SpaceError(f"space {self.name!r} declares no axes")
+        shapes: List[Shape] = []
+        value_lists = [axis.values() for axis in self.axes]
+        for index, cell in enumerate(itertools.product(*value_lists)):
+            settings = tuple((axis.path, value)
+                             for axis, value in zip(self.axes, cell))
+            system = self.system
+            overrides: Dict[str, object] = {}
+            for path, value in settings:
+                if path == SYSTEM_PATH:
+                    system = str(value)
+                else:
+                    overrides[path] = value
+            shape_id = ",".join(f"{path}={value}" for path, value in settings)
+            shapes.append(Shape(index=index, system=str(system),
+                                settings=settings, overrides=overrides,
+                                shape_id=shape_id))
+        return shapes
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def config(self, shape: Shape):
+        """Build ``shape``'s configuration dataclass, strictly.
+
+        The shape's own axis overrides apply *strictly* — an axis path
+        that does not resolve on the shape's system, or a value its
+        ``__post_init__`` rejects (e.g. an L2 size that does not divide
+        across the banks), raises here, which is how the explorer prunes
+        unbuildable shapes before any simulation.  The space's shared
+        base overrides follow scenario semantics: paths inapplicable to
+        this system are skipped.
+        """
+        config = get_system(shape.system).factory()
+        if shape.overrides:
+            config = apply_overrides(config, shape.overrides)
+        applicable = {path: value for path, value in self.overrides.items()
+                      if override_applies(config, path)}
+        if applicable:
+            config = apply_overrides(config, applicable)
+        return config
+
+    def effective_overrides(self, shape: Shape) -> Dict[str, object]:
+        """The override mapping ``shape``'s scenario point carries.
+
+        Base overrides first (so an axis can deliberately shadow one),
+        then the shape's axis assignments; filtered to the paths that
+        resolve on the shape's system, matching what :meth:`config`
+        built — the worker rebuilds an identical configuration from
+        names alone.
+        """
+        base_config = get_system(shape.system).factory()
+        merged = {path: value for path, value in self.overrides.items()
+                  if override_applies(base_config, path)}
+        merged.update(shape.overrides)
+        return merged
+
+    def scenario(self, shape: Shape,
+                 fidelity_value: Optional[object] = None) -> Scenario:
+        """Wrap one shape (at one fidelity rung) as a one-point Scenario."""
+        params = dict(self.params)
+        grid: Dict[str, object] = {}
+        if fidelity_value is not None:
+            if self.fidelity is None:
+                raise SpaceError(
+                    f"space {self.name!r} declares no fidelity ladder")
+            params.pop(self.fidelity.param, None)
+            grid[self.fidelity.param] = (fidelity_value,)
+        return Scenario(workload=self.workload, systems=(shape.system,),
+                        grid=grid or None, params=params,
+                        overrides=self.effective_overrides(shape),
+                        seed=self.seed, name=self.name)
+
+
+# --------------------------------------------------------------------------- #
+# File loading
+# --------------------------------------------------------------------------- #
+_TOP_KEYS = frozenset(("name", "workload", "system", "seed", "params",
+                       "overrides", "fidelity", "axes"))
+_AXIS_KEYS = frozenset(("path", "kind", "values", "min", "max", "step",
+                        "factor"))
+_AXIS_KINDS = ("categorical", "size", "bool")
+
+
+def _coerce_size(label: str, value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise SpaceError(f"{label} must be a size (int or '128KiB' string), "
+                         f"got {type(value).__name__}")
+    try:
+        return parse_size(value) if isinstance(value, str) else int(value)
+    except ValueError as error:
+        raise SpaceError(f"{label}: {error}") from error
+
+
+def _axis_from_mapping(document: Mapping[str, object], where: str) -> object:
+    unknown = set(document) - _AXIS_KEYS
+    if unknown:
+        raise SpaceError(
+            f"{where}: unknown axis keys {', '.join(sorted(unknown))}; "
+            f"valid keys: {', '.join(sorted(_AXIS_KEYS))}")
+    path = document.get("path")
+    if not isinstance(path, str) or not path:
+        raise SpaceError(f"{where}: every axis needs a non-empty 'path'")
+    kind = document.get("kind", "categorical")
+    if kind not in _AXIS_KINDS:
+        raise SpaceError(
+            f"{where}: unknown axis kind {kind!r}; valid kinds: "
+            f"{', '.join(_AXIS_KINDS)}")
+    if kind == "bool":
+        return BoolAxis(path=path)
+    if kind == "categorical":
+        values = document.get("values")
+        if not isinstance(values, (list, tuple)) or not values:
+            raise SpaceError(
+                f"{where}: a categorical axis needs a non-empty 'values' "
+                "list")
+        return CategoricalAxis(path=path, choices=tuple(values))
+    if "min" not in document or "max" not in document:
+        raise SpaceError(f"{where}: a size axis needs 'min' and 'max'")
+    step = document.get("step")
+    factor = document.get("factor")
+    return SizeAxis(
+        path=path,
+        minimum=_coerce_size(f"{where}: min", document["min"]),
+        maximum=_coerce_size(f"{where}: max", document["max"]),
+        step=None if step is None else _coerce_size(f"{where}: step", step),
+        factor=None if factor is None else int(factor))  # type: ignore[arg-type]
+
+
+def space_from_file(path: str) -> ShapeSpace:
+    """Load a :class:`ShapeSpace` from a TOML or JSON declaration file."""
+    document = load_document(path)
+    if not isinstance(document, dict):
+        raise SpaceError(
+            f"{path}: a space file must be a table/object at top level, "
+            f"got {type(document).__name__}")
+    unknown = set(document) - _TOP_KEYS
+    if unknown:
+        raise SpaceError(
+            f"{path}: unknown space keys {', '.join(sorted(unknown))}; "
+            f"valid keys: {', '.join(sorted(_TOP_KEYS))}")
+    workload = document.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise SpaceError(f"{path}: a space file needs a 'workload'")
+    for key in ("params", "overrides"):
+        if key in document and not isinstance(document[key], dict):
+            raise SpaceError(f"{path}: {key!r} must be a table/object")
+    axes_doc = document.get("axes")
+    if not isinstance(axes_doc, list) or not axes_doc:
+        raise SpaceError(f"{path}: a space file needs an '[[axes]]' list")
+    axes = []
+    for position, axis_doc in enumerate(axes_doc):
+        where = f"{path}: axes[{position}]"
+        if not isinstance(axis_doc, dict):
+            raise SpaceError(f"{where}: each axis must be a table/object")
+        axes.append(_axis_from_mapping(axis_doc, where))
+
+    fidelity = None
+    if "fidelity" in document:
+        fidelity_doc = document["fidelity"]
+        if not isinstance(fidelity_doc, dict):
+            raise SpaceError(f"{path}: 'fidelity' must be a table/object")
+        unknown = set(fidelity_doc) - {"param", "values"}
+        if unknown:
+            raise SpaceError(
+                f"{path}: unknown fidelity keys "
+                f"{', '.join(sorted(unknown))}; valid keys: param, values")
+        param = fidelity_doc.get("param")
+        values = fidelity_doc.get("values")
+        if not isinstance(param, str) or not param:
+            raise SpaceError(f"{path}: fidelity needs a 'param' name")
+        if not isinstance(values, (list, tuple)) or not values:
+            raise SpaceError(
+                f"{path}: fidelity needs a non-empty 'values' list")
+        fidelity = Fidelity(param=param, values=tuple(values))
+
+    seed = document.get("seed")
+    if seed is not None and (isinstance(seed, bool)
+                             or not isinstance(seed, int)):
+        raise SpaceError(f"{path}: 'seed' must be an integer")
+    name = document.get("name")
+    default_name = os.path.splitext(os.path.basename(path))[0]
+    try:
+        return ShapeSpace(
+            workload=workload, system=document.get("system"),  # type: ignore[arg-type]
+            axes=axes, params=document.get("params"),  # type: ignore[arg-type]
+            overrides=document.get("overrides"),  # type: ignore[arg-type]
+            fidelity=fidelity, seed=seed,
+            name=str(name) if name is not None else f"dse-{default_name}")
+    except SpaceError as error:
+        raise SpaceError(f"{path}: {error}") from None

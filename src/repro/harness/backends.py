@@ -177,6 +177,20 @@ class ExecutionBackend:
         """Whether :meth:`cancel` has been requested on this backend."""
         return self._cancelled
 
+    def reset(self) -> None:
+        """Re-arm the backend after a :meth:`cancel`, for another run.
+
+        :meth:`cancel` deliberately poisons the backend — every subsequent
+        :meth:`run_iter` stops immediately — so a late cancel racing the
+        end of one sweep cannot silently leak into an unrelated one.  A
+        caller that cancels *on purpose* and intends to keep using the
+        backend (the successive-halving search drops a rung's losers, then
+        dispatches the next rung on the same worker fleet) calls ``reset``
+        between runs.  Must not be called while a ``run_iter`` is being
+        consumed.
+        """
+        self._cancelled = False
+
     def close(self) -> None:
         """Release any long-lived resources (workers, sockets)."""
 

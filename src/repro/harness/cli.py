@@ -212,6 +212,55 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(sweep)
     _add_execution_options(sweep)
 
+    dse = sub.add_parser(
+        "dse", help="explore a memory-hierarchy design space and render "
+                    "its Pareto frontier")
+    dse.add_argument("--space", required=True, metavar="FILE",
+                     help="TOML or JSON shape-space declaration "
+                          "(axes over dotted config paths, optional "
+                          "[fidelity] ladder)")
+    dse.add_argument("--strategy", choices=("grid", "random", "halving"),
+                     default="grid",
+                     help="search strategy (default: grid; halving needs "
+                          "the space to declare a fidelity ladder)")
+    dse.add_argument("--budget", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="admissibility ceiling, e.g. sram=4MiB or "
+                          "area=50; repeatable or comma-separated")
+    dse.add_argument("--objective", default="time",
+                     help="result column to minimise: time (time_ms), "
+                          "dram (dram_accesses), or any row column "
+                          "(default: time)")
+    dse.add_argument("--cost", choices=("sram", "area", "latency"),
+                     default="sram",
+                     help="cost metric to minimise on the frontier's "
+                          "other axis (default: sram)")
+    dse.add_argument("--samples", type=_positive_int, default=None,
+                     help="random strategy: how many shapes to sample")
+    dse.add_argument("--eta", type=_positive_int, default=2,
+                     help="halving strategy: keep ceil(n/eta) shapes per "
+                          "fidelity rung (default: 2)")
+    dse.add_argument("--seed", type=int, default=0,
+                     help="search seed (random sampling; default: 0). The "
+                          "workload input seed lives in the space file.")
+    dse.add_argument("--all", action="store_true",
+                     help="also render the dominated (non-frontier) shapes")
+    _add_execution_options(dse)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-trajectory utilities")
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    bench_history = bench_sub.add_parser(
+        "history", help="compare each benchmark's latest recorded rates "
+                        "against its previous run")
+    bench_history.add_argument(
+        "--path", default=os.path.join("benchmarks", "results",
+                                       "trajectory.jsonl"),
+        help="trajectory file written by the benchmark runner "
+             "(default: benchmarks/results/trajectory.jsonl)")
+    bench_history.add_argument("--json", action="store_true",
+                               help="emit a machine-readable JSON object")
+
     worker = sub.add_parser(
         "worker", help="serve sweep points to a distributed coordinator")
     worker.add_argument("--connect", required=True, metavar="HOST:PORT",
@@ -574,6 +623,152 @@ def _sweep(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# dse
+# --------------------------------------------------------------------------- #
+#: CLI shorthand -> result-row / cost-metric column names.
+_DSE_OBJECTIVES = {"time": "time_ms", "dram": "dram_accesses"}
+_DSE_COSTS = {"sram": "sram_bytes", "area": "area_mm2",
+              "latency": "latency_ns"}
+
+
+def _dse(args: argparse.Namespace) -> int:
+    from repro.dse.budget import Budget
+    from repro.dse.search import Explorer, create_strategy
+    from repro.dse.space import space_from_file
+
+    space = space_from_file(args.space)
+    budget = Budget.parse(args.budget)
+    objective = _DSE_OBJECTIVES.get(args.objective, args.objective)
+    cost = _DSE_COSTS[args.cost]
+    strategy = create_strategy(args.strategy, samples=args.samples,
+                               seed=args.seed, eta=args.eta)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    backend, backend_name = _make_backend(args)
+
+    started = time.monotonic()
+    with backend:
+        explorer = Explorer(space, budget=budget, objective=objective,
+                            cost=cost, backend=backend, cache_dir=cache_dir)
+        exploration = explorer.explore(strategy, include_dominated=args.all)
+    elapsed = time.monotonic() - started
+
+    results = exploration.result
+    title = (f"{space.name}: {space.workload} Pareto frontier "
+             f"({objective} vs {cost})")
+    text = _emit(args, results, lambda: results.render(title=title))
+    print(text)
+    stats = exploration.stats
+    admitted = stats.shapes_total - stats.shapes_pruned
+    print(f"[{space.name}] {strategy.name} explored {admitted} of "
+          f"{stats.shapes_total} shapes ({stats.shapes_pruned} pruned) — "
+          f"{stats.points_simulated} simulated, "
+          f"{stats.points_cached} cached, "
+          f"{stats.points_cancelled} cancelled — in {elapsed:.1f}s on the "
+          f"{backend_name} backend", file=sys.stderr)
+    if args.stats:
+        for name, value in stats.to_dict().items():
+            print(f"  {name} = {value}")
+        for pruned in exploration.pruned:
+            print(f"  pruned {pruned.shape.shape_id}: {pruned.reason}")
+
+    return _finish_outputs(args, [text])
+
+
+# --------------------------------------------------------------------------- #
+# bench
+# --------------------------------------------------------------------------- #
+#: Non-rate trajectory fields compared alongside the ``*_per_s`` rates.
+_BENCH_EXTRA_METRICS = ("speedup",)
+
+
+def _bench_records(path: str) -> "Dict[str, List[Dict[str, object]]]":
+    """Trajectory records grouped by benchmark, in file (= time) order.
+
+    Malformed lines are skipped — the trajectory file is append-only
+    across many runs and releases, and one torn write must not make the
+    whole history unreadable.
+    """
+    grouped: Dict[str, List[Dict[str, object]]] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            benchmark = record.get("benchmark")
+            if isinstance(benchmark, str) and benchmark:
+                grouped.setdefault(benchmark, []).append(record)
+    return grouped
+
+
+def _bench_metrics(record: Dict[str, object]) -> "Dict[str, float]":
+    """The comparable numbers of one record: ``*_per_s`` rates + extras."""
+    metrics: Dict[str, float] = {}
+    for name in sorted(record):
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if name.endswith("_per_s") or name in _BENCH_EXTRA_METRICS:
+            metrics[name] = float(value)
+    return metrics
+
+
+def _bench_history(args: argparse.Namespace) -> int:
+    grouped = _bench_records(args.path)
+    if not grouped:
+        print(f"repro: {args.path}: no benchmark records", file=sys.stderr)
+        return 2
+
+    report = []
+    for benchmark in sorted(grouped):
+        records = grouped[benchmark]
+        latest, previous = records[-1], \
+            (records[-2] if len(records) > 1 else None)
+        latest_metrics = _bench_metrics(latest)
+        previous_metrics = _bench_metrics(previous) if previous else {}
+        metrics = []
+        for name, value in latest_metrics.items():
+            entry: Dict[str, object] = {"name": name, "latest": value}
+            baseline = previous_metrics.get(name)
+            if baseline is not None:
+                entry["previous"] = baseline
+                if baseline != 0:
+                    entry["delta_pct"] = round(
+                        (value - baseline) / baseline * 100.0, 2)
+            metrics.append(entry)
+        report.append({"benchmark": benchmark, "runs": len(records),
+                       "created_at": latest.get("created_at"),
+                       "git_sha": latest.get("git_sha"),
+                       "metrics": metrics})
+
+    if args.json:
+        print(json.dumps({"path": args.path, "benchmarks": report},
+                         indent=2))
+        return 0
+    for entry in report:
+        header = f"{entry['benchmark']}: {entry['runs']} run(s)"
+        if entry.get("created_at"):
+            header += f", latest {entry['created_at']}"
+        print(header)
+        for metric in entry["metrics"]:
+            line = f"  {metric['name']:32s} {metric['latest']:>14,.2f}"
+            if "previous" in metric:
+                line += f"  (was {metric['previous']:>14,.2f}"
+                if "delta_pct" in metric:
+                    line += f", {metric['delta_pct']:+.1f}%"
+                line += ")"
+            else:
+                line += "  (no previous run)"
+            print(line)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # serve / submit / status / result / cancel (the sweep service)
 # --------------------------------------------------------------------------- #
 def _serve(args: argparse.Namespace) -> int:
@@ -829,6 +1024,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cache(args)
         if args.command == "sweep":
             return _sweep(args)
+        if args.command == "dse":
+            return _dse(args)
+        if args.command == "bench":
+            return _bench_history(args)
         if args.command == "serve":
             return _serve(args)
         if args.command == "submit":

@@ -57,7 +57,15 @@ _MAPPING_KEYS = ("grid", "params", "overrides", "full_grid")
 _ALLOWED_KEYS = frozenset(_SCALAR_KEYS + _MAPPING_KEYS + ("systems",))
 
 
-def _parse_document(path: str) -> Dict[str, object]:
+def load_document(path: str) -> Dict[str, object]:
+    """Read a TOML or JSON declaration file into a plain mapping.
+
+    Shared by scenario files (``repro sweep --scenario``) and design-space
+    files (``repro dse --space``): the same extension dispatch, the same
+    stdlib-``tomllib`` policy (3.11+; JSON everywhere), the same
+    :class:`ScenarioFileError` s for unreadable or unparseable documents.
+    Validation of the document's *keys* stays with each caller.
+    """
     extension = os.path.splitext(path)[1].lower()
     try:
         if extension == ".json":
@@ -90,7 +98,7 @@ def load_scenario_mapping(path: str) -> Dict[str, object]:
     unknown keys and mis-typed sections fail here — naming the valid
     keys — before any simulation work starts.
     """
-    document = _parse_document(path)
+    document = load_document(path)
     if not isinstance(document, dict):
         raise ScenarioFileError(
             f"{path}: a scenario file must be a table/object at top level, "

@@ -68,6 +68,22 @@ class SystemPreset:
     factory: Callable[[], object]
     description: str = ""
 
+    def build(self, overrides: Optional[Mapping[str, object]] = None):
+        """Build the preset's configuration, applying applicable overrides.
+
+        Overrides whose dotted path does not fully resolve on this
+        preset's configuration are skipped (scenario overrides are shared
+        across heterogeneous systems; :mod:`repro.api` separately verifies
+        that every override applies to at least one selected system).
+        """
+        config = self.factory()
+        if overrides:
+            applicable = {path: value for path, value in overrides.items()
+                          if override_applies(config, path)}
+            if applicable:
+                config = apply_overrides(config, applicable)
+        return config
+
 
 _SYSTEMS: Dict[str, SystemPreset] = {}
 
@@ -108,13 +124,7 @@ def system_config(name: str, overrides: Optional[Mapping[str, object]] = None):
     :mod:`repro.api` verifies that every override applies to at least one
     selected system.
     """
-    config = get_system(name).factory()
-    if overrides:
-        applicable = {path: value for path, value in overrides.items()
-                      if override_applies(config, path)}
-        if applicable:
-            config = apply_overrides(config, applicable)
-    return config
+    return get_system(name).build(overrides)
 
 
 def overrides_applicable(name: str,

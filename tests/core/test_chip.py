@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.config import ccsvm_system, small_ccsvm_system, tiny_caches_ccsvm_system
+from repro.config import (
+    ConfigurationError,
+    apply_overrides,
+    ccsvm_system,
+    small_ccsvm_system,
+    tiny_caches_ccsvm_system,
+)
 from repro.core.chip import CCSVMChip
 from repro.core.xthreads.api import CreateMThread, WaitCond, mttop_signal
 from repro.cores.isa import Compute, Load, Malloc, Store, word_addr
@@ -41,6 +47,18 @@ class TestConstruction:
         chip = CCSVMChip(small_ccsvm_system(cpu_cores=2, mttop_cores=3))
         assert len(chip.cpu_cores) == 2
         assert len(chip.mttop_cores) == 3
+
+    def test_write_through_mttop_l1_is_refused_by_name(self):
+        # The config knob exists (and round-trips through overrides, see
+        # tests/test_systems.py) but the simulated transaction paths are
+        # write-back only; building a chip with it set must fail loudly,
+        # naming the unimplemented feature, rather than silently
+        # simulating the wrong machine.
+        config = apply_overrides(ccsvm_system(),
+                                 {"mttop.write_through": True})
+        with pytest.raises(ConfigurationError,
+                           match="write-through.*unimplemented feature"):
+            CCSVMChip(config)
 
 
 class TestRunning:

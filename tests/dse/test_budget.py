@@ -1,0 +1,117 @@
+"""Tests for the DSE budget model: SRAM enumeration, costs, admissibility."""
+
+import pytest
+
+from repro.config import (
+    KB,
+    MB,
+    amd_apu_system,
+    apply_overrides,
+    ccsvm_system,
+    small_ccsvm_system,
+)
+from repro.dse.budget import (
+    TLB_ENTRY_BYTES,
+    Budget,
+    BudgetError,
+    LevelCost,
+    area_mm2,
+    latency_ns,
+    sram_bytes,
+    sram_levels,
+)
+
+
+class TestSramLevels:
+    def test_ccsvm_levels_cover_every_structure(self):
+        config = ccsvm_system()
+        levels = {level.name: level for level in sram_levels(config)}
+        assert set(levels) == {"cpu.l1", "mttop.l1", "l2",
+                               "cpu.tlb", "mttop.tlb"}
+        assert levels["cpu.l1"].instances == config.cpu.count
+        assert levels["mttop.l1"].instances == config.mttop.count
+        assert levels["l2"].total_bytes == config.l2.total_size_bytes
+        assert levels["cpu.tlb"].size_bytes == \
+            config.cpu.tlb_entries * TLB_ENTRY_BYTES
+
+    def test_l3_and_tlb_toggles_change_the_enumeration(self):
+        with_l3 = apply_overrides(ccsvm_system(), {"l3.enabled": True})
+        names = {level.name for level in sram_levels(with_l3)}
+        assert "l3" in names
+        no_tlb = apply_overrides(ccsvm_system(), {"tlb_enabled": False})
+        names = {level.name for level in sram_levels(no_tlb)}
+        assert "cpu.tlb" not in names and "mttop.tlb" not in names
+
+    def test_apu_levels_respect_l2_sharing(self):
+        private = amd_apu_system()
+        levels = {level.name: level for level in sram_levels(private)}
+        assert levels["cpu.l2"].instances == private.cpu.count
+        shared = apply_overrides(private, {"cpu.l2_shared": True})
+        levels = {level.name: level for level in sram_levels(shared)}
+        assert levels["cpu.l2"].instances == 1
+        assert levels["gpu.local"].instances == shared.gpu.simd_units
+
+    def test_unknown_config_type_is_an_error(self):
+        with pytest.raises(BudgetError, match="cannot price"):
+            sram_levels(object())
+
+
+class TestCosts:
+    def test_sram_bytes_sums_every_instance(self):
+        config = small_ccsvm_system()
+        expected = (config.cpu.count * config.cpu.l1_size_bytes
+                    + config.mttop.count * config.mttop.l1_size_bytes
+                    + config.l2.total_size_bytes
+                    + config.cpu.count * config.cpu.tlb_entries
+                    * TLB_ENTRY_BYTES
+                    + config.mttop.count * config.mttop.tlb_entries
+                    * TLB_ENTRY_BYTES)
+        assert sram_bytes(config) == expected
+
+    def test_area_grows_with_capacity_and_associativity(self):
+        small = small_ccsvm_system()
+        bigger = apply_overrides(small, {"l2.total_size_bytes": "4MiB"})
+        assert area_mm2(bigger) > area_mm2(small)
+        wider = apply_overrides(small, {"l2.associativity": 32})
+        assert area_mm2(wider) > area_mm2(small)
+
+    def test_latency_grows_logarithmically_with_capacity(self):
+        cost = LevelCost()
+        small = small_ccsvm_system()
+        bigger = apply_overrides(small, {"l2.total_size_bytes": "1MiB"})
+        assert latency_ns(bigger, cost) > latency_ns(small, cost)
+
+
+class TestBudget:
+    def test_parse_accepts_sizes_and_commas(self):
+        budget = Budget.parse(["sram=4MiB", "area=50"])
+        assert budget.sram_bytes == 4 * MB
+        assert budget.area_mm2 == 50.0
+        inline = Budget.parse(["sram=4MiB,area=50"])
+        assert (inline.sram_bytes, inline.area_mm2) == (4 * MB, 50.0)
+        assert Budget.parse([]).sram_bytes is None
+
+    def test_parse_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(BudgetError, match="KEY one of"):
+            Budget.parse(["power=3"])
+        with pytest.raises(BudgetError, match="cannot parse"):
+            Budget.parse(["sram=lots"])
+        with pytest.raises(BudgetError, match="cannot parse"):
+            Budget.parse(["area=wide"])
+
+    def test_check_admits_and_refuses_with_reasons(self):
+        config = small_ccsvm_system()
+        total = sram_bytes(config)
+        roomy = Budget(sram_bytes=total + KB).check(config)
+        assert roomy.admissible and roomy.reason is None
+        assert roomy.sram_bytes == total
+        tight = Budget(sram_bytes=total - 1).check(config)
+        assert not tight.admissible
+        assert "exceeds the budget" in tight.reason
+        small_area = Budget(area_mm2=1e-6).check(config)
+        assert not small_area.admissible
+        assert "area" in small_area.reason
+
+    def test_describe_renders_ceilings(self):
+        assert Budget().describe() == "unconstrained"
+        assert "sram<=" in Budget(sram_bytes=4 * MB).describe()

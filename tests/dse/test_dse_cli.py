@@ -1,0 +1,167 @@
+"""End-to-end tests for ``repro dse`` and ``repro bench history``."""
+
+import json
+import textwrap
+
+from repro.api import ResultSet
+from repro.harness.cli import main as cli_main
+
+#: Two shapes whose measurements tie by construction (replacement policy
+#: cannot matter on a working set that never evicts), so halving's cut is
+#: decided by shape index and the cancel fires deterministically even on
+#: the serial backend.
+TIE_SPACE = """\
+    name = "cli-tie"
+    workload = "matmul"
+    system = "ccsvm-small"
+
+    [fidelity]
+    param = "size"
+    values = [4, 8]
+
+    [[axes]]
+    path = "cpu.l1_replacement"
+    kind = "categorical"
+    values = ["lru", "plru"]
+"""
+
+#: Four shapes with genuinely different SRAM totals, for budget pruning.
+SIZED_SPACE = """\
+    name = "cli-sized"
+    workload = "matmul"
+    system = "ccsvm-small"
+
+    [fidelity]
+    param = "size"
+    values = [4, 8]
+
+    [[axes]]
+    path = "mttop.l1_size_bytes"
+    kind = "categorical"
+    values = ["4KiB", "8KiB"]
+
+    [[axes]]
+    path = "l2.total_size_bytes"
+    kind = "categorical"
+    values = ["64KiB", "128KiB"]
+"""
+
+
+def _write_space(tmp_path, text, name="space.toml"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(text))
+    return str(path)
+
+
+class TestDseCommand:
+    def test_halving_is_deterministic_and_store_warm_on_rerun(self, tmp_path,
+                                                              capsys):
+        space = _write_space(tmp_path, TIE_SPACE)
+        cache = str(tmp_path / "cache")
+        argv = ["dse", "--space", space, "--strategy", "halving",
+                "--seed", "0", "--cache-dir", cache]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr()
+        assert "cancelled" in first.err
+        assert cli_main(argv) == 0
+        second = capsys.readouterr()
+        # Byte-identical frontier; the rerun served everything from the
+        # store and dispatched nothing.
+        assert second.out == first.out
+        assert "0 simulated" in second.err
+        assert "Pareto frontier" in first.out
+        assert "lru" in first.out
+
+    def test_random_is_deterministic_under_a_seed(self, tmp_path, capsys):
+        space = _write_space(tmp_path, SIZED_SPACE)
+        outputs = []
+        for _ in range(2):
+            assert cli_main(["dse", "--space", space, "--strategy", "random",
+                             "--samples", "2", "--seed", "9",
+                             "--cache-dir", str(tmp_path / "cache")]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_budget_prunes_inadmissible_shapes(self, tmp_path, capsys):
+        space = _write_space(tmp_path, SIZED_SPACE)
+        assert cli_main(["dse", "--space", space, "--budget", "sram=85KiB",
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "explored 1 of 4 shapes (3 pruned)" in captured.err
+        assert "exceeds the budget" in captured.out  # --stats prints reasons
+
+    def test_csv_and_out_file(self, tmp_path, capsys):
+        space = _write_space(tmp_path, TIE_SPACE)
+        out = tmp_path / "frontier.csv"
+        assert cli_main(["dse", "--space", space, "--csv",
+                         "--out", str(out),
+                         "--cache-dir", str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+        parsed = ResultSet.from_csv(out.read_text())
+        assert "frontier" in parsed.groups
+
+    def test_clean_errors(self, tmp_path, capsys):
+        space = _write_space(tmp_path, SIZED_SPACE)
+        # unknown budget key
+        assert cli_main(["dse", "--space", space,
+                         "--budget", "power=3"]) == 2
+        assert "KEY one of" in capsys.readouterr().err
+        # random without --samples
+        assert cli_main(["dse", "--space", space,
+                         "--strategy", "random"]) == 2
+        assert "--samples" in capsys.readouterr().err
+        # missing space file
+        assert cli_main(["dse", "--space", str(tmp_path / "nope.toml")]) == 2
+        capsys.readouterr()
+
+
+class TestBenchHistory:
+    def _trajectory(self, tmp_path):
+        lines = [
+            json.dumps({"benchmark": "access_path", "created_at": "a",
+                        "git_sha": "aaa", "accesses_per_s": 1000.0,
+                        "speedup": 2.0}),
+            "{torn json",
+            json.dumps({"benchmark": "access_path", "created_at": "b",
+                        "git_sha": "bbb", "accesses_per_s": 1200.0,
+                        "speedup": 2.5}),
+            json.dumps({"benchmark": "batch_engine", "created_at": "c",
+                        "git_sha": "ccc", "batches_per_s": 50.0}),
+        ]
+        path = tmp_path / "trajectory.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_text_report_compares_latest_to_previous(self, tmp_path, capsys):
+        path = self._trajectory(tmp_path)
+        assert cli_main(["bench", "history", "--path", path]) == 0
+        out = capsys.readouterr().out
+        assert "access_path: 2 run(s), latest b" in out
+        assert "+20.0%" in out           # 1000 -> 1200 accesses/s
+        assert "(no previous run)" in out  # batch_engine has one record
+
+    def test_json_report(self, tmp_path, capsys):
+        path = self._trajectory(tmp_path)
+        assert cli_main(["bench", "history", "--path", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        benchmarks = {entry["benchmark"]: entry
+                      for entry in payload["benchmarks"]}
+        assert set(benchmarks) == {"access_path", "batch_engine"}
+        rate = next(metric
+                    for metric in benchmarks["access_path"]["metrics"]
+                    if metric["name"] == "accesses_per_s")
+        assert rate == {"name": "accesses_per_s", "latest": 1200.0,
+                        "previous": 1000.0, "delta_pct": 20.0}
+        assert benchmarks["access_path"]["git_sha"] == "bbb"
+        assert "previous" not in benchmarks["batch_engine"]["metrics"][0]
+
+    def test_missing_or_empty_history_is_a_clean_error(self, tmp_path,
+                                                       capsys):
+        assert cli_main(["bench", "history",
+                         "--path", str(tmp_path / "nope.jsonl")]) == 2
+        capsys.readouterr()
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        assert cli_main(["bench", "history", "--path", str(empty)]) == 2
+        assert "no benchmark records" in capsys.readouterr().err

@@ -1,0 +1,60 @@
+"""Tests for Pareto-frontier extraction."""
+
+import pytest
+
+from repro.dse.frontier import FrontierError, frontier_result, pareto
+
+
+def _rows(pairs):
+    return [{"name": index, "time_ms": time, "sram_bytes": cost}
+            for index, (time, cost) in enumerate(pairs)]
+
+
+class TestPareto:
+    def test_partitions_into_frontier_and_dominated(self):
+        rows = _rows([(1.0, 100), (2.0, 50), (2.0, 150), (3.0, 40)])
+        front, rest = pareto(rows, "time_ms", "sram_bytes")
+        assert [row["name"] for row in front] == [3, 1, 0]  # by cost
+        assert [row["name"] for row in rest] == [2]
+
+    def test_strict_domination_keeps_exact_ties_together(self):
+        rows = _rows([(1.0, 100), (1.0, 100)])
+        front, rest = pareto(rows, "time_ms", "sram_bytes")
+        assert len(front) == 2 and rest == []
+
+    def test_single_row_is_its_own_frontier(self):
+        rows = _rows([(5.0, 5)])
+        front, rest = pareto(rows, "time_ms", "sram_bytes")
+        assert front == rows and rest == []
+
+    def test_dominated_on_one_axis_survives_if_better_on_the_other(self):
+        rows = _rows([(1.0, 200), (2.0, 100)])
+        front, rest = pareto(rows, "time_ms", "sram_bytes")
+        assert len(front) == 2 and rest == []
+
+    def test_missing_or_non_numeric_metric_is_an_error(self):
+        with pytest.raises(FrontierError, match="no 'watts' column"):
+            pareto(_rows([(1.0, 1)]), "time_ms", "watts")
+        with pytest.raises(FrontierError, match="must be numeric"):
+            pareto([{"time_ms": "fast", "sram_bytes": 1}],
+                   "time_ms", "sram_bytes")
+
+
+class TestFrontierResult:
+    def test_groups_and_optional_dominated(self):
+        rows = _rows([(1.0, 100), (2.0, 150)])
+        result = frontier_result(rows, "time_ms", "sram_bytes")
+        assert set(result.groups) == {"frontier"}
+        assert [row["name"] for row in result.groups["frontier"]] == [0]
+        both = frontier_result(rows, "time_ms", "sram_bytes",
+                               include_dominated=True)
+        assert [row["name"] for row in both.groups["dominated"]] == [1]
+
+    def test_round_trips_through_csv(self):
+        rows = _rows([(1.0, 100), (2.0, 150)])
+        result = frontier_result(rows, "time_ms", "sram_bytes",
+                                 include_dominated=True)
+        from repro.api import ResultSet
+
+        parsed = ResultSet.from_csv(result.to_csv())
+        assert parsed.groups == result.groups

@@ -1,0 +1,193 @@
+"""Tests for the DSE engine: pruning, strategies, halving's cancel contract.
+
+The guaranteed-cancel construction: a space whose axis
+(``cpu.l1_replacement``) cannot affect timing on a working set that
+never evicts, so every shape's rung score ties, the cut is decided by
+shape index, and — on the serial backend — the moment the kept shape's
+speculative point resolves the remaining speculative points are
+provably cancelled (asserted through the explorer's stats).
+"""
+
+import pytest
+
+from repro.config import KB
+from repro.dse.budget import Budget, sram_bytes
+from repro.dse.search import (
+    DseError,
+    Explorer,
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+    create_strategy,
+)
+from repro.dse.space import CategoricalAxis, Fidelity, ShapeSpace
+from repro.harness.backends import ProcessPoolBackend
+
+
+def _space(axes=None, fidelity=True, name="dse-test", **kwargs):
+    return ShapeSpace(
+        workload="matmul", system="ccsvm-small",
+        axes=axes if axes is not None else (
+            CategoricalAxis("mttop.l1_size_bytes", (4 * KB, 8 * KB)),
+            CategoricalAxis("l2.total_size_bytes", (64 * KB, 128 * KB))),
+        fidelity=Fidelity("size", (4, 8)) if fidelity else None,
+        name=name, **kwargs)
+
+
+def _tie_space(name="dse-tie"):
+    """Two shapes whose measurements are identical by construction."""
+    return ShapeSpace(
+        workload="matmul", system="ccsvm-small",
+        axes=(CategoricalAxis("cpu.l1_replacement", ("lru", "plru")),),
+        fidelity=Fidelity("size", (4, 8)), name=name)
+
+
+class TestAdmissibility:
+    def test_budget_prunes_without_simulation(self, tmp_path):
+        space = _space(name="dse-prune")
+        ceiling = sram_bytes(space.config(space.shapes()[0]))
+        explorer = Explorer(space, budget=Budget(sram_bytes=ceiling),
+                            cache_dir=str(tmp_path / "cache"))
+        states, pruned = explorer.admissible()
+        assert len(states) + len(pruned) == 4
+        assert pruned and all("exceeds the budget" in p.reason
+                              for p in pruned)
+        assert explorer.stats.points_simulated == 0
+
+    def test_unbuildable_shapes_are_pruned_with_reasons(self):
+        # An axis over a path that resolves on no configuration section
+        # can never build; the explorer prunes it with the override error.
+        space = _space(axes=(CategoricalAxis("no.such_path", (1, 2)),),
+                       name="dse-bad")
+        explorer = Explorer(space)
+        states, pruned = explorer.admissible()
+        assert states == []
+        assert all("unbuildable" in p.reason for p in pruned)
+
+    def test_all_pruned_is_an_error(self):
+        explorer = Explorer(_space(name="dse-none"),
+                            budget=Budget(sram_bytes=1))
+        with pytest.raises(DseError, match="no admissible shape"):
+            explorer.explore(GridSearch())
+
+    def test_unknown_cost_metric_is_an_error(self):
+        with pytest.raises(DseError, match="unknown cost metric"):
+            Explorer(_space(), cost="watts")
+
+
+class TestGridAndRandom:
+    def test_grid_measures_every_admissible_shape(self, tmp_path):
+        explorer = Explorer(_space(name="dse-grid"),
+                            cache_dir=str(tmp_path / "cache"))
+        exploration = explorer.explore(GridSearch(), include_dominated=True)
+        assert len(exploration.rows) == 4
+        assert explorer.stats.points_simulated == 4
+        # Every row measured at full fidelity, with both metrics present.
+        assert all(row["size"] == 8 for row in exploration.rows)
+        assert all("time_ms" in row and "sram_bytes" in row
+                   for row in exploration.rows)
+        assert len(exploration.result.groups["frontier"]) >= 1
+
+    def test_grid_rerun_is_store_warm_and_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        space = _space(name="dse-warm")
+        first = Explorer(space, cache_dir=cache).explore(GridSearch())
+        second_explorer = Explorer(space, cache_dir=cache)
+        second = second_explorer.explore(GridSearch())
+        assert second_explorer.stats.points_simulated == 0
+        assert second_explorer.stats.points_cached == 4
+        assert second.result.to_csv() == first.result.to_csv()
+
+    def test_random_is_deterministic_under_a_seed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        space = _space(name="dse-rand")
+        runs = [Explorer(space, cache_dir=cache).explore(
+                    RandomSearch(samples=2, seed=9)) for _ in range(2)]
+        assert runs[0].result.to_csv() == runs[1].result.to_csv()
+        assert len(runs[0].rows) == 2
+
+    def test_random_needs_samples(self):
+        with pytest.raises(DseError, match="samples"):
+            RandomSearch(samples=0)
+        with pytest.raises(DseError, match="--samples"):
+            create_strategy("random")
+
+    def test_create_strategy_names(self):
+        assert create_strategy("grid").name == "grid"
+        assert create_strategy("random", samples=3).name == "random"
+        assert create_strategy("halving").name == "halving"
+        with pytest.raises(DseError, match="unknown search strategy"):
+            create_strategy("anneal")
+
+
+class TestSuccessiveHalving:
+    def test_needs_a_fidelity_ladder_and_sane_eta(self):
+        with pytest.raises(DseError, match="eta >= 2"):
+            SuccessiveHalving(eta=1)
+        explorer = Explorer(_space(fidelity=False, name="dse-nofid"))
+        with pytest.raises(DseError, match="fidelity ladder"):
+            explorer.explore(SuccessiveHalving())
+
+    def test_halving_provably_cancels_inflight_points(self, tmp_path):
+        explorer = Explorer(_tie_space(name="dse-cancel"),
+                            cache_dir=str(tmp_path / "cache"))
+        exploration = explorer.explore(SuccessiveHalving(eta=2))
+        stats = explorer.stats
+        # Serial backend, 2 shapes: rung 0 dispatches [s0@4, s1@4,
+        # s0@8, s1@8]; scores tie, shape 0 is kept by index, and once
+        # s0@8 resolves the batch is cancelled with s1@8 in flight.
+        assert stats.cancels == 1
+        assert stats.points_cancelled == 1
+        assert stats.points_simulated == 3
+        # The survivor's full-fidelity point was speculative and is
+        # served from the store on the final rung.
+        assert stats.points_cached == 1
+        assert len(exploration.rows) == 1
+        assert exploration.rows[0]["cpu.l1_replacement"] == "lru"
+
+    def test_halving_is_deterministic_and_warm_on_rerun(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        space = _tie_space(name="dse-warmhalf")
+        first = Explorer(space, cache_dir=cache).explore(SuccessiveHalving())
+        second_explorer = Explorer(space, cache_dir=cache)
+        second = second_explorer.explore(SuccessiveHalving())
+        assert second.result.to_csv() == first.result.to_csv()
+        assert second_explorer.stats.points_simulated == 0
+        assert second_explorer.stats.cancels == 0
+
+    def test_halving_matches_across_backends(self, tmp_path):
+        space = _space(name="dse-backends")
+        serial = Explorer(space, cache_dir=str(tmp_path / "a")).explore(
+            SuccessiveHalving())
+        with ProcessPoolBackend(jobs=2) as backend:
+            pooled = Explorer(space, backend=backend,
+                              cache_dir=str(tmp_path / "b")).explore(
+                SuccessiveHalving())
+        assert pooled.result.to_csv() == serial.result.to_csv()
+
+    def test_halving_narrows_to_the_best_shapes(self, tmp_path):
+        # Four shapes, eta=2: rung 0 keeps 2, the final rung measures 2.
+        explorer = Explorer(_space(name="dse-narrow"),
+                            cache_dir=str(tmp_path / "cache"))
+        exploration = explorer.explore(SuccessiveHalving(eta=2))
+        assert len(exploration.rows) == 2
+        assert all(row["size"] == 8 for row in exploration.rows)
+
+
+class TestRowShape:
+    def test_rows_carry_axes_system_fidelity_objective_and_cost(self,
+                                                                tmp_path):
+        explorer = Explorer(_space(name="dse-rows"),
+                            cache_dir=str(tmp_path / "cache"),
+                            objective="dram_accesses", cost="area_mm2")
+        exploration = explorer.explore(GridSearch())
+        row = exploration.rows[0]
+        assert row["system"] == "ccsvm-small"
+        assert set(row) == {"system", "mttop.l1_size_bytes",
+                            "l2.total_size_bytes", "size",
+                            "dram_accesses", "area_mm2"}
+
+    def test_missing_objective_column_is_an_error(self, tmp_path):
+        explorer = Explorer(_space(name="dse-noobj"), objective="watts")
+        with pytest.raises(DseError, match="no objective column 'watts'"):
+            explorer.explore(GridSearch())

@@ -1,0 +1,242 @@
+"""Tests for DSE shape spaces: axes, shape enumeration, file loading."""
+
+import textwrap
+
+import pytest
+
+from repro.config import KB, OverrideError
+from repro.dse.space import (
+    BoolAxis,
+    CategoricalAxis,
+    Fidelity,
+    ShapeSpace,
+    SizeAxis,
+    SpaceError,
+    space_from_file,
+)
+
+
+class TestAxes:
+    def test_size_axis_steps_additively(self):
+        axis = SizeAxis("l2.total_size_bytes", minimum=64 * KB,
+                        maximum=256 * KB, step=64 * KB)
+        assert axis.values() == (64 * KB, 128 * KB, 192 * KB, 256 * KB)
+
+    def test_size_axis_steps_geometrically(self):
+        axis = SizeAxis("l2.total_size_bytes", minimum=64 * KB,
+                        maximum=256 * KB, factor=2)
+        assert axis.values() == (64 * KB, 128 * KB, 256 * KB)
+
+    def test_size_axis_needs_exactly_one_stepping(self):
+        with pytest.raises(SpaceError, match="exactly one"):
+            SizeAxis("x", minimum=1, maximum=2)
+        with pytest.raises(SpaceError, match="exactly one"):
+            SizeAxis("x", minimum=1, maximum=2, step=1, factor=2)
+
+    def test_size_axis_validates_bounds(self):
+        with pytest.raises(SpaceError, match="min <= max"):
+            SizeAxis("x", minimum=8, maximum=4, step=1)
+        with pytest.raises(SpaceError, match="factor >= 2"):
+            SizeAxis("x", minimum=1, maximum=4, factor=1)
+
+    def test_bool_axis_and_empty_categorical(self):
+        assert BoolAxis("l3.enabled").values() == (False, True)
+        with pytest.raises(SpaceError, match="no choices"):
+            CategoricalAxis("x", ())
+
+    def test_fidelity_validates_values(self):
+        assert Fidelity("size", (4, 8)).full == 8
+        with pytest.raises(SpaceError, match="distinct"):
+            Fidelity("size", (4, 4))
+
+
+def _space(**kwargs):
+    defaults = dict(
+        workload="matmul", system="ccsvm-small",
+        axes=(CategoricalAxis("mttop.l1_size_bytes", (4 * KB, 8 * KB)),
+              CategoricalAxis("l2.total_size_bytes", (64 * KB, 128 * KB))),
+        fidelity=Fidelity("size", (4, 8)), name="space-test")
+    defaults.update(kwargs)
+    return ShapeSpace(**defaults)
+
+
+class TestShapeSpace:
+    def test_shapes_enumerate_the_cartesian_product_in_order(self):
+        shapes = _space().shapes()
+        assert [shape.index for shape in shapes] == [0, 1, 2, 3]
+        # Rightmost axis varies fastest.
+        assert [shape.overrides["l2.total_size_bytes"] for shape in shapes] \
+            == [64 * KB, 128 * KB, 64 * KB, 128 * KB]
+        assert shapes[0].shape_id == \
+            f"mttop.l1_size_bytes={4 * KB},l2.total_size_bytes={64 * KB}"
+        assert all(shape.system == "ccsvm-small" for shape in shapes)
+
+    def test_system_axis_makes_the_preset_a_dimension(self):
+        space = ShapeSpace(
+            workload="matmul",
+            axes=(CategoricalAxis("system", ("cpu", "ccsvm-small")),),
+            name="sys-axis")
+        shapes = space.shapes()
+        assert [shape.system for shape in shapes] == ["cpu", "ccsvm-small"]
+        assert shapes[0].overrides == {}
+
+    def test_unknown_system_fails_at_declaration(self):
+        with pytest.raises(Exception, match="no system preset"):
+            _space(system="nope")
+        with pytest.raises(Exception, match="no system preset"):
+            ShapeSpace(workload="matmul",
+                       axes=(CategoricalAxis("system", ("nope",)),))
+
+    def test_needs_a_system_and_axes(self):
+        with pytest.raises(SpaceError, match="needs a 'system'"):
+            ShapeSpace(workload="matmul",
+                       axes=(BoolAxis("l3.enabled"),))
+        with pytest.raises(SpaceError, match="no axes"):
+            ShapeSpace(workload="matmul", system="cpu").shapes()
+
+    def test_duplicate_axis_paths_are_rejected(self):
+        with pytest.raises(SpaceError, match="duplicate axis paths"):
+            _space(axes=(BoolAxis("l3.enabled"), BoolAxis("l3.enabled")))
+
+    def test_config_applies_shape_overrides_strictly(self):
+        space = _space(axes=(CategoricalAxis("no.such_path", (1,)),))
+        (shape,) = space.shapes()
+        with pytest.raises(OverrideError):
+            space.config(shape)
+
+    def test_config_skips_inapplicable_base_overrides(self):
+        space = _space(overrides={"mttop.count": 1,
+                                  "cpu.l2_shared": True})  # APU-only path
+        shape = space.shapes()[0]
+        config = space.config(shape)
+        assert config.mttop.count == 1
+        assert space.effective_overrides(shape) == {
+            "mttop.count": 1,
+            "mttop.l1_size_bytes": 4 * KB,
+            "l2.total_size_bytes": 64 * KB,
+        }
+
+    def test_scenario_yields_one_point_at_the_given_fidelity(self):
+        space = _space(seed=7)
+        shape = space.shapes()[0]
+        points = space.scenario(shape, 8).points()
+        assert len(points) == 1
+        (point,) = points
+        assert point.spec == "space-test"
+        assert point.kwargs["params"]["size"] == 8
+        assert point.kwargs["seed"] == 7
+        assert point.kwargs["overrides"]["mttop.l1_size_bytes"] == 4 * KB
+
+    def test_scenario_without_ladder_rejects_fidelity_values(self):
+        space = _space(fidelity=None)
+        with pytest.raises(SpaceError, match="no fidelity ladder"):
+            space.scenario(space.shapes()[0], 8)
+
+
+class TestSpaceFiles:
+    def _write(self, tmp_path, text, name="space.toml"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(text))
+        return str(path)
+
+    def test_toml_round_trip(self, tmp_path):
+        path = self._write(tmp_path, """\
+            name = "l1-study"
+            workload = "matmul"
+            system = "ccsvm-small"
+            seed = 3
+
+            [params]
+            size = 8
+
+            [fidelity]
+            param = "size"
+            values = [4, 8]
+
+            [[axes]]
+            path = "mttop.l1_size_bytes"
+            kind = "size"
+            min = "4KiB"
+            max = "16KiB"
+            factor = 2
+
+            [[axes]]
+            path = "l3.enabled"
+            kind = "bool"
+        """)
+        space = space_from_file(path)
+        assert space.name == "l1-study"
+        assert space.seed == 3
+        assert space.fidelity.values == (4, 8)
+        shapes = space.shapes()
+        assert len(shapes) == 6  # three L1 sizes x two L3 toggles
+        assert shapes[0].overrides == {"mttop.l1_size_bytes": 4 * KB,
+                                       "l3.enabled": False}
+
+    def test_unknown_keys_fail_loudly(self, tmp_path):
+        path = self._write(tmp_path, """\
+            workload = "matmul"
+            system = "cpu"
+            typo = 1
+
+            [[axes]]
+            path = "l3.enabled"
+            kind = "bool"
+        """)
+        with pytest.raises(SpaceError, match="unknown space keys typo"):
+            space_from_file(path)
+
+    def test_unknown_axis_keys_and_kinds_fail(self, tmp_path):
+        path = self._write(tmp_path, """\
+            workload = "matmul"
+            system = "cpu"
+
+            [[axes]]
+            path = "l3.enabled"
+            kind = "toggle"
+        """)
+        with pytest.raises(SpaceError, match="unknown axis kind"):
+            space_from_file(path)
+        path = self._write(tmp_path, """\
+            workload = "matmul"
+            system = "cpu"
+
+            [[axes]]
+            path = "l3.enabled"
+            kind = "bool"
+            wat = true
+        """, name="space2.toml")
+        with pytest.raises(SpaceError, match="unknown axis keys wat"):
+            space_from_file(path)
+
+    def test_missing_workload_or_axes_fail(self, tmp_path):
+        path = self._write(tmp_path, 'system = "cpu"\n')
+        with pytest.raises(SpaceError, match="needs a 'workload'"):
+            space_from_file(path)
+        path = self._write(tmp_path, 'workload = "matmul"\nsystem = "cpu"\n',
+                           name="noaxes.toml")
+        with pytest.raises(SpaceError, match="axes"):
+            space_from_file(path)
+
+    def test_fidelity_section_is_validated(self, tmp_path):
+        path = self._write(tmp_path, """\
+            workload = "matmul"
+            system = "cpu"
+
+            [fidelity]
+            param = "size"
+
+            [[axes]]
+            path = "l3.enabled"
+            kind = "bool"
+        """)
+        with pytest.raises(SpaceError, match="'values' list"):
+            space_from_file(path)
+
+    def test_json_form_works(self, tmp_path):
+        path = tmp_path / "space.json"
+        path.write_text('{"workload": "matmul", "system": "cpu", '
+                        '"axes": [{"path": "l3.enabled", "kind": "bool"}]}')
+        space = space_from_file(str(path))
+        assert space.name == "dse-space"
+        assert len(space.shapes()) == 2

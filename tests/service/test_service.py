@@ -11,6 +11,7 @@ import asyncio
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -43,8 +44,13 @@ def square_point(value):
                        stats={"points.computed": 1})
 
 
-def _points(values, spec="svc"):
-    return [SweepPoint(spec=spec, point_id=f"value={v}", func=square_point,
+def slow_square_point(value):
+    time.sleep(0.2)
+    return square_point(value)
+
+
+def _points(values, spec="svc", func=square_point):
+    return [SweepPoint(spec=spec, point_id=f"value={v}", func=func,
                        kwargs={"value": v}) for v in values]
 
 
@@ -286,6 +292,29 @@ class TestResilience:
         values = sorted(decode_result(entry["result"]).rows[0]["square"]
                         for entry in reply["points"])
         assert values == [1, 4, 9, 16]
+
+    def test_backend_cancel_mid_run_iter_is_clean_and_resettable(self, live):
+        # The DSE early-stop contract on the service backend: results
+        # yielded before cancel() are real and correctly indexed, the
+        # stream ends without yielding the abandoned tail, and reset()
+        # re-arms the same backend for a complete, correct rerun.
+        _start_worker(live.address)
+        values = list(range(6))
+        backend = ServiceBackend(connect=live.address, submitter="dse")
+        points = _points(values, func=slow_square_point)
+        iterator = backend.run_iter(points)
+        pairs = [next(iterator)]
+        backend.cancel()
+        pairs.extend(iterator)
+        assert len(pairs) < len(values)  # the tail was abandoned
+        for index, result in pairs:
+            assert isinstance(result, PointResult)
+            assert result.rows == [{"value": values[index],
+                                    "square": values[index] ** 2}]
+        backend.reset()
+        replay = backend.run(points)
+        assert [r.rows for r in replay] == \
+            [r.rows for r in SerialBackend().run(points)]
 
     def test_cancel_settles_job_without_workers(self, live):
         with ServiceClient(live.address) as client:
