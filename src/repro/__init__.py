@@ -40,7 +40,7 @@ from repro.core.chip import CCSVMChip, RunResult
 from repro.errors import ReproError
 from repro.harness import SweepPoint, SweepRunner, SweepSpec
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "APUSystemConfig",

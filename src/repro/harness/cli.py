@@ -243,6 +243,10 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--seed", type=int, default=0,
                      help="search seed (random sampling; default: 0). The "
                           "workload input seed lives in the space file.")
+    dse.add_argument("--replay", metavar="TRACE", default=None,
+                     help="evaluate every shape by cache-only replay of this "
+                          "captured trace (swaps the space's workload for "
+                          "cache_replay and drops its fidelity ladder)")
     dse.add_argument("--all", action="store_true",
                      help="also render the dominated (non-frontier) shapes")
     _add_execution_options(dse)
@@ -634,9 +638,19 @@ _DSE_COSTS = {"sram": "sram_bytes", "area": "area_mm2",
 def _dse(args: argparse.Namespace) -> int:
     from repro.dse.budget import Budget
     from repro.dse.search import Explorer, create_strategy
-    from repro.dse.space import space_from_file
+    from repro.dse.space import ShapeSpace, space_from_file
 
     space = space_from_file(args.space)
+    if args.replay is not None:
+        # Same axes, same base system, same budget semantics — but every
+        # shape is scored by walking the captured trace through a bare
+        # hierarchy instead of re-simulating the workload.  The fidelity
+        # ladder is meaningless for a fixed trace, so it is dropped.
+        space = ShapeSpace(workload="cache_replay", system=space.system,
+                           axes=space.axes,
+                           params={"trace": args.replay},
+                           overrides=space.overrides, fidelity=None,
+                           seed=space.seed, name=f"{space.name}-replay")
     budget = Budget.parse(args.budget)
     objective = _DSE_OBJECTIVES.get(args.objective, args.objective)
     cost = _DSE_COSTS[args.cost]
@@ -686,9 +700,12 @@ def _bench_records(path: str) -> "Dict[str, List[Dict[str, object]]]":
 
     Malformed lines are skipped — the trajectory file is append-only
     across many runs and releases, and one torn write must not make the
-    whole history unreadable.
+    whole history unreadable.  A missing file is an empty history, not
+    an error: a fresh checkout simply has no prior record yet.
     """
     grouped: Dict[str, List[Dict[str, object]]] = {}
+    if not os.path.exists(path):
+        return grouped
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -721,8 +738,15 @@ def _bench_metrics(record: Dict[str, object]) -> "Dict[str, float]":
 def _bench_history(args: argparse.Namespace) -> int:
     grouped = _bench_records(args.path)
     if not grouped:
-        print(f"repro: {args.path}: no benchmark records", file=sys.stderr)
-        return 2
+        # Nothing recorded yet (fresh checkout, or the benchmarks have
+        # not run twice).  That is a clean "no prior record" report, not
+        # a failure — CI runs this before the first trajectory exists.
+        if args.json:
+            print(json.dumps({"path": args.path, "benchmarks": []},
+                             indent=2))
+        else:
+            print(f"{args.path}: no prior record")
+        return 0
 
     report = []
     for benchmark in sorted(grouped):

@@ -27,6 +27,7 @@ rather than reimplementing it.
 from repro.mem.levels import CacheLevel, DRAMLevel, LevelSpec, build_cache
 from repro.mem.port import CoreMemoryPort, MemoryPort, PageFaultHandler
 from repro.mem.private import PrivateHierarchy
+from repro.mem.replay import ReplayResult, replay_trace, replay_trace_flat
 
 __all__ = [
     "CacheLevel",
@@ -36,5 +37,8 @@ __all__ = [
     "MemoryPort",
     "PageFaultHandler",
     "PrivateHierarchy",
+    "ReplayResult",
     "build_cache",
+    "replay_trace",
+    "replay_trace_flat",
 ]

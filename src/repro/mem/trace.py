@@ -56,8 +56,17 @@ from repro.cores.isa import (
 )
 from repro.errors import ReproError
 
-#: Trace file format version.
-TRACE_FORMAT = 1
+#: Trace file format version.  Format 2 added the global ``order`` column
+#: (the interleaving of stream ops in capture order); format-1 files still
+#: load, falling back to the canonical hosts-then-tasks order.
+TRACE_FORMAT = 2
+
+#: Formats :meth:`Trace.from_dict` accepts.
+_SUPPORTED_FORMATS = (1, 2)
+
+#: Stream key of the ``i``-th host thread: ``("h", i)``; of device thread
+#: ``tid`` of the ``seq``-th submitted task: ``("t", seq, tid)``.
+StreamKey = tuple
 
 
 class TraceError(ReproError):
@@ -179,6 +188,11 @@ class Trace:
     hosts: List[List[Operation]] = field(default_factory=list)
     tasks: Dict[int, Dict[int, List[Operation]]] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Global capture order: one :data:`StreamKey` per recorded operation,
+    #: in the order the simulation issued them across all threads.  Empty
+    #: for hand-built traces; :meth:`effective_order` falls back to the
+    #: canonical hosts-then-tasks order when it does not cover every op.
+    order: List[StreamKey] = field(default_factory=list)
 
     @property
     def host_ops(self) -> List[Operation]:
@@ -193,8 +207,58 @@ class Trace:
             total += sum(len(ops) for ops in streams.values())
         return total
 
+    def stream(self, key: StreamKey) -> List[Operation]:
+        """The operation list a :data:`StreamKey` names."""
+        if key[0] == "h":
+            return self.hosts[key[1]]
+        if key[0] == "t":
+            return self.tasks[key[1]][key[2]]
+        raise TraceError(f"unknown stream key {key!r}")
+
+    def _canonical_order(self) -> List[StreamKey]:
+        """Hosts in index order, then tasks by ``(seq, tid)`` — the order
+        format-1 traces (and hand-built ones) replay in."""
+        order: List[StreamKey] = []
+        for index, ops in enumerate(self.hosts):
+            order.extend([("h", index)] * len(ops))
+        for seq in sorted(self.tasks):
+            streams = self.tasks[seq]
+            for tid in sorted(streams):
+                order.extend([("t", seq, tid)] * len(streams[tid]))
+        return order
+
+    def effective_order(self) -> List[StreamKey]:
+        """The capture order if it covers every op, else the canonical one.
+
+        The returned list may alias :attr:`order`; treat it as read-only.
+        """
+        if len(self.order) == self.operation_count and self.order:
+            return self.order
+        return self._canonical_order()
+
+    def interleaved(self) -> Iterator[tuple]:
+        """Yield ``(stream_key, operation)`` in global capture order."""
+        cursors: Dict[StreamKey, int] = {}
+        streams: Dict[StreamKey, List[Operation]] = {}
+        for key in self.effective_order():
+            stream = streams.get(key)
+            if stream is None:
+                stream = streams[key] = self.stream(key)
+            index = cursors.get(key, 0)
+            cursors[key] = index + 1
+            yield key, stream[index]
+
     def to_dict(self) -> dict:
         """Serialise to the JSON trace format."""
+        table: List[list] = []
+        table_index: Dict[StreamKey, int] = {}
+        order_ints: List[int] = []
+        for key in self.effective_order():
+            ix = table_index.get(key)
+            if ix is None:
+                ix = table_index[key] = len(table)
+                table.append(list(key))
+            order_ints.append(ix)
         return {
             "format": TRACE_FORMAT,
             "workload": self.workload,
@@ -209,16 +273,24 @@ class Trace:
                            for tid, ops in streams.items()}
                 for seq, streams in self.tasks.items()
             },
+            "streams": table,
+            "order": order_ints,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Trace":
-        """Load from the JSON trace format."""
-        if data.get("format") != TRACE_FORMAT:
+        """Load from the JSON trace format (formats 1 and 2)."""
+        if data.get("format") not in _SUPPORTED_FORMATS:
             raise TraceError(
                 f"unsupported trace format {data.get('format')!r} "
-                f"(expected {TRACE_FORMAT})"
+                f"(expected one of {_SUPPORTED_FORMATS})"
             )
+        table = [tuple(key) for key in data.get("streams", [])]
+        try:
+            order = [table[ix] for ix in data.get("order", [])]
+        except IndexError:
+            raise TraceError("trace order references an unknown stream") \
+                from None
         return cls(
             workload=data.get("workload", ""),
             params=dict(data.get("params", {})),
@@ -232,6 +304,7 @@ class Trace:
                            for tid, ops in streams.items()}
                 for seq, streams in data.get("tasks", {}).items()
             },
+            order=order,
         )
 
     def save(self, path) -> None:
@@ -269,17 +342,20 @@ class TraceRecorder:
     def wrap_host(self, program: ThreadProgram) -> ThreadProgram:
         """Wrap one host thread's program, appending a new host stream."""
         stream: List[Operation] = []
+        key = ("h", len(self.trace.hosts))
         self.trace.hosts.append(stream)
-        return self._record(program, stream)
+        return self._record(program, stream, key)
 
     def wrap_device(self, task_seq: int, tid: int,
                     program: ThreadProgram) -> ThreadProgram:
         """Wrap one device thread's program (the MIFD ``program_wrapper``)."""
         streams = self.trace.tasks.setdefault(task_seq, {})
-        return self._record(program, streams.setdefault(tid, []))
+        return self._record(program, streams.setdefault(tid, []),
+                            ("t", task_seq, tid))
 
-    @staticmethod
-    def _record(program: ThreadProgram, stream: List[Operation]) -> ThreadProgram:
+    def _record(self, program: ThreadProgram, stream: List[Operation],
+                key: tuple) -> ThreadProgram:
+        order = self.trace.order
         value = None
         while True:
             try:
@@ -287,6 +363,7 @@ class TraceRecorder:
             except StopIteration:
                 return
             stream.append(operation)
+            order.append(key)
             value = yield operation
 
 

@@ -55,9 +55,37 @@ def _run_starts_numpy(keys: Sequence[int]) -> List[int]:
 
 
 def _add_delta_numpy(values: Sequence[int], lo: int, hi: int,
-                     delta: int) -> List[int]:
+                     delta: int) -> Sequence[int]:
+    # Callers invoke this once per page run; short runs (random access
+    # streams degenerate to length 1-2) are cheaper as a comprehension
+    # than as an ndarray round trip.  Long runs stay ndarrays — the
+    # consumers (cache gather, address masking) take them without another
+    # conversion, and element access yields ints that hash and compare
+    # like Python's.
+    if hi - lo < 64:
+        return [values[i] + delta for i in range(lo, hi)]
     arr = _np.asarray(values[lo:hi], dtype=_np.int64)
-    return (arr + delta).tolist()
+    return arr + delta
+
+
+def _concat_runs_numpy(parts):
+    if len(parts) == 1:
+        return parts[0]
+    return _np.concatenate([_np.asarray(p, dtype=_np.int64) for p in parts])
+
+
+def _split_columns_numpy(ops):
+    # zip(*ops) transposes at C speed — measurably faster than one
+    # (n, 4) matrix conversion, and it keeps the address/operand columns
+    # as native ints (operands may exceed int64; addresses feed scalar
+    # paths).  Only the kind column — small codes, used by the batch
+    # engines' vector trim — becomes an ndarray; scalar consumers index
+    # it like a list.
+    kinds, vaddrs, vals, vals2 = zip(*ops)
+    if not any(kinds):
+        return list(vaddrs), None, None, None
+    kinds_col = _np.asarray(kinds, dtype=_np.int64)
+    return list(vaddrs), kinds_col, list(vals), list(vals2)
 
 
 # --------------------------------------------------------------------------- #
@@ -87,6 +115,23 @@ def _add_delta_python(values: Sequence[int], lo: int, hi: int,
     return [values[i] + delta for i in range(lo, hi)]
 
 
+def _concat_runs_python(parts):
+    if len(parts) == 1:
+        return parts[0]
+    out: List[int] = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+def _split_columns_python(ops):
+    # zip(*ops) transposes the tuples at C speed.
+    kinds, vaddrs, vals, vals2 = map(list, zip(*ops))
+    if not any(kinds):
+        return vaddrs, None, None, None
+    return vaddrs, kinds, vals, vals2
+
+
 # --------------------------------------------------------------------------- #
 # Import-time selection (callers read these through the module object, so
 # tests can monkeypatch them to force either kernel in-process).
@@ -95,28 +140,43 @@ if USING_NUMPY:
     shift_keys = _shift_keys_numpy
     run_starts = _run_starts_numpy
     add_delta = _add_delta_numpy
+    concat_runs = _concat_runs_numpy
+    split_columns = _split_columns_numpy
 else:  # pragma: no cover - exercised via the no-numpy CI leg
     shift_keys = _shift_keys_python
     run_starts = _run_starts_python
     add_delta = _add_delta_python
+    concat_runs = _concat_runs_python
+    split_columns = _split_columns_python
+
+
+def numpy_module():
+    """The numpy module when importable (regardless of kernel binding)."""
+    return _np
 
 
 def use_python_kernel() -> None:
     """Rebind the module to the pure-Python kernel (tests only)."""
-    global shift_keys, run_starts, add_delta, USING_NUMPY
+    global shift_keys, run_starts, add_delta, concat_runs, split_columns, \
+        USING_NUMPY
     shift_keys = _shift_keys_python
     run_starts = _run_starts_python
     add_delta = _add_delta_python
+    concat_runs = _concat_runs_python
+    split_columns = _split_columns_python
     USING_NUMPY = False
 
 
 def use_numpy_kernel() -> bool:
     """Rebind the module to the numpy kernel; returns False without numpy."""
-    global shift_keys, run_starts, add_delta, USING_NUMPY
+    global shift_keys, run_starts, add_delta, concat_runs, split_columns, \
+        USING_NUMPY
     if _np is None:
         return False
     shift_keys = _shift_keys_numpy
     run_starts = _run_starts_numpy
     add_delta = _add_delta_numpy
+    concat_runs = _concat_runs_numpy
+    split_columns = _split_columns_numpy
     USING_NUMPY = True
     return True

@@ -107,7 +107,10 @@ class TLB:
         and any op past the returned ``stop`` retries through the scalar
         :meth:`lookup`, which records its own hit or miss.  Returns
         ``(stop, page_runs, paddrs)`` where ``paddrs[i]`` translates
-        ``vaddrs[lo + i]`` for ``lo <= lo + i < stop``.
+        ``vaddrs[lo + i]`` for ``lo <= lo + i < stop``.  ``paddrs`` is
+        whatever sequence the columnar kernel produces (an ndarray under
+        numpy, a list otherwise) — consumers index and slice it, they
+        must not assume a concrete type.
         """
         shift = self.batch_shift
         if shift is None:
@@ -119,31 +122,37 @@ class TLB:
         keys = keys.tolist()
         entries = self._entries
         runs: List[PageRun] = []
-        paddrs: List[int] = []
+        parts: List[Sequence[int]] = []
         count = hi - lo
         for index, run_lo in enumerate(starts):
             run_hi = starts[index + 1] if index + 1 < len(starts) else count
             vpn = keys[run_lo]
             entry = entries.get(vpn)
             if entry is None:
+                paddrs = columnar.concat_runs(parts) if parts else []
                 return lo + run_lo, runs, paddrs
             delta = entry.frame_address - (vpn << shift)
-            paddrs.extend(columnar.add_delta(vaddrs, lo + run_lo,
-                                             lo + run_hi, delta))
+            parts.append(columnar.add_delta(vaddrs, lo + run_lo,
+                                            lo + run_hi, delta))
             runs.append((lo + run_lo, lo + run_hi, vpn))
-        return hi, runs, paddrs
+        return hi, runs, (columnar.concat_runs(parts) if parts else [])
 
-    def commit_batch(self, runs: Sequence[PageRun], lo: int, stop: int) -> None:
+    def commit_batch(self, runs: Sequence[PageRun], lo: int, stop: int,
+                     first: int = 0) -> None:
         """Apply LRU updates and hit counters for ops ``[lo, stop)``.
 
         One ``move_to_end`` per page run replaces the scalar path's
         per-access move; consecutive moves of the same page are idempotent
-        for recency order, so the final LRU state is identical.
+        for recency order, so the final LRU state is identical.  ``first``
+        lets a caller reusing one translation across several commits skip
+        runs wholly before ``lo`` (re-moving those would put pages ahead
+        of ones the scalar sequence touched later).
         """
         if stop <= lo:
             return
         move = self._entries.move_to_end
-        for run_lo, _run_hi, vpn in runs:
+        for index in range(first, len(runs)):
+            run_lo, _run_hi, vpn = runs[index]
             if run_lo >= stop:
                 break
             move(vpn)

@@ -129,4 +129,5 @@ def variants_for(workload: str) -> Dict[str, WorkloadVariant]:
 def load_builtin_workloads() -> None:
     """Import the workload modules so their variants self-register."""
     from repro.workloads import (  # noqa: F401
-        apsp, barnes_hut, matmul, sparse_matmul, trace_replay, vector_add)
+        apsp, barnes_hut, cache_replay, matmul, sparse_matmul, trace_replay,
+        vector_add)

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.config import CCSVMSystemConfig, ccsvm_system
+from repro.config import APUSystemConfig, CCSVMSystemConfig, ccsvm_system
 from repro.core.chip import CCSVMChip
-from repro.mem.trace import Trace, capture, replay_host_program
+from repro.mem.trace import Trace, TraceError, capture, replay_host_program
 from repro.workloads.base import WorkloadResult
 from repro.workloads.registry import get_variant, register_variant
 
@@ -76,8 +76,43 @@ def run_replay(trace: Union[Trace, str],
                           counters=result.stats.to_dict())
 
 
+def run_replay_flat(trace: Union[Trace, str],
+                    config: Optional[APUSystemConfig] = None) -> WorkloadResult:
+    """Replay a host-only trace on one APU baseline CPU core (full sim).
+
+    The recorded stream embeds its captured addresses, so the baseline
+    core executes the identical reference sequence the CCSVM capture
+    produced — which is what makes the APU hierarchy presets comparable
+    points in a trace-driven shape sweep (and gives the cache-only
+    replayer its full-simulation comparator on ``apu-shared-l2``).
+    """
+    from repro.baseline.apu import AMDAPU
+
+    loaded = Trace.load(trace) if isinstance(trace, str) else trace
+    if loaded.tasks:
+        raise TraceError("the APU baseline replays host-only traces "
+                         "(device streams have no APU CPU analog)")
+    if len(loaded.hosts) != 1:
+        raise TraceError(f"APU replay needs a single-host trace, got "
+                         f"{len(loaded.hosts)} host streams")
+    machine = AMDAPU(config)
+
+    def host():
+        for operation in loaded.host_ops:
+            yield operation
+
+    result = machine.run_on_cpu(host())
+    return WorkloadResult(system="apu_replay", workload=WORKLOAD,
+                          params={"workload": loaded.workload,
+                                  **loaded.params},
+                          time_ps=result.time_ps,
+                          dram_accesses=machine.dram.total_accesses,
+                          verified=bool(loaded.meta.get("verified", True)),
+                          counters=machine.stats.to_dict())
+
+
 # --------------------------------------------------------------------------- #
-# Registry variant — uniform signature run(config, *, seed, **params)
+# Registry variants — uniform signature run(config, *, seed, **params)
 # --------------------------------------------------------------------------- #
 @register_variant(WORKLOAD, "ccsvm",
                   description="replay a recorded address trace on any CCSVM "
@@ -88,3 +123,12 @@ def ccsvm_variant(config: Optional[CCSVMSystemConfig] = None, *,
     # ``seed`` is part of the uniform variant signature; the trace already
     # pins the captured run's seed.
     return run_replay(trace, config=config)
+
+
+@register_variant(WORKLOAD, "pthreads",
+                  description="replay a recorded host-only trace on one APU "
+                              "baseline CPU core")
+def pthreads_variant(config: Optional[APUSystemConfig] = None, *,
+                     seed: int = 0,
+                     trace: Union[Trace, str] = "trace.json") -> WorkloadResult:
+    return run_replay_flat(trace, config=config)

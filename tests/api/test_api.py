@@ -21,9 +21,9 @@ SMALL = small_ccsvm_system()
 
 class TestWorkloadRegistry:
     def test_all_workloads_registered(self):
-        assert workload_names() == ["apsp", "barnes_hut", "matmul",
-                                    "sparse_matmul", "trace_replay",
-                                    "vector_add"]
+        assert workload_names() == ["apsp", "barnes_hut", "cache_replay",
+                                    "matmul", "mem_stream", "sparse_matmul",
+                                    "trace_replay", "vector_add"]
 
     def test_variant_systems_match_the_paper(self):
         assert sorted(variants_for("matmul")) == ["apu", "ccsvm", "cpu"]

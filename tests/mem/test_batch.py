@@ -203,6 +203,12 @@ class TestAPUEquivalence:
 # --------------------------------------------------------------------------- #
 # split_ops
 # --------------------------------------------------------------------------- #
+def _as_lists(cols):
+    """Normalize split columns for comparison: the kind column may be an
+    ndarray under the numpy kernel (semantically identical elements)."""
+    return tuple(None if col is None else list(col) for col in cols)
+
+
 class TestSplitOps:
     def test_all_loads_collapse_to_fast_lane(self):
         vaddrs, kinds, vals, vals2 = split_ops([(OP_LOAD, 8, 0, 0),
@@ -215,6 +221,31 @@ class TestSplitOps:
                (OP_ATOMIC_CAS, 24, 1, 2)]
         vaddrs, kinds, vals, vals2 = split_ops(ops)
         assert vaddrs == [8, 16, 24]
-        assert kinds == [OP_LOAD, OP_STORE, OP_ATOMIC_CAS]
+        assert list(kinds) == [OP_LOAD, OP_STORE, OP_ATOMIC_CAS]
         assert vals == [0, 5, 1]
         assert vals2 == [0, 0, 2]
+
+    def test_kernels_agree(self, kernel):
+        """Both split kernels produce the same columns for the same
+        randomized mixed stream (including the all-loads collapse)."""
+        rng = random.Random(9)
+        ops = mixed_ops(rng, [4096, 8192], 500)
+        assert _as_lists(split_ops(ops)) == \
+            _as_lists(columnar._split_columns_python(ops))
+        loads = [(OP_LOAD, 8 * index, 0, 0) for index in range(64)]
+        assert _as_lists(split_ops(loads)) == \
+            _as_lists(columnar._split_columns_python(loads))
+        assert split_ops([]) == ([], None, None, None)
+
+    @pytest.mark.skipif(not columnar.USING_NUMPY, reason="needs numpy")
+    def test_numpy_kernel_survives_int64_overflow(self):
+        """Operand values past int64 pass through unwrapped (the numpy
+        kernel never converts the operand columns)."""
+        ops = [(OP_STORE, 8, 2 ** 70, 0), (OP_LOAD, 16, 0, 0)]
+        columnar.use_numpy_kernel()
+        try:
+            assert _as_lists(columnar.split_columns(ops)) == \
+                _as_lists(columnar._split_columns_python(ops))
+        finally:
+            if not columnar.use_numpy_kernel():
+                columnar.use_python_kernel()

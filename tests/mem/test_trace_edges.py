@@ -1,0 +1,129 @@
+"""Trace-format edge cases: odd streams round-trip byte-identically.
+
+The trace format is the contract between capture, full-simulation replay,
+and the cache-only replayer — a stream shape that survives capture must
+survive ``save -> load -> save`` with identical bytes, including the
+format-2 global interleaving order.  These tests pin the awkward shapes:
+device threads that issued nothing, atomics-only streams, and interleaved
+streams racing on the same (shootdown-prone) addresses.
+"""
+
+import json
+
+import pytest
+
+from repro.cores.isa import (
+    AtomicAdd,
+    AtomicCAS,
+    AtomicDec,
+    AtomicInc,
+    Free,
+    Load,
+    Malloc,
+    Store,
+)
+from repro.mem.trace import TRACE_FORMAT, Trace, TraceError
+
+PAGE = 4096
+
+
+def round_trip_bytes(trace, tmp_path):
+    """``save -> load -> save``; return both files' bytes."""
+    first = tmp_path / "first.trace.json"
+    second = tmp_path / "second.trace.json"
+    trace.save(str(first))
+    Trace.load(str(first)).save(str(second))
+    return first.read_bytes(), second.read_bytes()
+
+
+class TestEdgeStreams:
+    def test_empty_device_stream(self, tmp_path):
+        """A device thread that issued no operations is kept, not dropped:
+        thread existence is observable (scheduling, barriers)."""
+        trace = Trace(workload="edge", hosts=[[Load(PAGE)]],
+                      tasks={0: {0: [], 1: [Store(PAGE, 7)]}})
+        first, second = round_trip_bytes(trace, tmp_path)
+        assert first == second
+        loaded = Trace.load(str(tmp_path / "first.trace.json"))
+        assert loaded.tasks[0][0] == []
+        assert loaded.operation_count == 2
+
+    def test_empty_trace(self, tmp_path):
+        first, second = round_trip_bytes(Trace(), tmp_path)
+        assert first == second
+        loaded = Trace.load(str(tmp_path / "first.trace.json"))
+        assert loaded.operation_count == 0
+        assert loaded.effective_order() == []
+        assert list(loaded.interleaved()) == []
+
+    def test_atomics_only_stream(self, tmp_path):
+        """Every atomic flavour, negative deltas included, survives the
+        codec exactly."""
+        ops = [AtomicAdd(PAGE, -3), AtomicInc(PAGE + 8),
+               AtomicDec(PAGE + 16), AtomicCAS(PAGE + 24, 0, 99),
+               AtomicAdd(PAGE + 24, 2 ** 40)]
+        trace = Trace(workload="edge", hosts=[list(ops)])
+        first, second = round_trip_bytes(trace, tmp_path)
+        assert first == second
+        loaded = Trace.load(str(tmp_path / "first.trace.json"))
+        assert loaded.hosts[0] == ops
+
+    def test_interleaved_shootdown_racing_addresses(self, tmp_path):
+        """Two streams racing on one page around its Free: the recorded
+        global order (host, device, host, device, ...) must survive the
+        round trip exactly — replaying it canonically (all-host-then-
+        device) would put accesses on the wrong side of the shootdown."""
+        racing = PAGE * 8
+        host = [Malloc(PAGE), Store(racing, 1), Load(racing), Free(racing)]
+        device = [Load(racing), Store(racing + 8, 2), Load(racing + 8)]
+        order = [("h", 0), ("t", 0, 0), ("h", 0), ("t", 0, 0),
+                 ("h", 0), ("t", 0, 0), ("h", 0)]
+        trace = Trace(workload="edge", hosts=[host],
+                      tasks={0: {0: device}}, order=list(order))
+        first, second = round_trip_bytes(trace, tmp_path)
+        assert first == second
+        loaded = Trace.load(str(tmp_path / "first.trace.json"))
+        assert loaded.effective_order() == order
+        assert [op for _, op in loaded.interleaved()] == \
+            [host[0], device[0], host[1], device[1],
+             host[2], device[2], host[3]]
+
+
+class TestFormatCompat:
+    def test_v1_trace_loads_with_canonical_order(self, tmp_path):
+        """Format-1 files (no streams/order tables) still load; their
+        replay order falls back to hosts-then-tasks."""
+        trace = Trace(workload="edge", hosts=[[Load(PAGE), Store(PAGE, 1)]],
+                      tasks={0: {0: [Load(PAGE)]}})
+        data = trace.to_dict()
+        data["format"] = 1
+        del data["streams"]
+        del data["order"]
+        path = tmp_path / "v1.trace.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        loaded = Trace.load(str(path))
+        assert loaded.effective_order() == \
+            [("h", 0), ("h", 0), ("t", 0, 0)]
+        # Re-saving upgrades to the current format, byte-stably.
+        upgraded = tmp_path / "v2.trace.json"
+        loaded.save(str(upgraded))
+        assert json.loads(upgraded.read_text())["format"] == TRACE_FORMAT
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace.json"
+        path.write_text(json.dumps({"format": 99}), encoding="utf-8")
+        with pytest.raises(TraceError, match="unsupported trace format"):
+            Trace.load(str(path))
+
+    def test_order_referencing_unknown_stream_rejected(self):
+        with pytest.raises(TraceError, match="unknown stream"):
+            Trace.from_dict({"format": TRACE_FORMAT,
+                             "hosts": [[["ld", PAGE]]],
+                             "streams": [["h", 0]], "order": [0, 3]})
+
+    def test_partial_order_falls_back_to_canonical(self):
+        """A hand-edited order that does not cover every op is ignored in
+        favour of the canonical order rather than replaying half a run."""
+        trace = Trace(hosts=[[Load(PAGE), Load(PAGE + 8)]],
+                      order=[("h", 0)])
+        assert trace.effective_order() == [("h", 0), ("h", 0)]
